@@ -1,0 +1,212 @@
+// Command panda is the CLI for the PANDA k-nearest-neighbor library:
+// generate synthetic science datasets, build kd-trees, run exact KNN
+// queries, and evaluate k-NN classification.
+//
+// Usage:
+//
+//	panda gen      -dataset cosmo -n 1000000 -seed 1 -out cosmo.pnda
+//	panda build    -in cosmo.pnda [-bucket 32] [-threads 4]
+//	panda query    -in cosmo.pnda -k 5 -nq 1000 [-threads 4]
+//	panda classify -in dayabay.pnda -k 5 -train 0.8
+//
+// Files use the .pnda binary format (see internal/ptsio).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"panda"
+	"panda/internal/data"
+	"panda/internal/ptsio"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "build":
+		err = cmdBuild(os.Args[2:])
+	case "query":
+		err = cmdQuery(os.Args[2:])
+	case "classify":
+		err = cmdClassify(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "panda: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "panda:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: panda <command> [flags]
+
+commands:
+  gen       generate a synthetic dataset file
+  build     build a kd-tree and print structure statistics
+  query     run k-NN queries and print timing
+  classify  k-NN majority-vote classification accuracy (labeled datasets)
+
+run "panda <command> -h" for flags.
+`)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	dataset := fs.String("dataset", "cosmo", "dataset family: uniform|gaussian|cosmo|plasma|dayabay|sdss10|sdss15")
+	n := fs.Int("n", 100000, "number of points")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	out := fs.String("out", "", "output file (required)")
+	fs.Parse(args)
+	if *out == "" {
+		return fmt.Errorf("gen: -out is required")
+	}
+	d, err := data.ByName(*dataset, *n, *seed)
+	if err != nil {
+		return err
+	}
+	if err := ptsio.Save(*out, d.Points, d.Labels); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d points, %d-D, labeled=%v\n", *out, d.Points.Len(), d.Points.Dims, d.Labels != nil)
+	return nil
+}
+
+func buildFlags(fs *flag.FlagSet) (*int, *int, *string, *string) {
+	bucket := fs.Int("bucket", 0, "bucket size (0 = paper default 32)")
+	threads := fs.Int("threads", 4, "construction/query threads")
+	splitDim := fs.String("splitdim", "variance", "split dimension policy: variance|range")
+	splitVal := fs.String("splitval", "sampled-median", "split value policy: sampled-median|mean-sample|mid-range")
+	return bucket, threads, splitDim, splitVal
+}
+
+func cmdBuild(args []string) error {
+	fs := flag.NewFlagSet("build", flag.ExitOnError)
+	in := fs.String("in", "", "input .pnda file (required)")
+	bucket, threads, splitDim, splitVal := buildFlags(fs)
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("build: -in is required")
+	}
+	pts, _, err := ptsio.Load(*in)
+	if err != nil {
+		return err
+	}
+	opts := &panda.BuildOptions{BucketSize: *bucket, Threads: *threads, SplitDimension: *splitDim, SplitValue: *splitVal}
+	start := time.Now()
+	tree, err := panda.Build(pts.Coords, pts.Dims, nil, opts)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	s := tree.Stats()
+	fmt.Printf("points      %d\n", s.Points)
+	fmt.Printf("dims        %d\n", pts.Dims)
+	fmt.Printf("height      %d\n", s.Height)
+	fmt.Printf("nodes       %d\n", s.Nodes)
+	fmt.Printf("leaves      %d\n", s.Leaves)
+	fmt.Printf("max bucket  %d\n", s.MaxBucket)
+	fmt.Printf("mean bucket %.1f\n", s.MeanBucket)
+	fmt.Printf("build time  %v\n", elapsed)
+	return nil
+}
+
+func cmdQuery(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	in := fs.String("in", "", "input .pnda file (required)")
+	k := fs.Int("k", 5, "neighbors per query")
+	nq := fs.Int("nq", 1000, "number of queries (taken from the dataset)")
+	bucket, threads, splitDim, splitVal := buildFlags(fs)
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("query: -in is required")
+	}
+	pts, _, err := ptsio.Load(*in)
+	if err != nil {
+		return err
+	}
+	if *nq > pts.Len() {
+		*nq = pts.Len()
+	}
+	opts := &panda.BuildOptions{BucketSize: *bucket, Threads: *threads, SplitDimension: *splitDim, SplitValue: *splitVal}
+	start := time.Now()
+	tree, err := panda.Build(pts.Coords, pts.Dims, nil, opts)
+	if err != nil {
+		return err
+	}
+	buildTime := time.Since(start)
+	queries := pts.Coords[:*nq*pts.Dims]
+	start = time.Now()
+	res, err := tree.KNNBatch(queries, *k)
+	if err != nil {
+		return err
+	}
+	queryTime := time.Since(start)
+	var sum float64
+	for _, nbrs := range res {
+		if len(nbrs) > 0 {
+			sum += float64(nbrs[len(nbrs)-1].Dist2)
+		}
+	}
+	fmt.Printf("build  %v\n", buildTime)
+	fmt.Printf("query  %v for %d queries (%.0f q/s)\n", queryTime, *nq, float64(*nq)/queryTime.Seconds())
+	fmt.Printf("mean squared distance to %d-th neighbor: %.6g\n", *k, sum/float64(len(res)))
+	return nil
+}
+
+func cmdClassify(args []string) error {
+	fs := flag.NewFlagSet("classify", flag.ExitOnError)
+	in := fs.String("in", "", "input labeled .pnda file (required)")
+	k := fs.Int("k", 5, "neighbors per query")
+	trainFrac := fs.Float64("train", 0.8, "training fraction")
+	_, threads, splitDim, splitVal := buildFlags(fs)
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("classify: -in is required")
+	}
+	pts, labels, err := ptsio.Load(*in)
+	if err != nil {
+		return err
+	}
+	if labels == nil {
+		return fmt.Errorf("classify: %s has no labels", *in)
+	}
+	nTrain := int(*trainFrac * float64(pts.Len()))
+	if nTrain < 1 || nTrain >= pts.Len() {
+		return fmt.Errorf("classify: training fraction %v leaves no train/test split", *trainFrac)
+	}
+	train := pts.Slice(0, nTrain)
+	opts := &panda.BuildOptions{Threads: *threads, SplitDimension: *splitDim, SplitValue: *splitVal}
+	tree, err := panda.Build(train.Coords, pts.Dims, nil, opts)
+	if err != nil {
+		return err
+	}
+	test := pts.Slice(nTrain, pts.Len())
+	res, err := tree.KNNBatch(test.Coords, *k)
+	if err != nil {
+		return err
+	}
+	correct := 0
+	for i, nbrs := range res {
+		pred := panda.MajorityVote(nbrs, func(id int64) uint8 { return labels[id] })
+		if pred == labels[nTrain+i] {
+			correct++
+		}
+	}
+	fmt.Printf("train %d  test %d  k %d\n", nTrain, test.Len(), *k)
+	fmt.Printf("accuracy %.2f%%\n", 100*float64(correct)/float64(test.Len()))
+	return nil
+}

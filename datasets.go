@@ -1,0 +1,25 @@
+package panda
+
+import "panda/internal/data"
+
+// GenerateDataset produces one of the deterministic synthetic datasets used
+// throughout the reproduction (see DESIGN.md §1 for how each mirrors the
+// paper's science data):
+//
+//	"uniform"  3-D uniform control
+//	"gaussian" 3-D Gaussian control
+//	"cosmo"    3-D gravitationally clustered (halos + filaments + voids)
+//	"plasma"   3-D reconnection current sheet + flux ropes
+//	"dayabay"  10-D detector records, 3 labeled classes, heavy co-location
+//	"sdss10"   10-D correlated photometric magnitudes (psf_mod_mag)
+//	"sdss15"   15-D correlated photometric magnitudes (all_mag)
+//
+// It returns the row-major coordinates, the dimensionality, and class
+// labels (nil for unlabeled datasets).
+func GenerateDataset(name string, n int, seed uint64) (coords []float32, dims int, labels []uint8, err error) {
+	d, err := data.ByName(name, n, seed)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	return d.Points.Coords, d.Points.Dims, d.Labels, nil
+}

@@ -1,0 +1,226 @@
+package panda
+
+import (
+	"fmt"
+	"net"
+
+	"panda/internal/cluster"
+	"panda/internal/core"
+	"panda/internal/geom"
+	"panda/internal/simtime"
+	"panda/internal/transport"
+)
+
+// Node is one rank's handle inside a distributed run: its communicator plus
+// helpers to build and query distributed trees. Obtain one via RunCluster
+// (in-process simulated cluster) or JoinTCP (real multi-process mesh).
+type Node struct {
+	comm *cluster.Comm
+}
+
+// Rank returns this node's rank in [0, Size).
+func (n *Node) Rank() int { return n.comm.Rank() }
+
+// Size returns the cluster size.
+func (n *Node) Size() int { return n.comm.Size() }
+
+// Threads returns the simulated thread count per rank.
+func (n *Node) Threads() int { return n.comm.Threads() }
+
+// Barrier blocks until every rank reaches it.
+func (n *Node) Barrier() { n.comm.Barrier() }
+
+// Result is the distributed query answer for one query id.
+type Result = core.Result
+
+// QueryTrace carries the distributed execution counters of one query wave
+// (queries routed, forwarded to remote ranks, remote candidates that won).
+type QueryTrace = core.QueryTrace
+
+// DistTree is a distributed kd-tree handle held by one rank.
+type DistTree struct {
+	dt *core.DistTree
+}
+
+// Build constructs the distributed kd-tree over this rank's point shard
+// (SPMD: every rank must call it). ids are global point identifiers (nil
+// derives unique defaults). opts configures the local trees and, through
+// the split policies, the global tree.
+func (n *Node) Build(coords []float32, dims int, ids []int64, opts *BuildOptions) (*DistTree, error) {
+	if dims <= 0 || len(coords)%dims != 0 {
+		return nil, fmt.Errorf("panda: %d coords not a multiple of dims %d", len(coords), dims)
+	}
+	kopts, err := opts.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	dt, err := core.BuildDistributed(n.comm, geom.FromCoords(coords, dims), ids, core.Options{Local: kopts})
+	if err != nil {
+		return nil, err
+	}
+	return &DistTree{dt: dt}, nil
+}
+
+// LocalLen returns how many points this rank owns after redistribution.
+func (t *DistTree) LocalLen() int { return t.dt.Local.Len() }
+
+// GlobalLevels returns the depth of the replicated global partition tree
+// (log2 of the rank count for power-of-two clusters).
+func (t *DistTree) GlobalLevels() int { return t.dt.Global.Levels() }
+
+// Owner returns the rank whose domain contains q.
+func (t *DistTree) Owner(q []float32) int { return t.dt.Global.Owner(q, nil) }
+
+// Query answers k-NN for this rank's query shard (SPMD: every rank calls it
+// with its own queries; all ranks must pass the same k). queries is
+// row-major; qids labels results (nil = index order). Results come back in
+// input order.
+func (t *DistTree) Query(queries []float32, qids []int64, k int) ([]Result, *QueryTrace, error) {
+	dims := t.dt.Dims()
+	if len(queries)%dims != 0 {
+		return nil, nil, fmt.Errorf("panda: query buffer not a multiple of dims %d", dims)
+	}
+	return t.dt.QueryBatch(geom.FromCoords(queries, dims), qids, core.QueryOptions{K: k})
+}
+
+// PhaseTiming is one phase of a distributed run under the simulated-time
+// model: max-over-ranks elapsed, compute-only, communication-only, and the
+// communication not hidden by pipelining.
+type PhaseTiming struct {
+	Name                     string
+	Seconds                  float64
+	ComputeSeconds           float64
+	CommSeconds              float64
+	NonOverlappedCommSeconds float64
+}
+
+// SimReport is the cost-model timing of a distributed run (see DESIGN.md:
+// work and traffic are measured from the real execution; only the clock is
+// modeled).
+type SimReport struct {
+	Phases []PhaseTiming
+}
+
+// Total sums the phases selected by filter (nil = all).
+func (r *SimReport) Total(filter func(name string) bool) float64 {
+	var s float64
+	for _, p := range r.Phases {
+		if filter == nil || filter(p.Name) {
+			s += p.Seconds
+		}
+	}
+	return s
+}
+
+// Find returns the named phase.
+func (r *SimReport) Find(name string) (PhaseTiming, bool) {
+	for _, p := range r.Phases {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return PhaseTiming{}, false
+}
+
+// Phase names appearing in SimReport, matching the paper's Figure 5
+// breakdown categories.
+var (
+	// BuildPhases are the five construction phases of §III-A.
+	BuildPhases = []string{
+		core.PhaseGlobalTree,
+		core.PhaseRedistribute,
+		"local kd-tree (data parallel)",
+		"local kd-tree (thread parallel)",
+		"local kd-tree (SIMD packing)",
+	}
+	// QueryPhases are the four query phases of §III-B (non-overlapped
+	// communication is derived from their comm accounting).
+	QueryPhases = []string{
+		core.PhaseFindOwner,
+		core.PhaseLocalKNN,
+		core.PhaseIdentifyRemote,
+		core.PhaseRemoteKNN,
+	}
+)
+
+// IsBuildPhase reports whether a SimReport phase belongs to tree
+// construction.
+func IsBuildPhase(name string) bool { return containsName(BuildPhases, name) }
+
+// IsQueryPhase reports whether a SimReport phase belongs to querying.
+func IsQueryPhase(name string) bool { return containsName(QueryPhases, name) }
+
+func containsName(list []string, name string) bool {
+	for _, n := range list {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
+// RunCluster executes fn as an SPMD program over ranks in-process ranks
+// (each a goroutine with its own shard and threadsPerRank simulated
+// threads) and returns the simulated-time report. This is the simulated
+// Edison: the algorithm, messages and collectives are real; only the clock
+// is modeled.
+func RunCluster(ranks, threadsPerRank int, fn func(n *Node) error) (*SimReport, error) {
+	recs, err := cluster.Run(ranks, threadsPerRank, func(c *cluster.Comm) error {
+		return fn(&Node{comm: c})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return newSimReport(simtime.Aggregate(simtime.DefaultRates(), recs)), nil
+}
+
+func newSimReport(rep simtime.Report) *SimReport {
+	out := &SimReport{}
+	for _, p := range rep.Phases {
+		out.Phases = append(out.Phases, PhaseTiming{
+			Name:                     p.Name,
+			Seconds:                  p.Seconds,
+			ComputeSeconds:           p.ComputeSeconds,
+			CommSeconds:              p.CommSeconds,
+			NonOverlappedCommSeconds: p.NonOverlappedCommSeconds,
+		})
+	}
+	return out
+}
+
+// JoinTCP joins a real multi-process mesh as rank `rank`: addrs lists every
+// rank's listen address in rank order, and this process listens on
+// addrs[rank] (a port of 0 is not supported here — processes must agree on
+// addresses up front). Returns the node and a close function.
+func JoinTCP(rank int, addrs []string, threadsPerRank int) (*Node, func() error, error) {
+	if rank < 0 || rank >= len(addrs) {
+		return nil, nil, fmt.Errorf("panda: rank %d out of range for %d addrs", rank, len(addrs))
+	}
+	ln, err := transport.Listen(addrs[rank])
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, err := transport.NewTCP(rank, ln, addrs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if threadsPerRank < 1 {
+		threadsPerRank = 1
+	}
+	comm := cluster.New(tr, simtime.NewRecorder(threadsPerRank))
+	return &Node{comm: comm}, tr.Close, nil
+}
+
+// JoinTCPListener is JoinTCP for a pre-bound listener (use when ports are
+// assigned dynamically and shared out of band, e.g. in tests).
+func JoinTCPListener(rank int, ln net.Listener, addrs []string, threadsPerRank int) (*Node, func() error, error) {
+	tr, err := transport.NewTCP(rank, ln, addrs)
+	if err != nil {
+		return nil, nil, err
+	}
+	if threadsPerRank < 1 {
+		threadsPerRank = 1
+	}
+	comm := cluster.New(tr, simtime.NewRecorder(threadsPerRank))
+	return &Node{comm: comm}, tr.Close, nil
+}

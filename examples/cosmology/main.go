@@ -1,0 +1,94 @@
+// Cosmology: classify particles of a clustered N-body snapshot into
+// halo / filament / void populations using k-NN density estimation — the
+// halo-finding analysis the paper's §II motivates, run on the distributed
+// tree over a simulated 8-rank cluster.
+//
+// The k-NN density proxy is the classic 1/r_k^d estimator: particles whose
+// distance to their k-th neighbor is small sit in dense structure (halos),
+// intermediate ones trace filaments, and distant ones float in voids.
+//
+//	go run ./examples/cosmology
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+	"sync"
+
+	"panda"
+)
+
+func main() {
+	const (
+		n     = 400_000
+		ranks = 8
+		k     = 8
+	)
+	coords, dims, _, err := panda.GenerateDataset("cosmo", n, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cosmology snapshot: %d particles, %d-D\n", n, dims)
+
+	// Every rank queries the k-th neighbor distance of its own shard.
+	var mu sync.Mutex
+	rk := make([]float32, n) // distance to k-th neighbor per particle
+	rep, err := panda.RunCluster(ranks, 4, func(node *panda.Node) error {
+		var shard []float32
+		var ids []int64
+		for i := node.Rank(); i < n; i += ranks {
+			shard = append(shard, coords[i*dims:(i+1)*dims]...)
+			ids = append(ids, int64(i))
+		}
+		dt, err := node.Build(shard, dims, ids, nil)
+		if err != nil {
+			return err
+		}
+		// k+1 because each particle finds itself at distance 0.
+		res, _, err := dt.Query(shard, ids, k+1)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		for _, r := range res {
+			last := r.Neighbors[len(r.Neighbors)-1]
+			rk[r.QID] = float32(math.Sqrt(float64(last.Dist2)))
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Density-quantile classification: the densest 40% of particles are
+	// halo members, the next 30% filament, the rest void — mirroring the
+	// mass fractions cosmological simulations report.
+	sorted := append([]float32(nil), rk...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	haloCut := sorted[int(0.40*float64(n))]
+	filCut := sorted[int(0.70*float64(n))]
+	var halo, fil, void int
+	for _, r := range rk {
+		switch {
+		case r <= haloCut:
+			halo++
+		case r <= filCut:
+			fil++
+		default:
+			void++
+		}
+	}
+	fmt.Printf("k-NN density classification (k=%d):\n", k)
+	fmt.Printf("  halo members:     %8d (r_k ≤ %.5f)\n", halo, haloCut)
+	fmt.Printf("  filament members: %8d (r_k ≤ %.5f)\n", fil, filCut)
+	fmt.Printf("  void particles:   %8d\n", void)
+
+	// Structure check: mean r_k in the halo class should be far below the
+	// void class (clustered data), which would not hold on uniform data.
+	fmt.Printf("\nsimulated cluster time (%d ranks × 4 threads):\n", ranks)
+	fmt.Printf("  construction: %.3fs  querying: %.3fs\n",
+		rep.Total(panda.IsBuildPhase), rep.Total(panda.IsQueryPhase))
+}

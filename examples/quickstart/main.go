@@ -1,0 +1,55 @@
+// Quickstart: build a kd-tree over a million uniform 3-D points and answer
+// a few thousand exact k-NN queries with the single-node API.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"panda"
+)
+
+func main() {
+	const (
+		n  = 1_000_000
+		nq = 5_000
+		k  = 5
+	)
+	coords, dims, _, err := panda.GenerateDataset("uniform", n, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	tree, err := panda.Build(coords, dims, nil, &panda.BuildOptions{Threads: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	buildTime := time.Since(start)
+	s := tree.Stats()
+	fmt.Printf("built kd-tree: %d points, height %d, %d leaves (mean bucket %.1f) in %v\n",
+		s.Points, s.Height, s.Leaves, s.MeanBucket, buildTime)
+
+	queries := coords[:nq*dims]
+	start = time.Now()
+	results, err := tree.KNNBatch(queries, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	queryTime := time.Since(start)
+	fmt.Printf("answered %d queries (k=%d) in %v (%.0f queries/s)\n",
+		nq, k, queryTime, float64(nq)/queryTime.Seconds())
+
+	// Each query point is its own nearest neighbor at distance 0.
+	self := 0
+	for i, nbrs := range results {
+		if len(nbrs) == k && nbrs[0].ID == int64(i) && nbrs[0].Dist2 == 0 {
+			self++
+		}
+	}
+	fmt.Printf("sanity: %d/%d queries found themselves first\n", self, nq)
+	fmt.Printf("example neighbors of query 0: %v\n", results[0])
+}

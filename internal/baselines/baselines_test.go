@@ -1,0 +1,219 @@
+package baselines
+
+import (
+	"sort"
+	"sync"
+	"testing"
+
+	"panda/internal/cluster"
+	"panda/internal/data"
+	"panda/internal/geom"
+	"panda/internal/kdtree"
+)
+
+func refKNN(pts geom.Points, q []float32, k int) []kdtree.Neighbor {
+	all := make([]kdtree.Neighbor, pts.Len())
+	for i := 0; i < pts.Len(); i++ {
+		all[i] = kdtree.Neighbor{ID: int64(i), Dist2: geom.Dist2(q, pts.At(i))}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Dist2 != all[b].Dist2 {
+			return all[a].Dist2 < all[b].Dist2
+		}
+		return all[a].ID < all[b].ID
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func sameDists(a, b []kdtree.Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Dist2 != b[i].Dist2 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBruteKNNMatchesReference(t *testing.T) {
+	d := data.Cosmo(1000, 1)
+	for qi := 0; qi < 20; qi++ {
+		q := d.Points.At(qi * 31)
+		got := BruteKNN(d.Points, nil, q, 5)
+		want := refKNN(d.Points, q, 5)
+		if !sameDists(got, want) {
+			t.Fatalf("query %d: %v vs %v", qi, got, want)
+		}
+	}
+}
+
+func TestBruteKNNWithCustomIDs(t *testing.T) {
+	d := data.Uniform(50, 3, 2)
+	ids := make([]int64, 50)
+	for i := range ids {
+		ids[i] = int64(100 + i)
+	}
+	got := BruteKNN(d.Points, ids, d.Points.At(7), 1)
+	if got[0].ID != 107 {
+		t.Fatalf("id = %d, want 107", got[0].ID)
+	}
+}
+
+func TestFLANNTreeExact(t *testing.T) {
+	d := data.Plasma(2000, 3)
+	tree := BuildFLANN(d.Points, nil, 1)
+	s := tree.NewSearcher()
+	for qi := 0; qi < 25; qi++ {
+		q := d.Points.At(qi * 53)
+		got, _ := s.Search(q, 5, kdtree.Inf2, nil)
+		if !sameDists(got, refKNN(d.Points, q, 5)) {
+			t.Fatalf("FLANN tree wrong at query %d", qi)
+		}
+	}
+}
+
+func TestANNTreeExact(t *testing.T) {
+	d := data.Cosmo(2000, 4)
+	tree := BuildANN(d.Points, nil)
+	s := tree.NewSearcher()
+	for qi := 0; qi < 25; qi++ {
+		q := d.Points.At(qi * 71)
+		got, _ := s.Search(q, 5, kdtree.Inf2, nil)
+		if !sameDists(got, refKNN(d.Points, q, 5)) {
+			t.Fatalf("ANN tree wrong at query %d", qi)
+		}
+	}
+}
+
+func TestANNDeeperThanPANDAOnSkewedData(t *testing.T) {
+	// The paper: ANN's midpoint splits degenerate on co-located data
+	// (depth 109 vs FLANN 32 on dayabay). Reproduce the ordering:
+	// ANN depth > PANDA depth on dayabay-like data.
+	d := data.DayaBay(6000, 5)
+	ann := BuildANN(d.Points, nil)
+	panda := kdtree.Build(d.Points, nil, kdtree.Options{})
+	if ann.Height() <= panda.Height() {
+		t.Fatalf("ANN height %d not deeper than PANDA %d on co-located data",
+			ann.Height(), panda.Height())
+	}
+}
+
+func TestPANDAFewerTraversalsThanBaselines(t *testing.T) {
+	// Figure 7's mechanism: PANDA's balanced sampled-median trees visit
+	// fewer nodes per query than FLANN/ANN trees on clustered data.
+	d := data.Cosmo(20000, 6)
+	panda := kdtree.Build(d.Points, nil, kdtree.Options{})
+	flann := BuildFLANN(d.Points, nil, 1)
+	ann := BuildANN(d.Points, nil)
+	sp, sf, sa := panda.NewSearcher(), flann.NewSearcher(), ann.NewSearcher()
+	var np, nf, na int64
+	for qi := 0; qi < 200; qi++ {
+		q := d.Points.At(qi * 97)
+		_, st := sp.Search(q, 5, kdtree.Inf2, nil)
+		np += st.NodesVisited
+		_, st = sf.Search(q, 5, kdtree.Inf2, nil)
+		nf += st.NodesVisited
+		_, st = sa.Search(q, 5, kdtree.Inf2, nil)
+		na += st.NodesVisited
+	}
+	if np >= nf || np >= na {
+		t.Fatalf("traversals: panda=%d flann=%d ann=%d; panda must be lowest", np, nf, na)
+	}
+}
+
+func TestLocalTreesStrawmanExact(t *testing.T) {
+	d := data.Uniform(1200, 3, 7)
+	const p = 4
+	type out struct {
+		res []LocalTreesResult
+	}
+	outs := make([]out, p)
+	var mu sync.Mutex
+	_, err := cluster.Run(p, 1, func(c *cluster.Comm) error {
+		pts := geom.NewPoints(0, 3)
+		var ids []int64
+		for i := c.Rank(); i < d.Points.Len(); i += p {
+			pts = pts.Append(d.Points.At(i))
+			ids = append(ids, int64(i))
+		}
+		nq := 40
+		queries := pts.Slice(0, nq)
+		res, _, err := RunLocalTreesKNN(c, pts, ids, queries, ids[:nq], 5)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		outs[c.Rank()] = out{res: res}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < p; r++ {
+		for _, res := range outs[r].res {
+			q := d.Points.At(int(res.QID))
+			want := refKNN(d.Points, q, 5)
+			if !sameDists(res.Neighbors, want) {
+				t.Fatalf("rank %d qid %d: wrong neighbors", r, res.QID)
+			}
+		}
+	}
+}
+
+func TestLocalTreesStrawmanWastesCandidates(t *testing.T) {
+	// §I: the strawman computes and transfers ~P·k candidates per query
+	// and throws away all but k.
+	const p, k = 4, 5
+	statsCh := make(chan *LocalTreesStats, p)
+	d := data.Uniform(2000, 3, 8)
+	_, err := cluster.Run(p, 1, func(c *cluster.Comm) error {
+		pts := geom.NewPoints(0, 3)
+		var ids []int64
+		for i := c.Rank(); i < d.Points.Len(); i += p {
+			pts = pts.Append(d.Points.At(i))
+			ids = append(ids, int64(i))
+		}
+		queries := pts.Slice(0, 50)
+		_, stats, err := RunLocalTreesKNN(c, pts, ids, queries, ids[:50], k)
+		statsCh <- stats
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(statsCh)
+	var shipped, kept int64
+	for s := range statsCh {
+		shipped += s.CandidatesShipped
+		kept += s.CandidatesKept
+	}
+	// Each of the 200 queries ships (P-1)*k = 15 foreign candidates.
+	if shipped != int64(p*(p-1)*50*k) {
+		t.Fatalf("shipped = %d, want %d", shipped, p*(p-1)*50*k)
+	}
+	if kept != int64(p*50*k) {
+		t.Fatalf("kept = %d, want %d", kept, p*50*k)
+	}
+	if shipped <= kept {
+		t.Fatal("strawman should ship more candidates than it keeps")
+	}
+}
+
+func TestStrawmanRejectsBadK(t *testing.T) {
+	_, err := cluster.Run(1, 1, func(c *cluster.Comm) error {
+		_, _, err := RunLocalTreesKNN(c, geom.NewPoints(4, 2), nil, geom.NewPoints(1, 2), nil, 0)
+		if err == nil {
+			t.Error("k=0 accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

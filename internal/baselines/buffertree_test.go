@@ -1,0 +1,84 @@
+package baselines
+
+import (
+	"testing"
+
+	"panda/internal/data"
+	"panda/internal/geom"
+	"panda/internal/kdtree"
+)
+
+func TestBufferTreeExactness(t *testing.T) {
+	for _, name := range []string{"uniform", "cosmo", "dayabay"} {
+		d, _ := data.ByName(name, 2000, 21)
+		tree := kdtree.Build(d.Points, nil, kdtree.Options{})
+		bt := NewBufferTree(tree, 32)
+		nq := 150
+		queries := d.Points.Slice(0, nq)
+		got, _ := bt.KNNAll(queries, 5)
+		for i := 0; i < nq; i++ {
+			want := refKNN(d.Points, queries.At(i), 5)
+			if !sameDists(got[i], want) {
+				t.Fatalf("%s query %d: buffered %v, exact %v", name, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestBufferTreeEmptyInputs(t *testing.T) {
+	d := data.Uniform(100, 3, 22)
+	tree := kdtree.Build(d.Points, nil, kdtree.Options{})
+	bt := NewBufferTree(tree, 8)
+	out, stats := bt.KNNAll(geom.NewPoints(0, 3), 5)
+	if len(out) != 0 || stats.Rounds != 0 {
+		t.Fatal("empty query set must short-circuit")
+	}
+	empty := kdtree.Build(geom.NewPoints(0, 3), nil, kdtree.Options{})
+	out, _ = NewBufferTree(empty, 8).KNNAll(d.Points.Slice(0, 3), 5)
+	for _, nbrs := range out {
+		if len(nbrs) != 0 {
+			t.Fatal("empty tree must return no neighbors")
+		}
+	}
+}
+
+func TestBufferTreeBatchesLeafWork(t *testing.T) {
+	// The point of the design: many queries share each leaf flush.
+	d := data.Uniform(5000, 3, 23)
+	tree := kdtree.Build(d.Points, nil, kdtree.Options{})
+	bt := NewBufferTree(tree, 64)
+	nq := 2000
+	_, stats := bt.KNNAll(d.Points.Slice(0, nq), 5)
+	if stats.QueriesQueued == 0 || stats.LeafFlushes == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if avg := float64(stats.QueriesQueued) / float64(stats.LeafFlushes); avg < 2 {
+		t.Fatalf("average buffer occupancy %.1f; batching is not happening", avg)
+	}
+}
+
+func TestBufferTreeMatchesDirectSearcherWorkOrdering(t *testing.T) {
+	// PANDA's direct searcher should do no more leaf-point work than the
+	// buffered scheme (buffering delays bound tightening), reproducing
+	// the §VI claim's mechanism at equal query counts.
+	d := data.Cosmo(20000, 24)
+	tree := kdtree.Build(d.Points, nil, kdtree.Options{})
+	nq := 1000
+	queries := d.Points.Slice(0, nq)
+
+	s := tree.NewSearcher()
+	var direct int64
+	for i := 0; i < nq; i++ {
+		_, st := s.Search(queries.At(i), 5, kdtree.Inf2, nil)
+		direct += st.PointsScanned
+	}
+	bt := NewBufferTree(tree, 32)
+	_, stats := bt.KNNAll(queries, 5)
+	// Buffered leaf flushes scan every buffered query against the full
+	// leaf; direct search scans per query too, so compare points-scanned
+	// proxies: flushes×meanBucket×occupancy ≈ queued×meanBucket.
+	buffered := stats.QueriesQueued * int64(tree.Stats().MeanBucket)
+	if buffered < direct/2 {
+		t.Fatalf("buffered scanned-work proxy %d implausibly below direct %d", buffered, direct)
+	}
+}

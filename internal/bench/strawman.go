@@ -1,0 +1,69 @@
+package bench
+
+import (
+	"sync"
+
+	"panda/internal/baselines"
+	"panda/internal/cluster"
+	"panda/internal/data"
+	"panda/internal/simtime"
+)
+
+// Strawman quantifies §I's motivation: the "no redistribution, local trees
+// everywhere" design must fan every query out to all P ranks and merge P·k
+// candidates, versus PANDA's global tree where a query usually touches one
+// rank and only crosses boundaries within r'. The harness runs both on the
+// same data and reports modeled query time, candidates shipped, and
+// per-query rank fan-out.
+func Strawman(cfg Config) error {
+	cfg = cfg.withDefaults()
+	const (
+		ranks = 16
+		k     = 5
+	)
+	d := data.Cosmo(cfg.n(400_000), 2016)
+	qfrac := 0.25
+
+	// PANDA (global tree).
+	res, err := runDistributed(cfg, d, ranks, 24, k, qfrac)
+	if err != nil {
+		return err
+	}
+
+	// Strawman (local trees + all-rank fan-out).
+	var mu sync.Mutex
+	var shipped int64
+	strawRecs, err := cluster.Run(ranks, 24, func(c *cluster.Comm) error {
+		pts, ids := shardPoints(d.Points, ranks, c.Rank())
+		nq := int(qfrac * float64(pts.Len()))
+		_, stats, err := baselines.RunLocalTreesKNN(c, pts, ids, pts.Slice(0, nq), ids[:nq], k)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		shipped += stats.CandidatesShipped
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	strawRep := simtime.Aggregate(cfg.Rates, strawRecs)
+	strawQuery := strawRep.Total(func(n string) bool {
+		return n == "strawman: query fanout" || n == "strawman: local KNN" || n == "strawman: top-k merge"
+	})
+
+	nq := res.Trace.Queries
+	cfg.printf("== Strawman (§I): global distributed tree vs local-trees-everywhere ==\n")
+	cfg.printf("%d ranks, %d points, %d queries, k=%d\n", ranks, d.Points.Len(), nq, k)
+	cfg.printf("%-34s %14s %14s\n", "", "PANDA", "strawman")
+	cfg.printf("%-34s %13.4fs %13.4fs\n", "query time (modeled)", res.Querying, strawQuery)
+	cfg.printf("%-34s %14.2f %14.2f\n", "ranks doing KNN work per query",
+		1+float64(res.Trace.RemoteRequests)/float64(nq), float64(ranks))
+	cfg.printf("%-34s %14d %14d\n", "remote candidates shipped",
+		res.Trace.RemoteNeighborsWon, shipped)
+	cfg.printf("(the strawman ships ~(P-1)*k candidates per query and traverses P trees;\n")
+	cfg.printf(" PANDA sends %0.1f%% of queries to >=1 remote rank and prunes the rest via r')\n\n",
+		100*float64(res.Trace.SentRemote)/float64(nq))
+	return nil
+}

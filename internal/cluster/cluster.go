@@ -1,0 +1,521 @@
+// Package cluster is PANDA's SPMD runtime: the MPI-equivalent layer that
+// runs one function per rank and gives each rank point-to-point messaging
+// plus the collectives the distributed kd-tree needs (barrier, broadcast,
+// all-gather, all-to-all, all-reduce). Collectives use the standard
+// latency-aware algorithms (dissemination barrier, binomial broadcast, ring
+// all-gather, pairwise all-to-all) so the metered message counts scale with
+// log P / P exactly the way an MPI implementation's would — that is what
+// makes the simulated-time scaling curves honest.
+//
+// Every send/receive is metered into the rank's current simtime phase, so
+// the experiment harness can reconstruct the paper's compute/communication
+// breakdowns without touching algorithm code.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"panda/internal/simtime"
+	"panda/internal/transport"
+)
+
+// Comm is one rank's handle on the cluster. It is not safe for concurrent
+// use by multiple goroutines (like an MPI communicator, one thread drives
+// communication; worker threads do compute and are metered separately).
+type Comm struct {
+	tr  transport.Transport
+	rec *simtime.Recorder
+	seq int // collective sequence number (same SPMD order on every rank)
+}
+
+// collective tag space: user tags must stay below tagCollectiveBase.
+const tagCollectiveBase = 1 << 24
+
+// New wraps a transport endpoint. rec receives communication metering and
+// provides the per-thread compute meters; it must have been created with
+// the rank's simulated thread count.
+func New(tr transport.Transport, rec *simtime.Recorder) *Comm {
+	return &Comm{tr: tr, rec: rec}
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.tr.Rank() }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.tr.Size() }
+
+// Threads returns the simulated thread count per rank.
+func (c *Comm) Threads() int { return c.rec.Threads() }
+
+// Recorder returns the rank's simtime recorder.
+func (c *Comm) Recorder() *simtime.Recorder { return c.rec }
+
+// Phase switches the rank's metering phase and returns it.
+func (c *Comm) Phase(name string) *simtime.PhaseMeter { return c.rec.Phase(name) }
+
+// Meter returns the compute meter of simulated thread t in the current
+// phase.
+func (c *Comm) Meter(t int) *simtime.Meter { return c.rec.Current().Thread(t) }
+
+// commError carries a transport failure up through Run.
+type commError struct{ err error }
+
+func (c *Comm) check(err error) {
+	if err != nil {
+		panic(commError{err})
+	}
+}
+
+// Send transmits payload to rank `to`. tag must be < 1<<24.
+func (c *Comm) Send(to, tag int, payload []byte) {
+	if tag < 0 || tag >= tagCollectiveBase {
+		panic(fmt.Sprintf("cluster: user tag %d out of range", tag))
+	}
+	c.send(to, tag, payload)
+}
+
+func (c *Comm) send(to, tag int, payload []byte) {
+	c.rec.Current().AddComm(1, int64(len(payload)))
+	c.check(c.tr.Send(to, tag, payload))
+}
+
+// Recv blocks for a message matching (from, tag); from may be
+// transport.Any. Returns the actual source and payload. Received bytes are
+// charged to the current phase without a latency term (latency is charged
+// at the sender).
+func (c *Comm) Recv(from, tag int) (int, []byte) {
+	src, payload, err := c.tr.Recv(from, tag)
+	c.check(err)
+	c.rec.Current().AddComm(0, int64(len(payload)))
+	return src, payload
+}
+
+// tagStride is the tag block reserved per collective call; per-step offsets
+// within one collective stay below it (bounds cluster size at 4096 ranks,
+// far above any simulated configuration here).
+const tagStride = 4096
+
+// nextTag reserves a fresh collective tag block. SPMD programs execute
+// collectives in the same order on every rank, so sequence numbers match.
+func (c *Comm) nextTag() int {
+	c.seq++
+	return tagCollectiveBase + c.seq*tagStride
+}
+
+// asyncSend fires sends from goroutines (collectives post all sends before
+// receiving; real MPI does the same with nonblocking sends) and returns a
+// waiter that re-panics the first send error.
+func (c *Comm) asyncSend() (send func(to, tag int, payload []byte), wait func()) {
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	send = func(to, tag int, payload []byte) {
+		c.rec.Current().AddComm(1, int64(len(payload)))
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := c.tr.Send(to, tag, payload); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wait = func() {
+		wg.Wait()
+		if firstErr != nil {
+			panic(commError{firstErr})
+		}
+	}
+	return send, wait
+}
+
+// Barrier blocks until every rank reaches it (dissemination algorithm:
+// ⌈log2 P⌉ rounds).
+func (c *Comm) Barrier() {
+	p, r := c.Size(), c.Rank()
+	if p == 1 {
+		return
+	}
+	tag := c.nextTag()
+	for k := 1; k < p; k <<= 1 {
+		c.send((r+k)%p, tag+kRound(k), nil)
+		c.Recv((r-k+p)%p, tag+kRound(k))
+	}
+}
+
+func kRound(k int) int {
+	n := 0
+	for k > 1 {
+		k >>= 1
+		n++
+	}
+	return n
+}
+
+// Bcast broadcasts root's data to every rank (binomial tree, ⌈log2 P⌉
+// message depth) and returns the received copy (root returns data itself).
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	p, r := c.Size(), c.Rank()
+	tag := c.nextTag()
+	if p == 1 {
+		return data
+	}
+	vr := (r - root + p) % p
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			src := (r - mask + p) % p
+			_, data = c.Recv(src, tag)
+			break
+		}
+		mask <<= 1
+	}
+	mask >>= 1
+	for mask > 0 {
+		if vr+mask < p {
+			dst := (r + mask) % p
+			c.send(dst, tag, data)
+		}
+		mask >>= 1
+	}
+	return data
+}
+
+// AllGather collects each rank's buffer on every rank. result[i] is rank
+// i's contribution. Power-of-two cluster sizes use recursive doubling
+// (⌈log2 P⌉ rounds — the latency-optimal choice MPI makes for the small
+// payloads PANDA's global build exchanges); other sizes fall back to the
+// ring algorithm (P−1 rounds, bandwidth-optimal).
+func (c *Comm) AllGather(data []byte) [][]byte {
+	p, r := c.Size(), c.Rank()
+	res := make([][]byte, p)
+	res[r] = data
+	if p == 1 {
+		return res
+	}
+	if p&(p-1) == 0 {
+		c.allGatherRecDoubling(res)
+		return res
+	}
+	c.allGatherRing(res)
+	return res
+}
+
+func (c *Comm) allGatherRecDoubling(res [][]byte) {
+	p, r := c.Size(), c.Rank()
+	tag := c.nextTag()
+	step := 0
+	for dist := 1; dist < p; dist <<= 1 {
+		partner := r ^ dist
+		// My window: the block of ranks whose buffers I already hold.
+		myLo := r &^ (dist - 1)
+		payload := encodeBlocks(res, myLo, myLo+dist)
+		send, wait := c.asyncSend()
+		send(partner, tag+step, payload)
+		_, in := c.Recv(partner, tag+step)
+		decodeBlocks(res, in)
+		wait()
+		step++
+	}
+}
+
+func encodeBlocks(res [][]byte, lo, hi int) []byte {
+	size := 4
+	for i := lo; i < hi; i++ {
+		size += 8 + len(res[i])
+	}
+	out := make([]byte, 0, size)
+	out = append(out, byte(hi-lo), byte((hi-lo)>>8), byte((hi-lo)>>16), byte((hi-lo)>>24))
+	for i := lo; i < hi; i++ {
+		out = append(out, byte(i), byte(i>>8), byte(i>>16), byte(i>>24))
+		n := len(res[i])
+		out = append(out, byte(n), byte(n>>8), byte(n>>16), byte(n>>24))
+		out = append(out, res[i]...)
+	}
+	return out
+}
+
+func decodeBlocks(res [][]byte, in []byte) {
+	cnt := int(uint32(in[0]) | uint32(in[1])<<8 | uint32(in[2])<<16 | uint32(in[3])<<24)
+	off := 4
+	for b := 0; b < cnt; b++ {
+		idx := int(uint32(in[off]) | uint32(in[off+1])<<8 | uint32(in[off+2])<<16 | uint32(in[off+3])<<24)
+		n := int(uint32(in[off+4]) | uint32(in[off+5])<<8 | uint32(in[off+6])<<16 | uint32(in[off+7])<<24)
+		off += 8
+		res[idx] = in[off : off+n : off+n]
+		off += n
+	}
+}
+
+func (c *Comm) allGatherRing(res [][]byte) {
+	p, r := c.Size(), c.Rank()
+	tag := c.nextTag()
+	right := (r + 1) % p
+	left := (r - 1 + p) % p
+	sendIdx := r
+	for s := 0; s < p-1; s++ {
+		send, wait := c.asyncSend()
+		send(right, tag+s, res[sendIdx])
+		recvIdx := (r - s - 1 + p) % p
+		_, payload := c.Recv(left, tag+s)
+		res[recvIdx] = payload
+		wait()
+		sendIdx = recvIdx
+	}
+}
+
+// AllToAll delivers bufs[j] to rank j; the result's element i is the buffer
+// rank i addressed to this rank (nil when rank i sent nothing here).
+// bufs[rank] short-circuits locally. The exchange is sparse: empty buffers
+// are never transmitted — a cheap log-P indicator all-reduce tells each
+// rank how many messages to expect, so the latency cost scales with actual
+// traffic rather than P (the way production alltoallv-based codes behave
+// for PANDA's sparse query routing).
+func (c *Comm) AllToAll(bufs [][]byte) [][]byte {
+	p, r := c.Size(), c.Rank()
+	if len(bufs) != p {
+		panic(fmt.Sprintf("cluster: AllToAll needs %d buffers, got %d", p, len(bufs)))
+	}
+	out := make([][]byte, p)
+	out[r] = bufs[r]
+	if p == 1 {
+		return out
+	}
+	ind := make([]int64, p)
+	for j, b := range bufs {
+		if j != r && len(b) > 0 {
+			ind[j] = 1
+		}
+	}
+	incoming := c.AllReduceInt64(ind, "sum")
+	expect := int(incoming[r])
+	tag := c.nextTag()
+	send, wait := c.asyncSend()
+	for s := 1; s < p; s++ {
+		j := (r + s) % p
+		if len(bufs[j]) > 0 {
+			send(j, tag, bufs[j])
+		}
+	}
+	for i := 0; i < expect; i++ {
+		src, payload := c.Recv(transport.Any, tag)
+		if out[src] != nil && src != r {
+			panic(fmt.Sprintf("cluster: duplicate AllToAll message from %d", src))
+		}
+		out[src] = payload
+	}
+	wait()
+	return out
+}
+
+// SendAsync posts a point-to-point send that completes in the background;
+// call the returned wait before reusing or returning. Pairwise exchanges
+// (PANDA's point redistribution) post their send, then receive, then wait —
+// the nonblocking-send/recv/wait idiom that avoids rendezvous deadlock.
+func (c *Comm) SendAsync(to, tag int, payload []byte) (wait func()) {
+	if tag < 0 || tag >= tagCollectiveBase {
+		panic(fmt.Sprintf("cluster: user tag %d out of range", tag))
+	}
+	send, wait := c.asyncSend()
+	send(to, tag, payload)
+	return wait
+}
+
+// AllReduceInt64 element-wise reduces vals across ranks with op
+// ("sum", "min", or "max") and returns the reduced vector on every rank.
+func (c *Comm) AllReduceInt64(vals []int64, op string) []int64 {
+	buf := make([]byte, 0, 8*len(vals))
+	for _, v := range vals {
+		buf = appendInt64(buf, v)
+	}
+	parts := c.AllGather(buf)
+	out := make([]int64, len(vals))
+	first := true
+	for _, part := range parts {
+		if len(part) != 8*len(vals) {
+			panic("cluster: AllReduceInt64 length mismatch across ranks")
+		}
+		for i := range out {
+			v := readInt64(part[8*i:])
+			if first {
+				out[i] = v
+				continue
+			}
+			switch op {
+			case "sum":
+				out[i] += v
+			case "min":
+				if v < out[i] {
+					out[i] = v
+				}
+			case "max":
+				if v > out[i] {
+					out[i] = v
+				}
+			default:
+				panic(fmt.Sprintf("cluster: unknown reduce op %q", op))
+			}
+		}
+		first = false
+	}
+	return out
+}
+
+func appendInt64(b []byte, v int64) []byte {
+	u := uint64(v)
+	return append(b, byte(u), byte(u>>8), byte(u>>16), byte(u>>24),
+		byte(u>>32), byte(u>>40), byte(u>>48), byte(u>>56))
+}
+
+func readInt64(b []byte) int64 {
+	return int64(uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56)
+}
+
+// GroupAllReduceInt64 element-wise sums vals across the contiguous rank
+// group [lo,hi) containing this rank and returns the sum on every group
+// member. It is the group-communicator MPI_Allreduce PANDA's global build
+// uses for histogram reduction: recursive doubling (⌈log2 g⌉ rounds) for
+// power-of-two group sizes, a star through the group's first rank
+// otherwise.
+//
+// Every rank in the cluster must call it at the same point in the SPMD
+// schedule (with its own group bounds) so collective tags stay aligned;
+// singleton groups pass through without communicating. All members of a
+// group must pass equal-length vals.
+func (c *Comm) GroupAllReduceInt64(lo, hi int, vals []int64) []int64 {
+	tag := c.nextTag()
+	g := hi - lo
+	if g <= 1 {
+		return vals
+	}
+	r := c.Rank() - lo
+	if r < 0 || r >= g {
+		panic(fmt.Sprintf("cluster: rank %d outside its group [%d,%d)", c.Rank(), lo, hi))
+	}
+	if g&(g-1) == 0 {
+		out := append([]int64(nil), vals...)
+		step := 0
+		for dist := 1; dist < g; dist <<= 1 {
+			partner := lo + (r ^ dist)
+			send, wait := c.asyncSend()
+			send(partner, tag+step, encodeInt64s(out))
+			_, in := c.Recv(partner, tag+step)
+			other := decodeInt64s(in)
+			if len(other) != len(out) {
+				panic("cluster: GroupAllReduceInt64 length mismatch")
+			}
+			for i := range out {
+				out[i] += other[i]
+			}
+			wait()
+			step++
+		}
+		return out
+	}
+	if r == 0 {
+		out := append([]int64(nil), vals...)
+		for i := 1; i < g; i++ {
+			_, in := c.Recv(transport.Any, tag)
+			other := decodeInt64s(in)
+			if len(other) != len(out) {
+				panic("cluster: GroupAllReduceInt64 length mismatch")
+			}
+			for j := range out {
+				out[j] += other[j]
+			}
+		}
+		payload := encodeInt64s(out)
+		for i := 1; i < g; i++ {
+			c.send(lo+i, tag+1, payload)
+		}
+		return out
+	}
+	c.send(lo, tag, encodeInt64s(vals))
+	_, in := c.Recv(lo, tag+1)
+	return decodeInt64s(in)
+}
+
+func encodeInt64s(vals []int64) []byte {
+	out := make([]byte, 0, 8*len(vals))
+	for _, v := range vals {
+		out = appendInt64(out, v)
+	}
+	return out
+}
+
+func decodeInt64s(b []byte) []int64 {
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = readInt64(b[8*i:])
+	}
+	return out
+}
+
+// Gather collects every rank's buffer at root; non-root ranks return nil.
+func (c *Comm) Gather(root int, data []byte) [][]byte {
+	p, r := c.Size(), c.Rank()
+	tag := c.nextTag()
+	if r != root {
+		c.send(root, tag, data)
+		return nil
+	}
+	out := make([][]byte, p)
+	out[r] = data
+	for i := 0; i < p-1; i++ {
+		src, payload := c.Recv(transport.Any, tag)
+		out[src] = payload
+	}
+	return out
+}
+
+// Run executes fn as an SPMD program over p in-process ranks, each with the
+// given simulated thread count, and returns the per-rank recorders for
+// simulated-time aggregation. A panic or error in any rank shuts the fabric
+// down and is reported; other ranks then fail fast on their next
+// communication.
+func Run(p, threads int, fn func(c *Comm) error) ([]*simtime.Recorder, error) {
+	if p < 1 {
+		return nil, errors.New("cluster: need at least one rank")
+	}
+	if p > tagStride {
+		return nil, fmt.Errorf("cluster: %d ranks exceeds the %d-rank tag space", p, tagStride)
+	}
+	net := transport.NewNetwork(p)
+	defer net.Close()
+	recs := make([]*simtime.Recorder, p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for r := 0; r < p; r++ {
+		recs[r] = simtime.NewRecorder(threads)
+		comm := New(net.Endpoint(r), recs[r])
+		wg.Add(1)
+		go func(r int, comm *Comm) {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					if ce, ok := v.(commError); ok {
+						errs[r] = fmt.Errorf("rank %d: %w", r, ce.err)
+					} else {
+						buf := make([]byte, 8192)
+						buf = buf[:runtime.Stack(buf, false)]
+						errs[r] = fmt.Errorf("rank %d panicked: %v\n%s", r, v, buf)
+					}
+					net.Close() // unblock peers
+				}
+			}()
+			errs[r] = fn(comm)
+			if errs[r] != nil {
+				net.Close() // fail fast: peers error out of pending recvs
+			}
+		}(r, comm)
+	}
+	wg.Wait()
+	return recs, errors.Join(errs...)
+}

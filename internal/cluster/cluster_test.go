@@ -1,0 +1,406 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"panda/internal/simtime"
+	"panda/internal/transport"
+)
+
+func TestRunSingleRank(t *testing.T) {
+	ran := false
+	_, err := Run(1, 1, func(c *Comm) error {
+		ran = true
+		if c.Rank() != 0 || c.Size() != 1 {
+			t.Errorf("rank=%d size=%d", c.Rank(), c.Size())
+		}
+		c.Barrier()
+		out := c.Bcast(0, []byte("x"))
+		if string(out) != "x" {
+			t.Error("single-rank bcast")
+		}
+		return nil
+	})
+	if err != nil || !ran {
+		t.Fatalf("err=%v ran=%v", err, ran)
+	}
+}
+
+func TestSendRecvAcrossRanks(t *testing.T) {
+	_, err := Run(2, 1, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 5, []byte("ping"))
+			_, reply := c.Recv(1, 6)
+			if string(reply) != "pong" {
+				return fmt.Errorf("reply = %q", reply)
+			}
+		} else {
+			_, msg := c.Recv(0, 5)
+			if string(msg) != "ping" {
+				return fmt.Errorf("msg = %q", msg)
+			}
+			c.Send(0, 6, []byte("pong"))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	for _, p := range []int{2, 3, 7, 8} {
+		var before, after int32
+		_, err := Run(p, 1, func(c *Comm) error {
+			atomic.AddInt32(&before, 1)
+			c.Barrier()
+			if n := atomic.LoadInt32(&before); int(n) != p {
+				return fmt.Errorf("rank %d passed barrier with only %d arrivals", c.Rank(), n)
+			}
+			atomic.AddInt32(&after, 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if int(after) != p {
+			t.Fatalf("p=%d: after=%d", p, after)
+		}
+	}
+}
+
+func TestBcastAllRootsAllSizes(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		for root := 0; root < p; root++ {
+			_, err := Run(p, 1, func(c *Comm) error {
+				var data []byte
+				if c.Rank() == root {
+					data = []byte(fmt.Sprintf("payload-from-%d", root))
+				}
+				got := c.Bcast(root, data)
+				want := fmt.Sprintf("payload-from-%d", root)
+				if string(got) != want {
+					return fmt.Errorf("rank %d got %q", c.Rank(), got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("p=%d root=%d: %v", p, root, err)
+			}
+		}
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	for _, p := range []int{1, 2, 4, 5, 9} {
+		_, err := Run(p, 1, func(c *Comm) error {
+			mine := []byte(fmt.Sprintf("r%d", c.Rank()))
+			all := c.AllGather(mine)
+			if len(all) != p {
+				return fmt.Errorf("got %d parts", len(all))
+			}
+			for i, part := range all {
+				if string(part) != fmt.Sprintf("r%d", i) {
+					return fmt.Errorf("part %d = %q", i, part)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAllGatherVariableSizes(t *testing.T) {
+	_, err := Run(4, 1, func(c *Comm) error {
+		mine := make([]byte, c.Rank()*100) // including empty for rank 0
+		for i := range mine {
+			mine[i] = byte(c.Rank())
+		}
+		all := c.AllGather(mine)
+		for i, part := range all {
+			if len(part) != i*100 {
+				return fmt.Errorf("part %d len = %d", i, len(part))
+			}
+			for _, b := range part {
+				if b != byte(i) {
+					return fmt.Errorf("part %d corrupted", i)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	for _, p := range []int{1, 2, 3, 6} {
+		_, err := Run(p, 1, func(c *Comm) error {
+			bufs := make([][]byte, p)
+			for j := range bufs {
+				bufs[j] = []byte(fmt.Sprintf("%d->%d", c.Rank(), j))
+			}
+			out := c.AllToAll(bufs)
+			for i, part := range out {
+				want := fmt.Sprintf("%d->%d", i, c.Rank())
+				if string(part) != want {
+					return fmt.Errorf("from %d: %q want %q", i, part, want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAllToAllConservation(t *testing.T) {
+	// Property: total bytes in == total bytes out across the cluster.
+	const p = 5
+	var sent, recvd int64
+	_, err := Run(p, 1, func(c *Comm) error {
+		bufs := make([][]byte, p)
+		for j := range bufs {
+			bufs[j] = make([]byte, (c.Rank()*7+j*13)%50)
+			atomic.AddInt64(&sent, int64(len(bufs[j])))
+		}
+		out := c.AllToAll(bufs)
+		for _, part := range out {
+			atomic.AddInt64(&recvd, int64(len(part)))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent != recvd {
+		t.Fatalf("sent %d != received %d", sent, recvd)
+	}
+}
+
+func TestAllReduceInt64(t *testing.T) {
+	const p = 4
+	_, err := Run(p, 1, func(c *Comm) error {
+		vals := []int64{int64(c.Rank()), int64(c.Rank() * 10), 1}
+		sum := c.AllReduceInt64(vals, "sum")
+		if sum[0] != 6 || sum[1] != 60 || sum[2] != 4 {
+			return fmt.Errorf("sum = %v", sum)
+		}
+		mn := c.AllReduceInt64(vals, "min")
+		if mn[0] != 0 || mn[2] != 1 {
+			return fmt.Errorf("min = %v", mn)
+		}
+		mx := c.AllReduceInt64(vals, "max")
+		if mx[0] != 3 || mx[1] != 30 {
+			return fmt.Errorf("max = %v", mx)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGather(t *testing.T) {
+	const p = 4
+	_, err := Run(p, 1, func(c *Comm) error {
+		out := c.Gather(2, []byte{byte(c.Rank() * 3)})
+		if c.Rank() != 2 {
+			if out != nil {
+				return errors.New("non-root got data")
+			}
+			return nil
+		}
+		for i, part := range out {
+			if len(part) != 1 || part[0] != byte(i*3) {
+				return fmt.Errorf("part %d = %v", i, part)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectivesCompose(t *testing.T) {
+	// Interleave different collectives to verify tag isolation.
+	const p = 4
+	_, err := Run(p, 1, func(c *Comm) error {
+		for round := 0; round < 10; round++ {
+			c.Barrier()
+			v := c.Bcast(round%p, []byte{byte(round)})
+			if v[0] != byte(round) {
+				return fmt.Errorf("round %d bcast = %v", round, v)
+			}
+			all := c.AllGather([]byte{byte(c.Rank())})
+			for i := range all {
+				if all[i][0] != byte(i) {
+					return fmt.Errorf("round %d allgather", round)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	_, err := Run(3, 1, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return errors.New("boom")
+		}
+		c.Barrier()
+		return nil
+	})
+	if err == nil {
+		t.Fatal("rank error not propagated")
+	}
+}
+
+func TestRunRecoversPanics(t *testing.T) {
+	_, err := Run(3, 1, func(c *Comm) error {
+		if c.Rank() == 2 {
+			panic("deliberate")
+		}
+		// Other ranks block on a recv that will never be satisfied; the
+		// panic must shut the fabric down and unblock them.
+		c.Recv(2, 1)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("panic not converted to error")
+	}
+}
+
+func TestRunRejectsBadSizes(t *testing.T) {
+	if _, err := Run(0, 1, func(*Comm) error { return nil }); err == nil {
+		t.Fatal("p=0 accepted")
+	}
+	if _, err := Run(tagStride+1, 1, func(*Comm) error { return nil }); err == nil {
+		t.Fatal("oversized cluster accepted")
+	}
+}
+
+func TestUserTagRangeEnforced(t *testing.T) {
+	_, err := Run(1, 1, func(c *Comm) error {
+		defer func() { recover() }()
+		c.Send(0, tagCollectiveBase, nil)
+		return errors.New("tag not rejected")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommMetering(t *testing.T) {
+	recs, err := Run(2, 2, func(c *Comm) error {
+		c.Phase("talk")
+		if c.Rank() == 0 {
+			c.Send(1, 1, make([]byte, 1000))
+		} else {
+			c.Recv(0, 1)
+		}
+		c.Meter(0).Add(simtime.KDist, 500)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p0 := recs[0].Get("talk")
+	if p0.Msgs != 1 || p0.Bytes != 1000 {
+		t.Fatalf("sender comm meter: msgs=%d bytes=%d", p0.Msgs, p0.Bytes)
+	}
+	p1 := recs[1].Get("talk")
+	if p1.Msgs != 0 || p1.Bytes != 1000 {
+		t.Fatalf("receiver comm meter: msgs=%d bytes=%d", p1.Msgs, p1.Bytes)
+	}
+	if p0.Thread(0).Units(simtime.KDist) != 500 {
+		t.Fatal("thread meter lost units")
+	}
+}
+
+func TestBarrierMessageCountIsLogarithmic(t *testing.T) {
+	// Dissemination barrier: each rank sends ⌈log2 P⌉ messages. This is
+	// what keeps modeled barrier cost growing as log P, matching MPI.
+	for _, p := range []int{4, 16} {
+		recs, err := Run(p, 1, func(c *Comm) error {
+			c.Phase("barrier")
+			c.Barrier()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLog := 0
+		for k := 1; k < p; k <<= 1 {
+			wantLog++
+		}
+		for r, rec := range recs {
+			if got := rec.Get("barrier").Msgs; int(got) != wantLog {
+				t.Fatalf("p=%d rank %d sent %d messages, want %d", p, r, got, wantLog)
+			}
+		}
+	}
+}
+
+func TestCommOverTCPTransport(t *testing.T) {
+	// The Comm layer must work identically over the TCP fabric.
+	lnA, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lnB, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{lnA.Addr().String(), lnB.Addr().String()}
+	done := make(chan error, 2)
+	run := func(rank int, ln interface{}) {
+		var tr transport.Transport
+		var err error
+		if rank == 0 {
+			tr, err = transport.NewTCP(0, lnA, addrs)
+		} else {
+			tr, err = transport.NewTCP(1, lnB, addrs)
+		}
+		if err != nil {
+			done <- err
+			return
+		}
+		defer tr.Close()
+		c := New(tr, simtime.NewRecorder(1))
+		defer func() {
+			if v := recover(); v != nil {
+				done <- fmt.Errorf("rank %d: %v", rank, v)
+			}
+		}()
+		got := c.Bcast(0, []byte("tcp-bcast"))
+		if string(got) != "tcp-bcast" {
+			done <- fmt.Errorf("rank %d bcast got %q", rank, got)
+			return
+		}
+		all := c.AllGather([]byte{byte(rank)})
+		if all[0][0] != 0 || all[1][0] != 1 {
+			done <- fmt.Errorf("rank %d allgather got %v", rank, all)
+			return
+		}
+		done <- nil
+	}
+	go run(0, lnA)
+	go run(1, lnB)
+	for i := 0; i < 2; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestGroupAllReduceWholeCluster(t *testing.T) {
+	for _, p := range []int{2, 4, 8} {
+		_, err := Run(p, 1, func(c *Comm) error {
+			vals := []int64{int64(c.Rank()), 1, int64(c.Rank() * c.Rank())}
+			out := c.GroupAllReduceInt64(0, p, vals)
+			wantSum := int64(p * (p - 1) / 2)
+			var wantSq int64
+			for r := 0; r < p; r++ {
+				wantSq += int64(r * r)
+			}
+			if out[0] != wantSum || out[1] != int64(p) || out[2] != wantSq {
+				return fmt.Errorf("rank %d: %v", c.Rank(), out)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestGroupAllReduceDisjointGroups(t *testing.T) {
+	// Two concurrent groups: [0,2) and [2,6). Every rank participates at
+	// the same schedule point with its own group bounds.
+	_, err := Run(6, 1, func(c *Comm) error {
+		lo, hi := 0, 2
+		if c.Rank() >= 2 {
+			lo, hi = 2, 6
+		}
+		out := c.GroupAllReduceInt64(lo, hi, []int64{1})
+		want := int64(hi - lo)
+		if out[0] != want {
+			return fmt.Errorf("rank %d: group count %d, want %d", c.Rank(), out[0], want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupAllReduceNonPowerOfTwoGroup(t *testing.T) {
+	// Group of 3 exercises the star fallback.
+	_, err := Run(3, 1, func(c *Comm) error {
+		out := c.GroupAllReduceInt64(0, 3, []int64{int64(c.Rank() + 1)})
+		if out[0] != 6 {
+			return fmt.Errorf("rank %d: %v", c.Rank(), out)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupAllReduceSingleton(t *testing.T) {
+	_, err := Run(2, 1, func(c *Comm) error {
+		lo, hi := c.Rank(), c.Rank()+1
+		out := c.GroupAllReduceInt64(lo, hi, []int64{42})
+		if out[0] != 42 {
+			return fmt.Errorf("singleton reduce mutated value: %v", out)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupAllReduceOutsideGroupPanics(t *testing.T) {
+	_, err := Run(3, 1, func(c *Comm) error {
+		if c.Rank() == 0 {
+			defer func() { recover() }()
+			c.GroupAllReduceInt64(1, 3, []int64{1}) // rank 0 not in [1,3)
+			return fmt.Errorf("out-of-group call did not panic")
+		}
+		// Ranks 1 and 2 form the real group and must still complete.
+		out := c.GroupAllReduceInt64(1, 3, []int64{1})
+		if out[0] != 2 {
+			return fmt.Errorf("rank %d: %v", c.Rank(), out)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllGatherRecursiveDoublingMessageCount(t *testing.T) {
+	// Power-of-two sizes must use recursive doubling: log2(P) messages
+	// per rank, not P-1 — the property that keeps modeled global-build
+	// latency at MPI scale.
+	for _, p := range []int{4, 16} {
+		recs, err := Run(p, 1, func(c *Comm) error {
+			c.Phase("ag")
+			c.AllGather([]byte{byte(c.Rank())})
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLog := 0
+		for k := 1; k < p; k <<= 1 {
+			wantLog++
+		}
+		for r, rec := range recs {
+			if got := rec.Get("ag").Msgs; int(got) != wantLog {
+				t.Fatalf("p=%d rank %d: %d messages, want %d", p, r, got, wantLog)
+			}
+		}
+	}
+}
+
+func TestAllGatherRingForNonPowerOfTwo(t *testing.T) {
+	// Non-power-of-two sizes fall back to the ring: P-1 messages.
+	const p = 5
+	recs, err := Run(p, 1, func(c *Comm) error {
+		c.Phase("ag")
+		c.AllGather([]byte{byte(c.Rank())})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, rec := range recs {
+		if got := rec.Get("ag").Msgs; got != p-1 {
+			t.Fatalf("rank %d: %d messages, want %d", r, got, p-1)
+		}
+	}
+}
+
+func TestAllToAllSparseSkipsEmptyBuffers(t *testing.T) {
+	// Only non-empty buffers travel; the latency cost scales with actual
+	// traffic. With a single non-empty message, each rank's alltoall
+	// message count is the indicator-allreduce log term plus at most one.
+	const p = 8
+	recs, err := Run(p, 1, func(c *Comm) error {
+		c.Phase("a2a")
+		bufs := make([][]byte, p)
+		if c.Rank() == 0 {
+			bufs[3] = []byte("x") // single message in the whole exchange
+		}
+		out := c.AllToAll(bufs)
+		if c.Rank() == 3 {
+			if string(out[0]) != "x" {
+				return fmt.Errorf("rank 3 missing payload")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 1 sends nothing in the sparse phase: only the indicator
+	// allreduce messages (log2 8 = 3 via recursive doubling allgather).
+	if got := recs[1].Get("a2a").Msgs; got > 4 {
+		t.Fatalf("idle rank sent %d messages; sparse exchange is not sparse", got)
+	}
+}
+
+func TestSendAsyncCompletes(t *testing.T) {
+	_, err := Run(2, 1, func(c *Comm) error {
+		if c.Rank() == 0 {
+			wait := c.SendAsync(1, 9, []byte("hello"))
+			wait()
+		} else {
+			_, b := c.Recv(0, 9)
+			if string(b) != "hello" {
+				return fmt.Errorf("got %q", b)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendAsyncRejectsCollectiveTags(t *testing.T) {
+	_, err := Run(1, 1, func(c *Comm) error {
+		defer func() { recover() }()
+		c.SendAsync(0, tagCollectiveBase+1, nil)
+		return fmt.Errorf("collective tag accepted")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,191 @@
+// Package core implements PANDA itself: the fully distributed kd-tree —
+// global partition tree over cluster ranks plus per-rank local kd-trees —
+// and the distributed KNN query engine of §III-B (owner routing, batched
+// local KNN, r'-pruned remote fan-out, top-k merge).
+package core
+
+import (
+	"fmt"
+
+	"panda/internal/geom"
+	"panda/internal/simtime"
+)
+
+// GlobalNode is one node of the global partition tree. Leaves carry the
+// owning rank; internal nodes the split plane. Every rank holds an identical
+// replica ("every node has a copy of the global kd-tree structure", §III-B
+// step 1), which is what makes owner lookup and remote-rank identification
+// purely local operations.
+type GlobalNode struct {
+	Dim    int32   // split dimension; -1 for leaf
+	Median float32 // split value: coords < Median go left
+	Left   int32   // child index (internal nodes)
+	Right  int32
+	Rank   int32 // owning rank (leaves)
+}
+
+// GlobalTree is the replicated top of the distributed kd-tree: log2(P)
+// levels partitioning the domain among P ranks into non-overlapping
+// half-open boxes.
+type GlobalTree struct {
+	Nodes []GlobalNode
+	Dims  int
+	// Boxes[r] is rank r's domain (derived from the split planes; used by
+	// tests and the public API for introspection).
+	Boxes []geom.Box
+
+	root int32
+}
+
+// split records one group split during the distributed build.
+type split struct {
+	dim    int32
+	median float32
+}
+
+// buildGlobalTree assembles the replicated tree from the per-group splits
+// collected during construction. splits is keyed by rank-group [lo,hi).
+func buildGlobalTree(p, dims int, splits map[[2]int]split) (*GlobalTree, error) {
+	g := &GlobalTree{Dims: dims, Boxes: make([]geom.Box, p)}
+	var build func(lo, hi int, box geom.Box) (int32, error)
+	build = func(lo, hi int, box geom.Box) (int32, error) {
+		idx := int32(len(g.Nodes))
+		g.Nodes = append(g.Nodes, GlobalNode{})
+		if hi-lo == 1 {
+			g.Nodes[idx] = GlobalNode{Dim: -1, Rank: int32(lo)}
+			g.Boxes[lo] = box
+			return idx, nil
+		}
+		s, ok := splits[[2]int{lo, hi}]
+		if !ok {
+			return 0, fmt.Errorf("core: missing global split for rank group [%d,%d)", lo, hi)
+		}
+		mid := lo + (hi-lo)/2
+		loBox, hiBox := box.Split(int(s.dim), s.median)
+		l, err := build(lo, mid, loBox)
+		if err != nil {
+			return 0, err
+		}
+		r, err := build(mid, hi, hiBox)
+		if err != nil {
+			return 0, err
+		}
+		g.Nodes[idx] = GlobalNode{Dim: s.dim, Median: s.median, Left: l, Right: r}
+		return idx, nil
+	}
+	root, err := build(0, p, geom.NewBox(dims))
+	if err != nil {
+		return nil, err
+	}
+	g.root = root
+	return g, nil
+}
+
+// Ranks returns the number of leaf ranks.
+func (g *GlobalTree) Ranks() int { return len(g.Boxes) }
+
+// Levels returns the depth of the global tree (log2 P for power-of-two P).
+func (g *GlobalTree) Levels() int {
+	var depth func(ni int32) int
+	depth = func(ni int32) int {
+		n := g.Nodes[ni]
+		if n.Dim < 0 {
+			return 0
+		}
+		l, r := depth(n.Left), depth(n.Right)
+		if r > l {
+			l = r
+		}
+		return 1 + l
+	}
+	return depth(g.root)
+}
+
+// Owner returns the rank whose domain contains q (§III-B step 1: "traverse
+// the global kd-tree to identify the node that owns the domain containing
+// the query"). Domains are half-open, so ownership is unique. meter, when
+// non-nil, is charged one node visit per level.
+func (g *GlobalTree) Owner(q []float32, meter *simtime.Meter) int {
+	ni := g.root
+	visits := int64(0)
+	for {
+		n := g.Nodes[ni]
+		visits++
+		if n.Dim < 0 {
+			if meter != nil {
+				meter.Add(simtime.KNodeVisit, visits)
+			}
+			return int(n.Rank)
+		}
+		if q[n.Dim] < n.Median {
+			ni = n.Left
+		} else {
+			ni = n.Right
+		}
+	}
+}
+
+// RanksWithin appends to out every rank (≠ exclude) whose domain intersects
+// the ball of squared radius r2 around q — §III-B step 3: "use the r' bound
+// and the global kd-tree to identify which other nodes are within r'
+// distance from the query". The traversal prunes with the same incremental
+// per-dimension bound the local query kernel uses.
+func (g *GlobalTree) RanksWithin(q []float32, r2 float32, exclude int, meter *simtime.Meter, out []int) []int {
+	var visits int64
+	var walk func(ni int32, d2 float32, off []float32)
+	off := make([]float32, g.Dims)
+	walk = func(ni int32, d2 float32, off []float32) {
+		if d2 > r2 {
+			return
+		}
+		n := g.Nodes[ni]
+		visits++
+		if n.Dim < 0 {
+			if int(n.Rank) != exclude {
+				out = append(out, int(n.Rank))
+			}
+			return
+		}
+		dim := int(n.Dim)
+		o := q[dim] - n.Median
+		var closer, far int32
+		if o < 0 {
+			closer, far = n.Left, n.Right
+		} else {
+			closer, far = n.Right, n.Left
+		}
+		walk(closer, d2, off)
+		old := off[dim]
+		farD2 := d2 - old*old + o*o
+		if farD2 <= r2 {
+			off[dim] = o
+			walk(far, farD2, off)
+			off[dim] = old
+		}
+	}
+	walk(g.root, 0, off)
+	if meter != nil {
+		meter.Add(simtime.KNodeVisit, visits)
+	}
+	return out
+}
+
+// Validate checks structural invariants: every rank appears in exactly one
+// leaf, and every box point maps back to its rank via Owner.
+func (g *GlobalTree) Validate() error {
+	seen := make([]int, g.Ranks())
+	for _, n := range g.Nodes {
+		if n.Dim < 0 {
+			if int(n.Rank) >= len(seen) || n.Rank < 0 {
+				return fmt.Errorf("core: leaf rank %d out of range", n.Rank)
+			}
+			seen[n.Rank]++
+		}
+	}
+	for r, c := range seen {
+		if c != 1 {
+			return fmt.Errorf("core: rank %d appears in %d leaves", r, c)
+		}
+	}
+	return nil
+}

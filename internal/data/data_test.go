@@ -1,0 +1,283 @@
+package data
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	a = NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 equal values", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestRNGFloat64Uniformity(t *testing.T) {
+	r := NewRNG(2)
+	const n = 100000
+	var sum float64
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		sum += v
+		buckets[int(v*10)]++
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean = %v, want ~0.5", mean)
+	}
+	for i, c := range buckets {
+		if c < n/10-n/50 || c > n/10+n/50 {
+			t.Fatalf("bucket %d count %d far from uniform", i, c)
+		}
+	}
+}
+
+func TestRNGNormMoments(t *testing.T) {
+	r := NewRNG(3)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %v", variance)
+	}
+}
+
+func TestRNGPowerLawBounds(t *testing.T) {
+	r := NewRNG(4)
+	for i := 0; i < 10000; i++ {
+		v := r.PowerLaw(1.9, 1, 1000)
+		if v < 1-1e-9 || v > 1000+1e-6 {
+			t.Fatalf("power law out of bounds: %v", v)
+		}
+	}
+}
+
+func TestRNGIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGShuffleIsPermutation(t *testing.T) {
+	r := NewRNG(5)
+	n := 100
+	vals := make([]int, n)
+	for i := range vals {
+		vals[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	seen := make([]bool, n)
+	for _, v := range vals {
+		if seen[v] {
+			t.Fatal("shuffle duplicated a value")
+		}
+		seen[v] = true
+	}
+}
+
+func TestUniformShapeAndRange(t *testing.T) {
+	d := Uniform(1000, 3, 1)
+	if d.Points.Len() != 1000 || d.Points.Dims != 3 {
+		t.Fatalf("shape %d x %d", d.Points.Len(), d.Points.Dims)
+	}
+	for _, v := range d.Points.Coords {
+		if v < 0 || v >= 1 {
+			t.Fatalf("uniform coord out of range: %v", v)
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	for _, name := range []string{"uniform", "gaussian", "cosmo", "plasma", "dayabay", "sdss10", "sdss15"} {
+		a, err := ByName(name, 500, 99)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := ByName(name, 500, 99)
+		for i := range a.Points.Coords {
+			if a.Points.Coords[i] != b.Points.Coords[i] {
+				t.Fatalf("%s: not deterministic at coord %d", name, i)
+			}
+		}
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nope", 10, 1); err == nil {
+		t.Fatal("unknown dataset must error")
+	}
+}
+
+// clusteringRatio measures spatial clustering: the fraction of a uniform
+// grid's cells that are empty. Clustered data leaves many more cells empty
+// than uniform data at equal density.
+func clusteringRatio(coords []float32, dims, n int) float64 {
+	const g = 16
+	cells := make(map[int]bool)
+	for i := 0; i < n; i++ {
+		key := 0
+		for d := 0; d < dims && d < 3; d++ {
+			c := int(coords[i*dims+d] * g)
+			if c >= g {
+				c = g - 1
+			}
+			if c < 0 {
+				c = 0
+			}
+			key = key*g + c
+		}
+		cells[key] = true
+	}
+	total := 1
+	for d := 0; d < dims && d < 3; d++ {
+		total *= g
+	}
+	return 1 - float64(len(cells))/float64(total)
+}
+
+func TestCosmoIsClustered(t *testing.T) {
+	n := 40000
+	cosmo := Cosmo(n, 7)
+	uni := Uniform(n, 3, 7)
+	cRatio := clusteringRatio(cosmo.Points.Coords, 3, n)
+	uRatio := clusteringRatio(uni.Points.Coords, 3, n)
+	// With 40K points in 4096 cells uniform fills nearly everything.
+	if cRatio < uRatio+0.1 {
+		t.Fatalf("cosmo empty-cell ratio %v not clearly above uniform %v", cRatio, uRatio)
+	}
+	// All coords in unit box.
+	for _, v := range cosmo.Points.Coords {
+		if v < 0 || v >= 1 {
+			t.Fatalf("cosmo coord out of unit box: %v", v)
+		}
+	}
+}
+
+func TestPlasmaConcentratesNearSheet(t *testing.T) {
+	n := 20000
+	d := Plasma(n, 11)
+	near := 0
+	for i := 0; i < n; i++ {
+		z := d.Points.Coord(i, 2)
+		if z > 0.35 && z < 0.65 {
+			near++
+		}
+	}
+	// >=70% of particles within the central 30% slab (uniform would be 30%).
+	if frac := float64(near) / float64(n); frac < 0.7 {
+		t.Fatalf("plasma sheet concentration = %v, want >= 0.7", frac)
+	}
+}
+
+func TestDayaBayLabelsAndShape(t *testing.T) {
+	n := 5000
+	d := DayaBay(n, 13)
+	if d.Points.Dims != 10 {
+		t.Fatalf("dayabay dims = %d", d.Points.Dims)
+	}
+	if len(d.Labels) != n {
+		t.Fatalf("labels len = %d", len(d.Labels))
+	}
+	counts := [3]int{}
+	for _, l := range d.Labels {
+		if l > 2 {
+			t.Fatalf("label out of range: %d", l)
+		}
+		counts[l]++
+	}
+	for c, cnt := range counts {
+		if cnt == 0 {
+			t.Fatalf("class %d empty", c)
+		}
+	}
+	// Class 0 has the largest prior.
+	if !(counts[0] > counts[1] && counts[1] > counts[2]) {
+		t.Fatalf("class priors not ordered: %v", counts)
+	}
+}
+
+func TestDayaBayCoLocation(t *testing.T) {
+	// The paper's key observation: Daya Bay records are heavily co-located.
+	// With far more records than templates, many records must be nearly
+	// identical. Verify via duplicate detection on a coarse quantization.
+	n := 20000
+	d := DayaBayWith(n, 17, DayaBayOptions{Templates: 512, Jitter: 0.001, ClassSep: 1.35})
+	seen := make(map[string]int)
+	buf := make([]byte, 0, 40)
+	for i := 0; i < n; i++ {
+		buf = buf[:0]
+		for _, v := range d.Points.At(i) {
+			q := int16(v * 50)
+			buf = append(buf, byte(q), byte(q>>8))
+		}
+		seen[string(buf)]++
+	}
+	if len(seen) > n/4 {
+		t.Fatalf("expected heavy co-location; got %d distinct cells for %d records", len(seen), n)
+	}
+}
+
+func TestSDSSCorrelatedBands(t *testing.T) {
+	n := 10000
+	d := SDSS(n, 10, 19)
+	if d.Name != "psf_mod_mag" {
+		t.Fatalf("name = %s", d.Name)
+	}
+	if d15 := SDSS(10, 15, 1); d15.Name != "all_mag" {
+		t.Fatalf("15-dim name = %s", d15.Name)
+	}
+	// Bands share the base brightness -> strong cross-dim correlation.
+	var sx, sy, sxx, syy, sxy float64
+	for i := 0; i < n; i++ {
+		x := float64(d.Points.Coord(i, 0))
+		y := float64(d.Points.Coord(i, 9))
+		sx += x
+		sy += y
+		sxx += x * x
+		syy += y * y
+		sxy += x * y
+	}
+	nf := float64(n)
+	cov := sxy/nf - (sx/nf)*(sy/nf)
+	vx := sxx/nf - (sx/nf)*(sx/nf)
+	vy := syy/nf - (sy/nf)*(sy/nf)
+	corr := cov / math.Sqrt(vx*vy)
+	if corr < 0.9 {
+		t.Fatalf("band correlation = %v, want > 0.9", corr)
+	}
+}

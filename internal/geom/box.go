@@ -1,0 +1,96 @@
+package geom
+
+import "math"
+
+// Box is an axis-aligned bounding box in Dims dimensions. Min and Max have
+// equal length. A Box is the geometric domain owned by a kd-tree node (and,
+// at the global level, by a cluster rank); distributed query routing prunes
+// remote ranks whose Box is farther than the current kth-neighbor bound r'.
+type Box struct {
+	Min []float32
+	Max []float32
+}
+
+// NewBox returns an "infinite" box of the given dimensionality, suitable as
+// the root domain before any splits.
+func NewBox(dims int) Box {
+	b := Box{Min: make([]float32, dims), Max: make([]float32, dims)}
+	for i := range b.Min {
+		b.Min[i] = float32(math.Inf(-1))
+		b.Max[i] = float32(math.Inf(1))
+	}
+	return b
+}
+
+// BoundingBox returns the tight bounding box of the points in [0, p.Len()).
+// For an empty set it returns an inverted (empty) box.
+func BoundingBox(p Points) Box {
+	mins, maxs := p.MinMax(0, p.Len())
+	if mins == nil {
+		b := NewBox(p.Dims)
+		b.Min, b.Max = b.Max, b.Min // inverted: empty
+		return b
+	}
+	return Box{Min: mins, Max: maxs}
+}
+
+// Clone deep-copies the box.
+func (b Box) Clone() Box {
+	mn := make([]float32, len(b.Min))
+	mx := make([]float32, len(b.Max))
+	copy(mn, b.Min)
+	copy(mx, b.Max)
+	return Box{Min: mn, Max: mx}
+}
+
+// Dims returns the dimensionality of the box.
+func (b Box) Dims() int { return len(b.Min) }
+
+// Contains reports whether point q lies inside the half-open box
+// [Min, Max): lower bounds inclusive, upper bounds exclusive except for
+// +Inf. Half-open domains make ownership unambiguous: splitting a box at v
+// produces [min,v) and [v,max), so every point has exactly one owner.
+func (b Box) Contains(q []float32) bool {
+	for i, v := range q {
+		if v < b.Min[i] {
+			return false
+		}
+		if v >= b.Max[i] && !math.IsInf(float64(b.Max[i]), 1) {
+			return false
+		}
+	}
+	return true
+}
+
+// Split cuts the box along dimension dim at value v, returning the lower
+// half [Min, v) and upper half [v, Max) along dim.
+func (b Box) Split(dim int, v float32) (lo, hi Box) {
+	lo = b.Clone()
+	hi = b.Clone()
+	lo.Max[dim] = v
+	hi.Min[dim] = v
+	return lo, hi
+}
+
+// Dist2To returns the squared distance from point q to the box (0 when q is
+// inside). This is the bound PANDA uses to decide whether a remote rank or
+// a far subtree can possibly hold a neighbor closer than r'.
+func (b Box) Dist2To(q []float32) float32 {
+	var s float32
+	for i, v := range q {
+		if v < b.Min[i] {
+			d := b.Min[i] - v
+			s += d * d
+		} else if v > b.Max[i] {
+			d := v - b.Max[i]
+			s += d * d
+		}
+	}
+	return s
+}
+
+// Intersects reports whether the ball centered at q with squared radius r2
+// intersects the box.
+func (b Box) Intersects(q []float32, r2 float32) bool {
+	return b.Dist2To(q) <= r2
+}

@@ -1,0 +1,283 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPointsShape(t *testing.T) {
+	p := NewPoints(5, 3)
+	if p.Len() != 5 || p.Dims != 3 || len(p.Coords) != 15 {
+		t.Fatalf("got len=%d dims=%d coords=%d", p.Len(), p.Dims, len(p.Coords))
+	}
+}
+
+func TestNewPointsPanicsOnBadShape(t *testing.T) {
+	for _, tc := range []struct{ n, dims int }{{-1, 3}, {4, 0}, {4, -2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewPoints(%d,%d) did not panic", tc.n, tc.dims)
+				}
+			}()
+			NewPoints(tc.n, tc.dims)
+		}()
+	}
+}
+
+func TestFromCoordsValidates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromCoords with misaligned length did not panic")
+		}
+	}()
+	FromCoords(make([]float32, 7), 3)
+}
+
+func TestAtAndSetAt(t *testing.T) {
+	p := NewPoints(3, 2)
+	p.SetAt(1, []float32{4, 5})
+	if got := p.At(1); got[0] != 4 || got[1] != 5 {
+		t.Fatalf("At(1) = %v", got)
+	}
+	if p.Coord(1, 1) != 5 {
+		t.Fatalf("Coord(1,1) = %v", p.Coord(1, 1))
+	}
+	// At must alias the backing array.
+	p.At(1)[0] = 9
+	if p.Coord(1, 0) != 9 {
+		t.Fatal("At does not alias backing array")
+	}
+}
+
+func TestSliceSharesBacking(t *testing.T) {
+	p := NewPoints(4, 3)
+	s := p.Slice(1, 3)
+	if s.Len() != 2 {
+		t.Fatalf("slice len = %d", s.Len())
+	}
+	s.At(0)[2] = 7
+	if p.Coord(1, 2) != 7 {
+		t.Fatal("Slice does not share backing array")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := NewPoints(2, 2)
+	p.SetAt(0, []float32{1, 2})
+	c := p.Clone()
+	c.At(0)[0] = 99
+	if p.Coord(0, 0) != 1 {
+		t.Fatal("Clone shares backing array")
+	}
+}
+
+func TestGatherReordersPoints(t *testing.T) {
+	p := NewPoints(3, 2)
+	p.SetAt(0, []float32{0, 0})
+	p.SetAt(1, []float32{1, 1})
+	p.SetAt(2, []float32{2, 2})
+	g := p.Gather([]int32{2, 0, 1})
+	want := []float32{2, 2, 0, 0, 1, 1}
+	for i, v := range want {
+		if g.Coords[i] != v {
+			t.Fatalf("Gather coords = %v, want %v", g.Coords, want)
+		}
+	}
+}
+
+func TestGatherWithRepeats(t *testing.T) {
+	p := NewPoints(2, 1)
+	p.SetAt(0, []float32{3})
+	p.SetAt(1, []float32{4})
+	g := p.Gather([]int32{1, 1, 0})
+	if g.Len() != 3 || g.Coord(0, 0) != 4 || g.Coord(1, 0) != 4 || g.Coord(2, 0) != 3 {
+		t.Fatalf("Gather with repeats = %v", g.Coords)
+	}
+}
+
+func TestAppend(t *testing.T) {
+	p := NewPoints(0, 3)
+	p = p.Append([]float32{1, 2, 3})
+	p = p.Append([]float32{4, 5, 6})
+	if p.Len() != 2 || p.Coord(1, 2) != 6 {
+		t.Fatalf("Append result = %v", p.Coords)
+	}
+}
+
+func TestDist2KnownValues(t *testing.T) {
+	a := []float32{0, 0, 0}
+	b := []float32{1, 2, 2}
+	if got := Dist2(a, b); got != 9 {
+		t.Fatalf("Dist2 = %v, want 9", got)
+	}
+	if got := Dist(a, b); got != 3 {
+		t.Fatalf("Dist = %v, want 3", got)
+	}
+}
+
+// dist2Ref is a float64 oracle.
+func dist2Ref(a, b []float32) float64 {
+	var s float64
+	for i := range a {
+		d := float64(a[i]) - float64(b[i])
+		s += d * d
+	}
+	return s
+}
+
+func TestDist2BatchMatchesScalar(t *testing.T) {
+	for _, dims := range []int{1, 2, 3, 4, 10, 15} {
+		n := 37
+		pts := make([]float32, n*dims)
+		q := make([]float32, dims)
+		rng := uint32(12345 + dims)
+		next := func() float32 {
+			rng = rng*1664525 + 1013904223
+			return float32(rng>>8) / float32(1<<24)
+		}
+		for i := range pts {
+			pts[i] = next()
+		}
+		for i := range q {
+			q[i] = next()
+		}
+		out := make([]float32, n)
+		Dist2Batch(q, pts, out)
+		for i := 0; i < n; i++ {
+			want := Dist2(q, pts[i*dims:(i+1)*dims])
+			if math.Abs(float64(out[i]-want)) > 1e-6*math.Max(1, float64(want)) {
+				t.Fatalf("dims=%d point %d: batch=%v scalar=%v", dims, i, out[i], want)
+			}
+		}
+	}
+}
+
+func TestDist2AgreesWithFloat64OracleProperty(t *testing.T) {
+	f := func(av, bv [6]float32) bool {
+		a, b := av[:], bv[:]
+		for i := range a {
+			// Keep magnitudes sane to avoid float32 overflow noise.
+			a[i] = float32(math.Mod(float64(a[i]), 1e3))
+			b[i] = float32(math.Mod(float64(b[i]), 1e3))
+		}
+		got := float64(Dist2(a, b))
+		want := dist2Ref(a, b)
+		return math.Abs(got-want) <= 1e-3*math.Max(1, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	p := NewPoints(3, 2)
+	p.SetAt(0, []float32{1, 9})
+	p.SetAt(1, []float32{-2, 4})
+	p.SetAt(2, []float32{3, 5})
+	mins, maxs := p.MinMax(0, 3)
+	if mins[0] != -2 || mins[1] != 4 || maxs[0] != 3 || maxs[1] != 9 {
+		t.Fatalf("MinMax = %v %v", mins, maxs)
+	}
+	if mn, mx := p.MinMax(2, 2); mn != nil || mx != nil {
+		t.Fatal("empty range MinMax should return nils")
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	p := NewPoints(2, 2)
+	p.SetAt(0, []float32{0, 5})
+	p.SetAt(1, []float32{3, 1})
+	b := BoundingBox(p)
+	if b.Min[0] != 0 || b.Min[1] != 1 || b.Max[0] != 3 || b.Max[1] != 5 {
+		t.Fatalf("BoundingBox = %+v", b)
+	}
+}
+
+func TestNewBoxIsInfinite(t *testing.T) {
+	b := NewBox(3)
+	if !b.Contains([]float32{1e30, -1e30, 0}) {
+		t.Fatal("infinite box should contain everything")
+	}
+}
+
+func TestBoxContainsHalfOpen(t *testing.T) {
+	b := Box{Min: []float32{0, 0}, Max: []float32{1, 1}}
+	if !b.Contains([]float32{0, 0}) {
+		t.Fatal("lower bound must be inclusive")
+	}
+	if b.Contains([]float32{1, 0.5}) {
+		t.Fatal("upper bound must be exclusive")
+	}
+	if b.Contains([]float32{-0.1, 0.5}) {
+		t.Fatal("below min must be outside")
+	}
+}
+
+func TestBoxSplitPartitionsDomain(t *testing.T) {
+	b := Box{Min: []float32{0, 0}, Max: []float32{1, 1}}
+	lo, hi := b.Split(0, 0.25)
+	probe := []float32{0.25, 0.5}
+	if lo.Contains(probe) {
+		t.Fatal("split value belongs to upper half")
+	}
+	if !hi.Contains(probe) {
+		t.Fatal("split value must be in upper half")
+	}
+	// Every point in the parent is in exactly one child.
+	for _, x := range []float32{0, 0.1, 0.24999, 0.25, 0.7, 0.99} {
+		p := []float32{x, 0.5}
+		inLo, inHi := lo.Contains(p), hi.Contains(p)
+		if inLo == inHi {
+			t.Fatalf("point %v: inLo=%v inHi=%v", p, inLo, inHi)
+		}
+	}
+}
+
+func TestBoxDist2To(t *testing.T) {
+	b := Box{Min: []float32{0, 0}, Max: []float32{1, 1}}
+	if d := b.Dist2To([]float32{0.5, 0.5}); d != 0 {
+		t.Fatalf("inside point dist = %v", d)
+	}
+	if d := b.Dist2To([]float32{2, 0.5}); d != 1 {
+		t.Fatalf("outside-x dist = %v, want 1", d)
+	}
+	if d := b.Dist2To([]float32{2, 3}); d != 5 {
+		t.Fatalf("corner dist = %v, want 5", d)
+	}
+}
+
+func TestBoxIntersects(t *testing.T) {
+	b := Box{Min: []float32{0, 0}, Max: []float32{1, 1}}
+	if !b.Intersects([]float32{1.5, 0.5}, 0.25) {
+		t.Fatal("ball with r2=0.25 at x=1.5 touches box")
+	}
+	if b.Intersects([]float32{2, 0.5}, 0.5) {
+		t.Fatal("ball with r2=0.5 at x=2 does not reach box")
+	}
+}
+
+func TestBoxDist2ToIsLowerBoundProperty(t *testing.T) {
+	// For random boxes and points inside them, distance from any query to
+	// any inside point is >= Dist2To(query).
+	f := func(q, in [3]float32, span [3]float32) bool {
+		mins := make([]float32, 3)
+		maxs := make([]float32, 3)
+		inside := make([]float32, 3)
+		for i := 0; i < 3; i++ {
+			s := float32(math.Abs(float64(span[i]))) + 0.001
+			base := in[i]
+			mins[i] = base
+			maxs[i] = base + s
+			inside[i] = base + s/2
+		}
+		b := Box{Min: mins, Max: maxs}
+		lower := b.Dist2To(q[:])
+		actual := Dist2(q[:], inside)
+		return lower <= actual+1e-3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,601 @@
+package kdtree
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"panda/internal/geom"
+	"panda/internal/sample"
+	"panda/internal/simtime"
+)
+
+// Build constructs a kd-tree over pts. ids maps point index -> caller id and
+// may be nil, in which case point indices are used. pts is not modified; the
+// tree holds a packed copy (the paper's SIMD-packing step).
+func Build(pts geom.Points, ids []int64, opts Options) *Tree {
+	opts = opts.withDefaults()
+	n := pts.Len()
+	t := &Tree{opts: opts}
+	if ids == nil {
+		ids = make([]int64, n)
+		for i := range ids {
+			ids[i] = int64(i)
+		}
+	} else if len(ids) != n {
+		panic("kdtree: len(ids) != number of points")
+	}
+	if n == 0 {
+		t.Points = geom.NewPoints(0, pts.Dims)
+		t.Box = geom.BoundingBox(t.Points)
+		return t
+	}
+
+	b := &builder{
+		coords: pts.Coords,
+		dims:   pts.Dims,
+		opts:   opts,
+		idx:    make([]int32, n),
+	}
+	for i := range b.idx {
+		b.idx[i] = int32(i)
+	}
+
+	root, height := b.run()
+	t.nodes = b.nodes
+	t.root = root
+	t.height = height
+
+	// SIMD packing: shuffle the dataset so each bucket is contiguous. The
+	// index array is already in final leaf order, so packing is a gather.
+	pack := b.charger(PhasePack)
+	t.Points = pts.Gather(b.idx)
+	packedIDs := make([]int64, n)
+	for i, src := range b.idx {
+		packedIDs[i] = ids[src]
+	}
+	t.IDs = packedIDs
+	pack.all(simtime.KPointMove, int64(n)*int64(pts.Dims)*4+int64(n)*8)
+
+	t.Box = geom.BoundingBox(t.Points)
+	return t
+}
+
+// quickselectThreshold is the node size below which the exact-median
+// quickselect replaces the sampled histogram during construction.
+const quickselectThreshold = 8192
+
+// builder holds construction state. The point coordinates are never moved;
+// only idx is permuted (the paper's shared-memory optimization of moving
+// indexes, not values).
+type builder struct {
+	coords []float32
+	dims   int
+	opts   Options
+	idx    []int32
+	nodes  []node
+
+	mu sync.Mutex // guards nodes during thread-parallel splice
+}
+
+// task is a pending subtree: build over idx[lo:hi) into node slot.
+type task struct {
+	lo, hi int32
+	slot   int32 // index into builder.nodes to fill
+	depth  int
+}
+
+// charger routes work units to the recorder (or drops them when no recorder
+// is attached).
+type charger struct {
+	pm      *simtime.PhaseMeter
+	threads int
+}
+
+func (b *builder) charger(phase string) charger {
+	if b.opts.Recorder == nil {
+		return charger{threads: b.opts.Threads}
+	}
+	return charger{pm: b.opts.Recorder.Phase(phase), threads: b.opts.Threads}
+}
+
+// all charges units for work all threads cooperate on: each simulated
+// thread performs ~units/threads of it, so each meter gets that share.
+func (c charger) all(k simtime.Kind, units int64) {
+	if c.pm == nil {
+		return
+	}
+	share := units / int64(c.threads)
+	rem := units - share*int64(c.threads)
+	for t := 0; t < c.threads; t++ {
+		u := share
+		if t == 0 {
+			u += rem
+		}
+		c.pm.Thread(t).Add(k, u)
+	}
+}
+
+// one charges units to a single simulated thread.
+func (c charger) one(thread int, k simtime.Kind, units int64) {
+	if c.pm == nil {
+		return
+	}
+	c.pm.Thread(thread%c.threads).Add(k, units)
+}
+
+// run executes the three construction stages and returns the root node
+// index and tree height.
+func (b *builder) run() (int32, int) {
+	rootSlot := b.newNode()
+	level := []task{{lo: 0, hi: int32(len(b.idx)), slot: rootSlot, depth: 1}}
+	maxHeight := 1
+
+	// Stage 1: data-parallel breadth-first levels. All threads cooperate
+	// on each split until there are enough branches for thread-level
+	// parallelism.
+	switchAt := b.opts.Threads * b.opts.ThreadSwitchFactor
+	dp := b.charger(PhaseDataParallel)
+	for len(level) > 0 && len(level) < switchAt {
+		var next []task
+		progressed := false
+		for _, tk := range level {
+			if tk.depth > maxHeight {
+				maxHeight = tk.depth
+			}
+			if int(tk.hi-tk.lo) <= b.opts.BucketSize {
+				b.setLeaf(tk)
+				continue
+			}
+			l, r, ok := b.split(tk, dp, -1)
+			if !ok {
+				b.setLeaf(tk)
+				continue
+			}
+			progressed = true
+			next = append(next, l, r)
+		}
+		level = next
+		if !progressed {
+			break
+		}
+	}
+
+	// Stage 2: thread-parallel. Remaining tasks are balanced over the
+	// simulated threads (longest-processing-time assignment, mirroring
+	// the paper's load-balancing concern) and each builds its subtrees
+	// depth-first.
+	if len(level) > 0 {
+		h := b.threadParallel(level)
+		if h > maxHeight {
+			maxHeight = h
+		}
+	}
+	return rootSlot, maxHeight
+}
+
+func (b *builder) newNode() int32 {
+	b.nodes = append(b.nodes, node{})
+	return int32(len(b.nodes) - 1)
+}
+
+func (b *builder) setLeaf(tk task) {
+	b.nodes[tk.slot] = node{dim: leafDim, start: tk.lo, end: tk.hi}
+}
+
+// split chooses a dimension and split point for task tk, partitions the
+// index range, allocates child nodes and returns the child tasks. thread
+// is the simulated thread doing the work, or -1 for cooperative
+// (data-parallel) work. ok=false means the points are indistinguishable and
+// the task must become a (possibly oversized) leaf.
+func (b *builder) split(tk task, ch charger, thread int) (left, right task, ok bool) {
+	lo, hi := int(tk.lo), int(tk.hi)
+	idx := b.idx[lo:hi]
+	n := int64(len(idx))
+	charge := func(k simtime.Kind, u int64) {
+		if thread < 0 {
+			ch.all(k, u)
+		} else {
+			ch.one(thread, k, u)
+		}
+	}
+
+	dim := sample.ChooseDimension(b.coords, b.dims, idx, b.opts.DimSampleCap, b.opts.SplitPolicy)
+	sampled := b.opts.DimSampleCap
+	if sampled <= 0 || int64(sampled) > n {
+		sampled = int(n)
+	}
+	charge(simtime.KSample, int64(sampled))
+
+	mid, median, ok := b.partitionAt(idx, dim, charge)
+	if !ok {
+		// The chosen dimension is constant; try the remaining dimensions
+		// before giving up (all-identical points become one leaf).
+		for d := 0; d < b.dims && !ok; d++ {
+			if d == dim {
+				continue
+			}
+			mid, median, ok = b.partitionAt(idx, d, charge)
+			if ok {
+				dim = d
+			}
+		}
+		if !ok {
+			return task{}, task{}, false
+		}
+	}
+
+	b.mu.Lock()
+	l := b.newNode()
+	r := b.newNode()
+	b.nodes[tk.slot] = node{dim: int32(dim), median: median, left: l, right: r}
+	b.mu.Unlock()
+	left = task{lo: tk.lo, hi: tk.lo + int32(mid), slot: l, depth: tk.depth + 1}
+	right = task{lo: tk.lo + int32(mid), hi: tk.hi, slot: r, depth: tk.depth + 1}
+	return left, right, true
+}
+
+// partitionAt selects the split value of idx along dim per the configured
+// SplitValuePolicy, then three-way partitions idx around it. It returns the
+// split position (relative to idx), the split value, and ok=false when no
+// split is possible (constant values along dim).
+func (b *builder) partitionAt(idx []int32, dim int, charge func(simtime.Kind, int64)) (mid int, median float32, ok bool) {
+	switch b.opts.SplitValue {
+	case SplitMeanSample:
+		return b.partitionMeanSample(idx, dim, charge)
+	case SplitMidRange:
+		return b.partitionMidRange(idx, dim, charge)
+	}
+	n := len(idx)
+	// Small nodes: exact quickselect beats the sampling machinery (fewer
+	// passes, perfectly balanced). The sampled histogram exists for nodes
+	// far larger than the sample size, where an exact median would cost a
+	// full sort-scale pass.
+	if n <= quickselectThreshold {
+		return b.exactMedianSplit(idx, dim, charge)
+	}
+	s := sample.Sample(b.coords, b.dims, dim, idx, b.opts.MedianSamples)
+	charge(simtime.KSample, int64(len(s)))
+	iv := sample.NewIntervals(s)
+	if len(iv.Points) <= 1 {
+		// 0 or 1 distinct sampled values: check if the range is truly
+		// constant; a constant range cannot be split on this dim.
+		if b.constantDim(idx, dim) {
+			return 0, 0, false
+		}
+		// Rare: sampling missed the variation. Fall back to exact
+		// median selection.
+		return b.exactMedianSplit(idx, dim, charge)
+	}
+	hist := iv.Histogram(b.coords, b.dims, dim, idx, !b.opts.UseBinaryHistogram)
+	if b.opts.UseBinaryHistogram {
+		charge(simtime.KHistBinary, int64(n))
+	} else {
+		charge(simtime.KHistScan, int64(n))
+	}
+	median, _ = iv.ApproxMedian(hist)
+
+	ltEnd, eqEnd := threeWayPartition(b.coords, b.dims, dim, idx, median)
+	charge(simtime.KPartition, int64(n))
+	mid = clamp(n/2, ltEnd, eqEnd)
+	if mid == 0 || mid == n {
+		// Degenerate approximate split (can happen when the sampled
+		// histogram is badly skewed): use the exact median instead.
+		return b.exactMedianSplit(idx, dim, charge)
+	}
+	return mid, median, true
+}
+
+// partitionMeanSample is the FLANN-style split: value = mean of the first
+// 100 points along dim, points < mean left, the rest right (no rebalancing —
+// the point of the baseline is to reproduce FLANN's tree shape).
+func (b *builder) partitionMeanSample(idx []int32, dim int, charge func(simtime.Kind, int64)) (int, float32, bool) {
+	n := len(idx)
+	m := 100
+	if m > n {
+		m = n
+	}
+	var sum float64
+	for _, i := range idx[:m] {
+		sum += float64(b.coords[int(i)*b.dims+dim])
+	}
+	v := float32(sum / float64(m))
+	charge(simtime.KSample, int64(m))
+	ltEnd, eqEnd := threeWayPartition(b.coords, b.dims, dim, idx, v)
+	charge(simtime.KPartition, int64(n))
+	return unbalancedMid(ltEnd, eqEnd, n, v)
+}
+
+// partitionMidRange is the ANN-style split: value = midpoint of the actual
+// [min,max] along dim. Both sides are non-empty whenever min < max, but
+// nothing bounds the imbalance.
+func (b *builder) partitionMidRange(idx []int32, dim int, charge func(simtime.Kind, int64)) (int, float32, bool) {
+	n := len(idx)
+	lo := b.coords[int(idx[0])*b.dims+dim]
+	hi := lo
+	for _, i := range idx[1:] {
+		c := b.coords[int(i)*b.dims+dim]
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	charge(simtime.KSample, int64(n))
+	if lo == hi {
+		return 0, 0, false
+	}
+	v := lo + (hi-lo)/2
+	ltEnd, eqEnd := threeWayPartition(b.coords, b.dims, dim, idx, v)
+	charge(simtime.KPartition, int64(n))
+	return unbalancedMid(ltEnd, eqEnd, n, v)
+}
+
+// unbalancedMid picks the split position for the baseline policies: strictly
+// -less points left, equals right (FLANN/ANN behavior), falling back to the
+// other boundary only to guarantee progress.
+func unbalancedMid(ltEnd, eqEnd, n int, v float32) (int, float32, bool) {
+	mid := ltEnd
+	if mid == 0 {
+		mid = eqEnd
+	}
+	if mid == 0 || mid == n {
+		return 0, 0, false
+	}
+	return mid, v, true
+}
+
+func (b *builder) constantDim(idx []int32, dim int) bool {
+	first := b.coords[int(idx[0])*b.dims+dim]
+	for _, i := range idx[1:] {
+		if b.coords[int(i)*b.dims+dim] != first {
+			return false
+		}
+	}
+	return true
+}
+
+// exactMedianSplit partitions idx at the true median of dim (quickselect),
+// used as the fallback when sampling fails to produce a balanced split.
+func (b *builder) exactMedianSplit(idx []int32, dim int, charge func(simtime.Kind, int64)) (int, float32, bool) {
+	n := len(idx)
+	quickselect(b.coords, b.dims, dim, idx, n/2)
+	median := b.coords[int(idx[n/2])*b.dims+dim]
+	ltEnd, eqEnd := threeWayPartition(b.coords, b.dims, dim, idx, median)
+	charge(simtime.KPartition, int64(3*n)) // select ≈2n + partition n
+	mid := clamp(n/2, ltEnd, eqEnd)
+	if mid == 0 || mid == n {
+		return 0, 0, false
+	}
+	return mid, median, true
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// threeWayPartition reorders idx so values < v come first, values == v next,
+// values > v last (Dutch national flag). Returns the boundaries (ltEnd,
+// eqEnd) relative to idx. Placing duplicates in the middle lets the caller
+// cut anywhere inside the equal run, which keeps splits balanced on heavily
+// co-located data (the Daya Bay failure mode discussed in §V-A3).
+func threeWayPartition(coords []float32, dims, dim int, idx []int32, v float32) (ltEnd, eqEnd int) {
+	lo, mid, hi := 0, 0, len(idx)
+	for mid < hi {
+		c := coords[int(idx[mid])*dims+dim]
+		switch {
+		case c < v:
+			idx[lo], idx[mid] = idx[mid], idx[lo]
+			lo++
+			mid++
+		case c > v:
+			hi--
+			idx[mid], idx[hi] = idx[hi], idx[mid]
+		default:
+			mid++
+		}
+	}
+	return lo, mid
+}
+
+// quickselect partially sorts idx so idx[n] holds the element with the n-th
+// smallest coordinate along dim. Deterministic (median-of-three pivot).
+func quickselect(coords []float32, dims, dim int, idx []int32, n int) {
+	at := func(i int) float32 { return coords[int(idx[i])*dims+dim] }
+	lo, hi := 0, len(idx)-1
+	for lo < hi {
+		// Median-of-three pivot.
+		mid := int(uint(lo+hi) >> 1)
+		if at(mid) < at(lo) {
+			idx[mid], idx[lo] = idx[lo], idx[mid]
+		}
+		if at(hi) < at(lo) {
+			idx[hi], idx[lo] = idx[lo], idx[hi]
+		}
+		if at(hi) < at(mid) {
+			idx[hi], idx[mid] = idx[mid], idx[hi]
+		}
+		pivot := at(mid)
+		i, j := lo, hi
+		for i <= j {
+			for at(i) < pivot {
+				i++
+			}
+			for at(j) > pivot {
+				j--
+			}
+			if i <= j {
+				idx[i], idx[j] = idx[j], idx[i]
+				i++
+				j--
+			}
+		}
+		if n <= j {
+			hi = j
+		} else if n >= i {
+			lo = i
+		} else {
+			return
+		}
+	}
+}
+
+// threadParallel builds the remaining subtrees with per-thread ownership.
+// Tasks are assigned by longest-processing-time to balance load; each
+// simulated thread's tasks run sequentially in assignment order, with real
+// goroutine parallelism up to GOMAXPROCS. Node placement is deterministic:
+// every subtree is built into a private node slice and spliced in task
+// order afterwards.
+func (b *builder) threadParallel(tasks []task) int {
+	ch := b.charger(PhaseThreadParallel)
+	threads := b.opts.Threads
+
+	// LPT assignment by task size.
+	order := make([]int, len(tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, c int) bool {
+		sa := tasks[order[a]].hi - tasks[order[a]].lo
+		sc := tasks[order[c]].hi - tasks[order[c]].lo
+		if sa != sc {
+			return sa > sc
+		}
+		return order[a] < order[c]
+	})
+	load := make([]int64, threads)
+	assign := make([]int, len(tasks)) // task -> simulated thread
+	for _, ti := range order {
+		best := 0
+		for t := 1; t < threads; t++ {
+			if load[t] < load[best] {
+				best = t
+			}
+		}
+		assign[ti] = best
+		load[best] += int64(tasks[ti].hi - tasks[ti].lo)
+	}
+
+	results := make([][]node, len(tasks))
+	heights := make([]int, len(tasks))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers > threads {
+		workers = threads
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, len(tasks))
+	for i := range tasks {
+		next <- i
+	}
+	close(next)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ti := range next {
+				sb := &subtreeBuilder{b: b, ch: ch, thread: assign[ti]}
+				root, h := sb.build(tasks[ti].lo, tasks[ti].hi, tasks[ti].depth)
+				if root != 0 {
+					panic("kdtree: subtree root must be local node 0")
+				}
+				results[ti] = sb.nodes
+				heights[ti] = h
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Splice subtrees into the global node array in task order.
+	maxH := 0
+	for ti, tk := range tasks {
+		sub := results[ti]
+		base := int32(len(b.nodes))
+		// The subtree's local node 0 replaces the reserved slot; other
+		// nodes append with index fixup.
+		fix := func(local int32) int32 {
+			if local == 0 {
+				return tk.slot
+			}
+			return base + local - 1
+		}
+		for li, n := range sub {
+			if n.dim != leafDim {
+				n.left = fix(n.left)
+				n.right = fix(n.right)
+			}
+			if li == 0 {
+				b.nodes[tk.slot] = n
+			} else {
+				b.nodes = append(b.nodes, n)
+			}
+		}
+		if heights[ti] > maxH {
+			maxH = heights[ti]
+		}
+	}
+	return maxH
+}
+
+// subtreeBuilder builds one thread's subtree depth-first into a private
+// node slice (local indices starting at 0 for the subtree root).
+type subtreeBuilder struct {
+	b      *builder
+	ch     charger
+	thread int
+	nodes  []node
+}
+
+func (s *subtreeBuilder) build(lo, hi int32, depth int) (int32, int) {
+	slot := int32(len(s.nodes))
+	s.nodes = append(s.nodes, node{})
+	if int(hi-lo) <= s.b.opts.BucketSize {
+		s.nodes[slot] = node{dim: leafDim, start: lo, end: hi}
+		return slot, depth
+	}
+	idx := s.b.idx[lo:hi]
+	n := int64(len(idx))
+	charge := func(k simtime.Kind, u int64) { s.ch.one(s.thread, k, u) }
+
+	dim := sample.ChooseDimension(s.b.coords, s.b.dims, idx, s.b.opts.DimSampleCap, s.b.opts.SplitPolicy)
+	sampled := s.b.opts.DimSampleCap
+	if sampled <= 0 || int64(sampled) > n {
+		sampled = int(n)
+	}
+	charge(simtime.KSample, int64(sampled))
+
+	mid, median, ok := s.b.partitionAt(idx, dim, charge)
+	if !ok {
+		for d := 0; d < s.b.dims && !ok; d++ {
+			if d == dim {
+				continue
+			}
+			mid, median, ok = s.b.partitionAt(idx, d, charge)
+			if ok {
+				dim = d
+			}
+		}
+	}
+	if !ok {
+		s.nodes[slot] = node{dim: leafDim, start: lo, end: hi}
+		return slot, depth
+	}
+	// Depth-first for cache locality (§III-A iii).
+	l, hl := s.build(lo, lo+int32(mid), depth+1)
+	r, hr := s.build(lo+int32(mid), hi, depth+1)
+	s.nodes[slot] = node{dim: int32(dim), median: median, left: l, right: r}
+	if hl < hr {
+		hl = hr
+	}
+	return slot, hl
+}

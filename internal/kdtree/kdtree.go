@@ -1,0 +1,301 @@
+// Package kdtree implements PANDA's local (single-node) kd-tree: the data
+// structure each cluster rank builds over the points it owns after global
+// redistribution (§III-A steps ii–iv of the paper), and the query kernel of
+// Algorithm 1.
+//
+// Construction follows the paper's three local stages:
+//
+//  1. data-parallel: at the top of the tree there are too few branches for
+//     thread-level parallelism, so levels are built breadth-first with all
+//     threads cooperating on each node's split (split-dimension selection by
+//     sample variance, split-point selection by sampled non-uniform
+//     histogram);
+//  2. thread-parallel: once there are ≥ ~10× threads branches, each thread
+//     builds complete subtrees depth-first from a distinct point subset;
+//  3. SIMD packing: the dataset is shuffled so each leaf bucket's points are
+//     contiguous in memory, making the leaf distance scan a dense loop.
+//
+// Shuffling during construction moves only the 32-bit index array, never the
+// points — the paper's shared-memory optimization — until the final packing
+// pass.
+package kdtree
+
+import (
+	"fmt"
+
+	"panda/internal/geom"
+	"panda/internal/sample"
+	"panda/internal/simtime"
+)
+
+// Phase names used when an Options.Recorder is attached. The distributed
+// layer aggregates these into the Figure 5(b) construction breakdown.
+const (
+	PhaseDataParallel   = "local kd-tree (data parallel)"
+	PhaseThreadParallel = "local kd-tree (thread parallel)"
+	PhasePack           = "local kd-tree (SIMD packing)"
+)
+
+// DefaultBucketSize is the paper's empirically best leaf size (§III-A1:
+// "a bucket size of 32 gave the best performance").
+const DefaultBucketSize = 32
+
+// DefaultMedianSamples is the paper's local sample count for approximate
+// median selection (1024 samples for the local kd-tree).
+const DefaultMedianSamples = 1024
+
+// DefaultDimSampleCap bounds the number of points examined for
+// split-dimension variance ("we take a subset of points to compute
+// variances", after FLANN).
+const DefaultDimSampleCap = 128
+
+// SplitValuePolicy selects how the split *value* along the chosen dimension
+// is computed. PANDA uses the sampled-histogram approximate median; the
+// alternatives reproduce the libraries the paper compares against in
+// Figure 7 (§V-B2) while sharing PANDA's query kernel, so comparisons
+// isolate tree-quality policy.
+type SplitValuePolicy int
+
+const (
+	// SplitSampledMedian is PANDA's policy: approximate median from a
+	// non-uniform histogram over sampled values (§III-A1).
+	SplitSampledMedian SplitValuePolicy = iota
+	// SplitMeanSample reproduces FLANN: "takes an average of the first
+	// 100 points over that dimension to compute median".
+	SplitMeanSample
+	// SplitMidRange reproduces ANN: "takes the average of the lower and
+	// upper values of that dimension" — cheap, but degenerates on skewed
+	// data (the paper saw depth 109 vs 32 on the Daya Bay dataset).
+	SplitMidRange
+)
+
+func (p SplitValuePolicy) String() string {
+	switch p {
+	case SplitSampledMedian:
+		return "sampled-median"
+	case SplitMeanSample:
+		return "mean-sample"
+	case SplitMidRange:
+		return "mid-range"
+	default:
+		return "unknown"
+	}
+}
+
+// Options configures construction.
+type Options struct {
+	// BucketSize is the maximum leaf size; 0 means DefaultBucketSize.
+	BucketSize int
+	// SplitPolicy selects the split-dimension rule (default MaxVariance,
+	// the paper's choice; MaxRange reproduces ANN for the ablation).
+	SplitPolicy sample.SplitPolicy
+	// SplitValue selects the split-value rule (default SplitSampledMedian,
+	// PANDA's policy; the others reproduce FLANN and ANN for Figure 7).
+	SplitValue SplitValuePolicy
+	// MedianSamples is the sample size for approximate-median histograms;
+	// 0 means DefaultMedianSamples.
+	MedianSamples int
+	// DimSampleCap bounds variance computation; 0 means
+	// DefaultDimSampleCap; negative means use all points.
+	DimSampleCap int
+	// UseBinaryHistogram switches histogram bin location from the paper's
+	// two-level sub-interval scan back to binary search (ablation).
+	UseBinaryHistogram bool
+	// Threads is the simulated thread count (≥1); it controls the
+	// data-parallel/thread-parallel switchover and which thread meter
+	// work is charged to. 0 means 1.
+	Threads int
+	// ThreadSwitchFactor: switch to thread-parallel once active branches
+	// ≥ Threads×factor (paper: "typically, number of threads ×10").
+	// 0 means 10.
+	ThreadSwitchFactor int
+	// Recorder, when non-nil, receives per-phase per-thread work meters.
+	Recorder *simtime.Recorder
+}
+
+func (o Options) withDefaults() Options {
+	if o.BucketSize <= 0 {
+		o.BucketSize = DefaultBucketSize
+	}
+	if o.MedianSamples <= 0 {
+		o.MedianSamples = DefaultMedianSamples
+	}
+	if o.DimSampleCap == 0 {
+		o.DimSampleCap = DefaultDimSampleCap
+	}
+	if o.Threads <= 0 {
+		o.Threads = 1
+	}
+	if o.ThreadSwitchFactor <= 0 {
+		o.ThreadSwitchFactor = 10
+	}
+	return o
+}
+
+// node is one kd-tree node. Leaves have dim == -1 and [start,end) indexing
+// the packed point array; internal nodes store the split plane and children.
+type node struct {
+	dim    int32 // split dimension, or -1 for leaf
+	median float32
+	left   int32
+	right  int32
+	start  int32
+	end    int32
+}
+
+const leafDim = int32(-1)
+
+// Tree is an immutable local kd-tree over a packed point set.
+type Tree struct {
+	// Points holds the bucket-packed points (leaf buckets contiguous).
+	Points geom.Points
+	// IDs maps packed position -> caller point id (global id in the
+	// distributed setting; original index otherwise).
+	IDs []int64
+	// Box is the bounding box of the points (tight).
+	Box geom.Box
+
+	nodes  []node
+	root   int32
+	opts   Options
+	height int
+}
+
+// Stats summarizes a built tree.
+type Stats struct {
+	Points     int
+	Nodes      int
+	Leaves     int
+	Height     int
+	MaxBucket  int
+	MeanBucket float64
+}
+
+// Stats returns structural statistics.
+func (t *Tree) Stats() Stats {
+	s := Stats{Points: t.Points.Len(), Nodes: len(t.nodes), Height: t.height}
+	var sum int
+	for _, n := range t.nodes {
+		if n.dim == leafDim {
+			s.Leaves++
+			b := int(n.end - n.start)
+			sum += b
+			if b > s.MaxBucket {
+				s.MaxBucket = b
+			}
+		}
+	}
+	if s.Leaves > 0 {
+		s.MeanBucket = float64(sum) / float64(s.Leaves)
+	}
+	return s
+}
+
+// Height returns the tree height (root = height 1; empty tree = 0).
+func (t *Tree) Height() int { return t.height }
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.Points.Len() }
+
+// Options returns the options the tree was built with (defaults resolved).
+func (t *Tree) Options() Options { return t.opts }
+
+// validate walks the tree checking structural invariants; used by tests.
+func (t *Tree) validate() error {
+	if t.Len() == 0 {
+		if len(t.nodes) != 0 {
+			return fmt.Errorf("empty tree has %d nodes", len(t.nodes))
+		}
+		return nil
+	}
+	covered := make([]bool, t.Points.Len())
+	var walk func(ni int32, depth int) error
+	walk = func(ni int32, depth int) error {
+		if ni < 0 || int(ni) >= len(t.nodes) {
+			return fmt.Errorf("node index %d out of range", ni)
+		}
+		n := t.nodes[ni]
+		if n.dim == leafDim {
+			if n.start > n.end || int(n.end) > t.Points.Len() {
+				return fmt.Errorf("leaf range [%d,%d) invalid", n.start, n.end)
+			}
+			for i := n.start; i < n.end; i++ {
+				if covered[i] {
+					return fmt.Errorf("point %d in two leaves", i)
+				}
+				covered[i] = true
+			}
+			return nil
+		}
+		if int(n.dim) >= t.Points.Dims {
+			return fmt.Errorf("split dim %d out of range", n.dim)
+		}
+		// Split invariant: all left points ≤ median ≤ all right points
+		// along the split dimension (equals may sit on either side).
+		if err := walk(n.left, depth+1); err != nil {
+			return err
+		}
+		if err := walk(n.right, depth+1); err != nil {
+			return err
+		}
+		if err := t.checkSide(n.left, int(n.dim), n.median, true); err != nil {
+			return err
+		}
+		if err := t.checkSide(n.right, int(n.dim), n.median, false); err != nil {
+			return err
+		}
+		return nil
+	}
+	if err := walk(t.root, 1); err != nil {
+		return err
+	}
+	for i, c := range covered {
+		if !c {
+			return fmt.Errorf("point %d not covered by any leaf", i)
+		}
+	}
+	return nil
+}
+
+func (t *Tree) checkSide(ni int32, dim int, median float32, isLeft bool) error {
+	n := t.nodes[ni]
+	if n.dim != leafDim {
+		if err := t.checkSide(n.left, dim, median, isLeft); err != nil {
+			return err
+		}
+		return t.checkSide(n.right, dim, median, isLeft)
+	}
+	for i := n.start; i < n.end; i++ {
+		v := t.Points.Coord(int(i), dim)
+		if isLeft && v > median {
+			return fmt.Errorf("left point %d has %v > median %v (dim %d)", i, v, median, dim)
+		}
+		if !isLeft && v < median {
+			return fmt.Errorf("right point %d has %v < median %v (dim %d)", i, v, median, dim)
+		}
+	}
+	return nil
+}
+
+// Neighbor is one query result.
+type Neighbor struct {
+	ID    int64   // caller point id
+	Dist2 float32 // squared Euclidean distance
+}
+
+// QueryStats counts work done by one or more queries (the paper reports
+// node-traversal counts when comparing against FLANN/ANN).
+type QueryStats struct {
+	NodesVisited  int64
+	PointsScanned int64
+	HeapPushes    int64
+}
+
+func (s *QueryStats) add(o QueryStats) {
+	s.NodesVisited += o.NodesVisited
+	s.PointsScanned += o.PointsScanned
+	s.HeapPushes += o.HeapPushes
+}
+
+// Add accumulates o into s.
+func (s *QueryStats) Add(o QueryStats) { s.add(o) }

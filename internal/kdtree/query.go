@@ -1,0 +1,161 @@
+package kdtree
+
+import (
+	"math"
+
+	"panda/internal/geom"
+	"panda/internal/knnheap"
+	"panda/internal/simtime"
+)
+
+// Inf2 is the "no radius bound" squared search radius (Algorithm 1's
+// default r = ∞).
+const Inf2 = float32(math.MaxFloat32)
+
+// Searcher holds the reusable per-thread state for KNN queries against one
+// tree: the candidate heap, the per-dimension offset vector for incremental
+// distance bounds, and the leaf-scan scratch buffer. A Searcher is not safe
+// for concurrent use; create one per goroutine (PANDA's batched query loop
+// keeps one per worker thread).
+type Searcher struct {
+	// Meter, when non-nil, accumulates work units (distance evals, node
+	// visits, heap pushes) for the simulated-time model.
+	Meter *simtime.Meter
+
+	t       *Tree
+	h       *knnheap.Heap
+	off     []float32
+	scratch []float32
+	r2cap   float32
+	q       []float32
+	stats   QueryStats
+}
+
+// NewSearcher returns a query context for t.
+func (t *Tree) NewSearcher() *Searcher {
+	maxBucket := t.opts.BucketSize
+	if s := t.Stats(); s.MaxBucket > maxBucket {
+		maxBucket = s.MaxBucket
+	}
+	return &Searcher{
+		t:       t,
+		h:       knnheap.New(1),
+		off:     make([]float32, t.Points.Dims),
+		scratch: make([]float32, maxBucket),
+	}
+}
+
+// KNN returns the k nearest neighbors of q, sorted by ascending distance
+// (ties broken by id). Convenience wrapper that allocates a Searcher.
+func (t *Tree) KNN(q []float32, k int) []Neighbor {
+	res, _ := t.NewSearcher().Search(q, k, Inf2, nil)
+	return res
+}
+
+// Search implements Algorithm 1: find up to k nearest neighbors of q within
+// squared search radius r2 (use Inf2 for unbounded). The r2 bound is what a
+// remote rank receives along with a forwarded query — "as we also received
+// r′ with each query, local KNN search performs early pruning" (§III-B
+// step 4). Results are appended to out (which may be nil) and returned with
+// per-query work stats.
+func (s *Searcher) Search(q []float32, k int, r2 float32, out []Neighbor) ([]Neighbor, QueryStats) {
+	s.stats = QueryStats{}
+	if k <= 0 || s.t.Len() == 0 {
+		return out, s.stats
+	}
+	if len(q) != s.t.Points.Dims {
+		panic("kdtree: query dimensionality mismatch")
+	}
+	s.h.Reset(k)
+	s.q = q
+	s.r2cap = r2
+	for i := range s.off {
+		s.off[i] = 0
+	}
+	s.walk(s.t.root, 0)
+
+	items := s.h.Sorted()
+	for _, it := range items {
+		// Enforce the radius bound exactly: the heap may briefly hold
+		// candidates at distance == r2 boundary kept out by pruning
+		// elsewhere; filter to the closed ball semantics of Alg. 1
+		// (d[x] < r').
+		if it.Dist2 < r2 || r2 == Inf2 {
+			out = append(out, Neighbor{ID: it.ID, Dist2: it.Dist2})
+		}
+	}
+	if s.Meter != nil {
+		s.Meter.Add(simtime.KNodeVisit, s.stats.NodesVisited)
+		s.Meter.Add(simtime.KDist, s.stats.PointsScanned*int64(s.t.Points.Dims))
+		s.Meter.Add(simtime.KHeap, s.stats.HeapPushes)
+	}
+	return out, s.stats
+}
+
+// bound returns the current pruning radius r'^2: the distance to the worst
+// retained candidate, capped by the caller-provided search radius.
+func (s *Searcher) bound() float32 {
+	b := s.h.MaxDist2()
+	if s.r2cap < b {
+		b = s.r2cap
+	}
+	return b
+}
+
+// walk visits node ni whose region is at squared distance d2 from q.
+// Matches Algorithm 1 with the closer child explored first and the far
+// child's bound maintained incrementally per dimension (the exact variant
+// of the paper's d' ← sqrt(d·d + d'·d') update: the previous offset along
+// the same dimension is replaced, not double-counted, which keeps the bound
+// a true lower bound and the search exact).
+func (s *Searcher) walk(ni int32, d2 float32) {
+	n := &s.t.nodes[ni]
+	s.stats.NodesVisited++
+	if n.dim == leafDim {
+		s.scanLeaf(n)
+		return
+	}
+	dim := int(n.dim)
+	off := s.q[dim] - n.median
+	var closer, far int32
+	if off < 0 {
+		closer, far = n.left, n.right
+	} else {
+		closer, far = n.right, n.left
+	}
+	// Closer child keeps the parent bound (its region contains the
+	// projection of q along this dim).
+	s.walk(closer, d2)
+
+	old := s.off[dim]
+	farD2 := d2 - old*old + off*off
+	if farD2 < s.bound() { // Alg. 1 line 22: push C2 only if d' < r'
+		s.off[dim] = off
+		s.walk(far, farD2)
+		s.off[dim] = old
+	}
+}
+
+// scanLeaf exhaustively scores a packed bucket (§III-C: "This computation is
+// very SIMD-friendly as the required points are localized in memory").
+func (s *Searcher) scanLeaf(n *node) {
+	lo, hi := int(n.start), int(n.end)
+	if lo == hi {
+		return
+	}
+	cnt := hi - lo
+	dims := s.t.Points.Dims
+	block := s.t.Points.Coords[lo*dims : hi*dims]
+	dist := s.scratch[:cnt]
+	geom.Dist2Batch(s.q, block, dist)
+	s.stats.PointsScanned += int64(cnt)
+	b := s.bound()
+	for i, d := range dist {
+		if d < b {
+			if s.h.Push(d, s.t.IDs[lo+i]) {
+				s.stats.HeapPushes++
+				b = s.bound()
+			}
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package kdtree
+
+import (
+	"sort"
+
+	"panda/internal/geom"
+	"panda/internal/simtime"
+)
+
+// RadiusSearch returns every indexed point with squared distance < r2 from
+// q, sorted by ascending (distance, id). This is the fixed-radius
+// neighborhood primitive of BD-CATS-style clustering ([11] in the paper) —
+// the easier problem §I contrasts with KNN, where the known radius allows
+// up-front pruning. Results are appended to out (which may be nil).
+func (s *Searcher) RadiusSearch(q []float32, r2 float32, out []Neighbor) ([]Neighbor, QueryStats) {
+	s.stats = QueryStats{}
+	if s.t.Len() == 0 || r2 <= 0 {
+		return out, s.stats
+	}
+	if len(q) != s.t.Points.Dims {
+		panic("kdtree: query dimensionality mismatch")
+	}
+	s.q = q
+	s.r2cap = r2
+	for i := range s.off {
+		s.off[i] = 0
+	}
+	start := len(out)
+	out = s.radiusWalk(s.t.root, 0, out)
+	sorted := out[start:]
+	sort.Slice(sorted, func(a, b int) bool {
+		if sorted[a].Dist2 != sorted[b].Dist2 {
+			return sorted[a].Dist2 < sorted[b].Dist2
+		}
+		return sorted[a].ID < sorted[b].ID
+	})
+	if s.Meter != nil {
+		s.Meter.Add(simtime.KNodeVisit, s.stats.NodesVisited)
+		s.Meter.Add(simtime.KDist, s.stats.PointsScanned*int64(s.t.Points.Dims))
+	}
+	return out, s.stats
+}
+
+func (s *Searcher) radiusWalk(ni int32, d2 float32, out []Neighbor) []Neighbor {
+	n := &s.t.nodes[ni]
+	s.stats.NodesVisited++
+	if n.dim == leafDim {
+		lo, hi := int(n.start), int(n.end)
+		if lo == hi {
+			return out
+		}
+		cnt := hi - lo
+		dims := s.t.Points.Dims
+		block := s.t.Points.Coords[lo*dims : hi*dims]
+		dist := s.scratch[:cnt]
+		geom.Dist2Batch(s.q, block, dist)
+		s.stats.PointsScanned += int64(cnt)
+		for i, d := range dist {
+			if d < s.r2cap {
+				out = append(out, Neighbor{ID: s.t.IDs[lo+i], Dist2: d})
+			}
+		}
+		return out
+	}
+	dim := int(n.dim)
+	off := s.q[dim] - n.median
+	var closer, far int32
+	if off < 0 {
+		closer, far = n.left, n.right
+	} else {
+		closer, far = n.right, n.left
+	}
+	out = s.radiusWalk(closer, d2, out)
+	old := s.off[dim]
+	farD2 := d2 - old*old + off*off
+	if farD2 < s.r2cap {
+		s.off[dim] = off
+		out = s.radiusWalk(far, farD2, out)
+		s.off[dim] = old
+	}
+	return out
+}
+
+// CountWithin returns how many indexed points lie strictly within squared
+// radius r2 of q — the density primitive used by k-NN density estimation
+// and DBSCAN-style core-point tests, without materializing neighbors.
+func (s *Searcher) CountWithin(q []float32, r2 float32) (int, QueryStats) {
+	s.stats = QueryStats{}
+	if s.t.Len() == 0 || r2 <= 0 {
+		return 0, s.stats
+	}
+	if len(q) != s.t.Points.Dims {
+		panic("kdtree: query dimensionality mismatch")
+	}
+	s.q = q
+	s.r2cap = r2
+	for i := range s.off {
+		s.off[i] = 0
+	}
+	return s.countWalk(s.t.root, 0), s.stats
+}
+
+func (s *Searcher) countWalk(ni int32, d2 float32) int {
+	n := &s.t.nodes[ni]
+	s.stats.NodesVisited++
+	if n.dim == leafDim {
+		lo, hi := int(n.start), int(n.end)
+		if lo == hi {
+			return 0
+		}
+		cnt := hi - lo
+		dims := s.t.Points.Dims
+		block := s.t.Points.Coords[lo*dims : hi*dims]
+		dist := s.scratch[:cnt]
+		geom.Dist2Batch(s.q, block, dist)
+		s.stats.PointsScanned += int64(cnt)
+		c := 0
+		for _, d := range dist {
+			if d < s.r2cap {
+				c++
+			}
+		}
+		return c
+	}
+	dim := int(n.dim)
+	off := s.q[dim] - n.median
+	var closer, far int32
+	if off < 0 {
+		closer, far = n.left, n.right
+	} else {
+		closer, far = n.right, n.left
+	}
+	total := s.countWalk(closer, d2)
+	old := s.off[dim]
+	farD2 := d2 - old*old + off*off
+	if farD2 < s.r2cap {
+		s.off[dim] = off
+		total += s.countWalk(far, farD2)
+		s.off[dim] = old
+	}
+	return total
+}

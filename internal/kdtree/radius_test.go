@@ -1,0 +1,147 @@
+package kdtree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"panda/internal/data"
+	"panda/internal/geom"
+)
+
+// bruteRadius is the oracle for radius queries.
+func bruteRadius(pts geom.Points, q []float32, r2 float32) []Neighbor {
+	var out []Neighbor
+	for i := 0; i < pts.Len(); i++ {
+		if d := geom.Dist2(q, pts.At(i)); d < r2 {
+			out = append(out, Neighbor{ID: int64(i), Dist2: d})
+		}
+	}
+	return out
+}
+
+func TestRadiusSearchMatchesBruteForce(t *testing.T) {
+	for _, name := range []string{"uniform", "cosmo", "dayabay"} {
+		d, _ := data.ByName(name, 2000, 3)
+		tr := Build(d.Points, nil, Options{})
+		s := tr.NewSearcher()
+		rng := data.NewRNG(5)
+		for trial := 0; trial < 30; trial++ {
+			q := d.Points.At(rng.Intn(2000))
+			r2 := float32(0.001 + rng.Float64()*0.05)
+			got, _ := s.RadiusSearch(q, r2, nil)
+			want := bruteRadius(d.Points, q, r2)
+			if len(got) != len(want) {
+				t.Fatalf("%s trial %d: got %d neighbors, want %d", name, trial, len(got), len(want))
+			}
+			seen := map[int64]bool{}
+			for i, nb := range got {
+				if nb.Dist2 >= r2 {
+					t.Fatalf("%s: result outside radius: %v", name, nb)
+				}
+				if i > 0 && nb.Dist2 < got[i-1].Dist2 {
+					t.Fatalf("%s: results not sorted", name)
+				}
+				seen[nb.ID] = true
+			}
+			for _, nb := range want {
+				if !seen[nb.ID] {
+					t.Fatalf("%s: missing neighbor %d", name, nb.ID)
+				}
+			}
+		}
+	}
+}
+
+func TestRadiusSearchProperty(t *testing.T) {
+	d := data.Cosmo(1500, 7)
+	tr := Build(d.Points, nil, Options{})
+	s := tr.NewSearcher()
+	f := func(qx, qy, qz float32, rRaw uint8) bool {
+		q := []float32{
+			float32(math.Mod(math.Abs(float64(qx)), 1)),
+			float32(math.Mod(math.Abs(float64(qy)), 1)),
+			float32(math.Mod(math.Abs(float64(qz)), 1)),
+		}
+		r2 := float32(rRaw%50+1) / 500
+		got, _ := s.RadiusSearch(q, r2, nil)
+		return len(got) == len(bruteRadius(d.Points, q, r2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRadiusSearchEdgeCases(t *testing.T) {
+	d := data.Uniform(100, 3, 9)
+	tr := Build(d.Points, nil, Options{})
+	s := tr.NewSearcher()
+	if got, _ := s.RadiusSearch(d.Points.At(0), 0, nil); len(got) != 0 {
+		t.Fatal("r2=0 must return nothing")
+	}
+	// Radius covering everything returns all points.
+	got, _ := s.RadiusSearch([]float32{0.5, 0.5, 0.5}, 100, nil)
+	if len(got) != 100 {
+		t.Fatalf("full-cover radius returned %d/100", len(got))
+	}
+	// Empty tree.
+	empty := Build(geom.NewPoints(0, 3), nil, Options{})
+	if got, _ := empty.NewSearcher().RadiusSearch([]float32{0, 0, 0}, 1, nil); len(got) != 0 {
+		t.Fatal("empty tree radius search returned results")
+	}
+}
+
+func TestRadiusSearchAppendsToOut(t *testing.T) {
+	d := data.Uniform(500, 3, 11)
+	tr := Build(d.Points, nil, Options{})
+	s := tr.NewSearcher()
+	prefix := []Neighbor{{ID: -1, Dist2: -1}}
+	out, _ := s.RadiusSearch(d.Points.At(0), 0.01, prefix)
+	if out[0].ID != -1 {
+		t.Fatal("existing prefix clobbered")
+	}
+	// Only the appended tail must be sorted.
+	for i := 2; i < len(out); i++ {
+		if out[i].Dist2 < out[i-1].Dist2 {
+			t.Fatal("appended results not sorted")
+		}
+	}
+}
+
+func TestCountWithinMatchesRadiusSearch(t *testing.T) {
+	d := data.Plasma(3000, 13)
+	tr := Build(d.Points, nil, Options{})
+	s := tr.NewSearcher()
+	rng := data.NewRNG(15)
+	for trial := 0; trial < 30; trial++ {
+		q := d.Points.At(rng.Intn(3000))
+		r2 := float32(0.0005 + rng.Float64()*0.01)
+		cnt, _ := s.CountWithin(q, r2)
+		full, _ := s.RadiusSearch(q, r2, nil)
+		if cnt != len(full) {
+			t.Fatalf("trial %d: count %d != materialized %d", trial, cnt, len(full))
+		}
+	}
+}
+
+func TestCountWithinPanicsOnDimMismatch(t *testing.T) {
+	d := data.Uniform(10, 3, 17)
+	tr := Build(d.Points, nil, Options{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dim mismatch did not panic")
+		}
+	}()
+	tr.NewSearcher().CountWithin([]float32{0}, 1)
+}
+
+func TestRadiusSearchPrunes(t *testing.T) {
+	// Small radii must visit far fewer nodes than the full tree.
+	d := data.Uniform(50000, 3, 19)
+	tr := Build(d.Points, nil, Options{})
+	s := tr.NewSearcher()
+	_, st := s.RadiusSearch(d.Points.At(0), 1e-4, nil)
+	if st.NodesVisited > int64(tr.Stats().Nodes)/10 {
+		t.Fatalf("tiny radius visited %d of %d nodes", st.NodesVisited, tr.Stats().Nodes)
+	}
+}

@@ -1,0 +1,166 @@
+// Package knnheap implements the bounded max-heap that PANDA's query kernel
+// (Algorithm 1 in the paper) uses to track the k nearest neighbors found so
+// far, plus the top-k merge of local and remote candidate sets performed by
+// the query owner (§III-B step 5).
+//
+// The heap is a classic array-backed binary max-heap ordered by squared
+// distance: the root is the *worst* of the current k candidates, so the
+// pruning radius r' is simply the root's distance once the heap is full.
+package knnheap
+
+// Item is one KNN candidate: a point identifier and its squared distance
+// from the query. ID is a global point index (rank-local index promoted to a
+// global id in the distributed setting).
+type Item struct {
+	Dist2 float32
+	ID    int64
+}
+
+// Heap is a bounded max-heap of at most K items, ordered by Dist2.
+// The zero value is unusable; call New or Reset.
+type Heap struct {
+	items []Item
+	k     int
+}
+
+// New returns a heap with capacity k (k >= 1).
+func New(k int) *Heap {
+	if k < 1 {
+		panic("knnheap: k must be >= 1")
+	}
+	return &Heap{items: make([]Item, 0, k), k: k}
+}
+
+// Reset empties the heap and sets a new capacity, reusing storage when
+// possible. PANDA's batched query loop resets one heap per query rather than
+// allocating.
+func (h *Heap) Reset(k int) {
+	if k < 1 {
+		panic("knnheap: k must be >= 1")
+	}
+	if cap(h.items) < k {
+		h.items = make([]Item, 0, k)
+	} else {
+		h.items = h.items[:0]
+	}
+	h.k = k
+}
+
+// Len returns the number of items currently held.
+func (h *Heap) Len() int { return len(h.items) }
+
+// K returns the heap capacity.
+func (h *Heap) K() int { return h.k }
+
+// Full reports whether the heap holds k items.
+func (h *Heap) Full() bool { return len(h.items) == h.k }
+
+// MaxDist2 returns the current pruning bound r'^2: the squared distance of
+// the worst retained candidate when the heap is full, and +"infinity"
+// (math.MaxFloat32) otherwise. Algorithm 1 line 12 reads this after every
+// insertion.
+func (h *Heap) MaxDist2() float32 {
+	if len(h.items) < h.k {
+		return maxFloat32
+	}
+	return h.items[0].Dist2
+}
+
+const maxFloat32 = 3.40282346638528859811704183484516925440e+38
+
+// Push offers a candidate. If the heap is not full the candidate is added;
+// otherwise it replaces the current worst candidate only when strictly
+// closer (Algorithm 1 lines 8–15). It returns true when the heap changed.
+func (h *Heap) Push(dist2 float32, id int64) bool {
+	if len(h.items) < h.k {
+		h.items = append(h.items, Item{Dist2: dist2, ID: id})
+		h.siftUp(len(h.items) - 1)
+		return true
+	}
+	if dist2 >= h.items[0].Dist2 {
+		return false
+	}
+	h.items[0] = Item{Dist2: dist2, ID: id}
+	h.siftDown(0)
+	return true
+}
+
+// Items returns the retained candidates in heap order (not sorted). The
+// returned slice aliases internal storage and is invalidated by Push/Reset.
+func (h *Heap) Items() []Item { return h.items }
+
+// Sorted extracts all items ordered by ascending distance, emptying the
+// heap. Ties are broken by ascending ID so results are deterministic.
+func (h *Heap) Sorted() []Item {
+	out := make([]Item, len(h.items))
+	copy(out, h.items)
+	sortItems(out)
+	h.items = h.items[:0]
+	return out
+}
+
+// sortItems sorts by (Dist2, ID) ascending. Insertion sort: k is small
+// (typically 5-10 in the paper's experiments), so this beats sort.Slice.
+func sortItems(items []Item) {
+	for i := 1; i < len(items); i++ {
+		v := items[i]
+		j := i - 1
+		for j >= 0 && less(v, items[j]) {
+			items[j+1] = items[j]
+			j--
+		}
+		items[j+1] = v
+	}
+}
+
+func less(a, b Item) bool {
+	if a.Dist2 != b.Dist2 {
+		return a.Dist2 < b.Dist2
+	}
+	return a.ID < b.ID
+}
+
+func (h *Heap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[i].Dist2 <= h.items[parent].Dist2 {
+			return
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+func (h *Heap) siftDown(i int) {
+	n := len(h.items)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h.items[l].Dist2 > h.items[largest].Dist2 {
+			largest = l
+		}
+		if r < n && h.items[r].Dist2 > h.items[largest].Dist2 {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.items[i], h.items[largest] = h.items[largest], h.items[i]
+		i = largest
+	}
+}
+
+// MergeTopK merges several candidate lists (each already deduplicated by
+// construction: candidates come from disjoint rank domains) and returns the
+// k nearest overall, sorted ascending by (distance, id). This is §III-B
+// step 5: "put them all in a heap ordered by the distance and pick the
+// top k".
+func MergeTopK(k int, lists ...[]Item) []Item {
+	h := New(k)
+	for _, list := range lists {
+		for _, it := range list {
+			h.Push(it.Dist2, it.ID)
+		}
+	}
+	return h.Sorted()
+}

@@ -1,0 +1,184 @@
+package knnheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestPushBelowCapacityAlwaysAccepts(t *testing.T) {
+	h := New(3)
+	for i, d := range []float32{5, 1, 9} {
+		if !h.Push(d, int64(i)) {
+			t.Fatalf("push %d rejected below capacity", i)
+		}
+	}
+	if !h.Full() || h.Len() != 3 {
+		t.Fatalf("len=%d full=%v", h.Len(), h.Full())
+	}
+}
+
+func TestMaxDist2BeforeFullIsInfinite(t *testing.T) {
+	h := New(2)
+	if h.MaxDist2() != maxFloat32 {
+		t.Fatal("empty heap bound should be max float")
+	}
+	h.Push(1, 0)
+	if h.MaxDist2() != maxFloat32 {
+		t.Fatal("partially full heap bound should be max float")
+	}
+	h.Push(2, 1)
+	if h.MaxDist2() != 2 {
+		t.Fatalf("full heap bound = %v, want 2", h.MaxDist2())
+	}
+}
+
+func TestPushReplacesWorstOnlyWhenCloser(t *testing.T) {
+	h := New(2)
+	h.Push(4, 0)
+	h.Push(2, 1)
+	if h.Push(4, 2) {
+		t.Fatal("equal-distance candidate must be rejected (strictly closer rule)")
+	}
+	if !h.Push(3, 3) {
+		t.Fatal("closer candidate must be accepted")
+	}
+	got := h.Sorted()
+	if got[0].ID != 1 || got[1].ID != 3 {
+		t.Fatalf("Sorted = %v", got)
+	}
+	if got[0].Dist2 != 2 || got[1].Dist2 != 3 {
+		t.Fatalf("Sorted dists = %v", got)
+	}
+}
+
+func TestSortedTieBreaksByID(t *testing.T) {
+	h := New(3)
+	h.Push(1, 7)
+	h.Push(1, 3)
+	h.Push(1, 5)
+	got := h.Sorted()
+	if got[0].ID != 3 || got[1].ID != 5 || got[2].ID != 7 {
+		t.Fatalf("tie-broken order = %v", got)
+	}
+}
+
+func TestSortedEmptiesHeap(t *testing.T) {
+	h := New(2)
+	h.Push(1, 0)
+	h.Sorted()
+	if h.Len() != 0 {
+		t.Fatal("Sorted must drain the heap")
+	}
+}
+
+func TestResetReusesStorage(t *testing.T) {
+	h := New(8)
+	for i := 0; i < 8; i++ {
+		h.Push(float32(i), int64(i))
+	}
+	h.Reset(4)
+	if h.Len() != 0 || h.K() != 4 {
+		t.Fatalf("after reset len=%d k=%d", h.Len(), h.K())
+	}
+	h.Push(5, 1)
+	if h.Len() != 1 {
+		t.Fatal("push after reset failed")
+	}
+}
+
+// bruteTopK is the oracle: sort all candidates, take k with (dist,id) order.
+func bruteTopK(k int, items []Item) []Item {
+	s := make([]Item, len(items))
+	copy(s, items)
+	sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
+	// The heap's strictly-closer rule keeps the FIRST-seen among exact
+	// distance ties at the boundary; with unique IDs and the (dist,id)
+	// sort, any k-subset with the same multiset of distances is valid.
+	if len(s) > k {
+		s = s[:k]
+	}
+	return s
+}
+
+func TestHeapMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64, kRaw uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := int(kRaw%10) + 1
+		n := r.Intn(200)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{Dist2: float32(r.Intn(50)), ID: int64(i)}
+		}
+		h := New(k)
+		for _, it := range items {
+			h.Push(it.Dist2, it.ID)
+		}
+		got := h.Sorted()
+		want := bruteTopK(k, items)
+		if len(got) != len(want) {
+			return false
+		}
+		// Compare distance multisets (ids can differ on boundary ties).
+		for i := range got {
+			if got[i].Dist2 != want[i].Dist2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeapInvariantMaintained(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	h := New(16)
+	for i := 0; i < 1000; i++ {
+		h.Push(r.Float32(), int64(i))
+		items := h.Items()
+		for j := 1; j < len(items); j++ {
+			parent := (j - 1) / 2
+			if items[parent].Dist2 < items[j].Dist2 {
+				t.Fatalf("heap property violated at %d after %d pushes", j, i+1)
+			}
+		}
+	}
+}
+
+func TestMergeTopK(t *testing.T) {
+	local := []Item{{1, 10}, {4, 11}, {9, 12}}
+	remoteA := []Item{{2, 20}, {16, 21}}
+	remoteB := []Item{{3, 30}}
+	got := MergeTopK(3, local, remoteA, remoteB)
+	wantIDs := []int64{10, 20, 30}
+	for i, id := range wantIDs {
+		if got[i].ID != id {
+			t.Fatalf("MergeTopK = %v, want ids %v", got, wantIDs)
+		}
+	}
+}
+
+func TestMergeTopKFewerThanK(t *testing.T) {
+	got := MergeTopK(5, []Item{{2, 1}}, []Item{{1, 2}})
+	if len(got) != 2 || got[0].ID != 2 || got[1].ID != 1 {
+		t.Fatalf("MergeTopK short = %v", got)
+	}
+}
+
+func TestMergeTopKEmpty(t *testing.T) {
+	if got := MergeTopK(3); len(got) != 0 {
+		t.Fatalf("MergeTopK() = %v, want empty", got)
+	}
+}

@@ -1,0 +1,142 @@
+// Package ptsio reads and writes the simple binary point-file format used
+// by the panda CLI: a fixed header followed by packed float32 coordinates
+// and optional uint8 class labels.
+//
+// Layout (little-endian):
+//
+//	magic   [4]byte  "PNDA"
+//	version uint32   1
+//	n       uint32   point count
+//	dims    uint32   dimensionality
+//	labeled uint8    0 or 1
+//	coords  n*dims*4 bytes of float32
+//	labels  n bytes (when labeled == 1)
+package ptsio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"panda/internal/geom"
+)
+
+var magic = [4]byte{'P', 'N', 'D', 'A'}
+
+const version = 1
+
+// Save writes points (and labels, when non-nil) to path.
+func Save(path string, pts geom.Points, labels []uint8) error {
+	if labels != nil && len(labels) != pts.Len() {
+		return fmt.Errorf("ptsio: %d labels for %d points", len(labels), pts.Len())
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	if err := writeAll(w, pts, labels); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeAll(w io.Writer, pts geom.Points, labels []uint8) error {
+	if _, err := w.Write(magic[:]); err != nil {
+		return err
+	}
+	hdr := make([]byte, 13)
+	binary.LittleEndian.PutUint32(hdr[0:4], version)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(pts.Len()))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(pts.Dims))
+	if labels != nil {
+		hdr[12] = 1
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	buf := make([]byte, 4*4096)
+	for off := 0; off < len(pts.Coords); off += 4096 {
+		end := off + 4096
+		if end > len(pts.Coords) {
+			end = len(pts.Coords)
+		}
+		chunk := pts.Coords[off:end]
+		for i, v := range chunk {
+			binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+		}
+		if _, err := w.Write(buf[:len(chunk)*4]); err != nil {
+			return err
+		}
+	}
+	if labels != nil {
+		if _, err := w.Write(labels); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Load reads a point file written by Save.
+func Load(path string) (geom.Points, []uint8, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return geom.Points{}, nil, err
+	}
+	defer f.Close()
+	return readAll(bufio.NewReaderSize(f, 1<<20))
+}
+
+func readAll(r io.Reader) (geom.Points, []uint8, error) {
+	var m [4]byte
+	if _, err := io.ReadFull(r, m[:]); err != nil {
+		return geom.Points{}, nil, fmt.Errorf("ptsio: reading magic: %w", err)
+	}
+	if m != magic {
+		return geom.Points{}, nil, fmt.Errorf("ptsio: bad magic %q", m)
+	}
+	hdr := make([]byte, 13)
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return geom.Points{}, nil, fmt.Errorf("ptsio: reading header: %w", err)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[0:4]); v != version {
+		return geom.Points{}, nil, fmt.Errorf("ptsio: unsupported version %d", v)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	dims := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	labeled := hdr[12] == 1
+	if dims <= 0 || n < 0 {
+		return geom.Points{}, nil, fmt.Errorf("ptsio: invalid shape n=%d dims=%d", n, dims)
+	}
+	pts := geom.NewPoints(n, dims)
+	raw := make([]byte, 4*4096)
+	for off := 0; off < len(pts.Coords); {
+		want := len(pts.Coords) - off
+		if want > 4096 {
+			want = 4096
+		}
+		if _, err := io.ReadFull(r, raw[:want*4]); err != nil {
+			return geom.Points{}, nil, fmt.Errorf("ptsio: reading coords: %w", err)
+		}
+		for i := 0; i < want; i++ {
+			pts.Coords[off+i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+		}
+		off += want
+	}
+	var labels []uint8
+	if labeled {
+		labels = make([]uint8, n)
+		if _, err := io.ReadFull(r, labels); err != nil {
+			return geom.Points{}, nil, fmt.Errorf("ptsio: reading labels: %w", err)
+		}
+	}
+	return pts, labels, nil
+}

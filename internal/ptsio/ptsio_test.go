@@ -1,0 +1,109 @@
+package ptsio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"panda/internal/data"
+	"panda/internal/geom"
+)
+
+func TestRoundTripUnlabeled(t *testing.T) {
+	d := data.Cosmo(1234, 5)
+	path := filepath.Join(t.TempDir(), "pts.bin")
+	if err := Save(path, d.Points, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, labels, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels != nil {
+		t.Fatal("unlabeled file returned labels")
+	}
+	if got.Len() != d.Points.Len() || got.Dims != d.Points.Dims {
+		t.Fatalf("shape %dx%d", got.Len(), got.Dims)
+	}
+	for i := range got.Coords {
+		if got.Coords[i] != d.Points.Coords[i] {
+			t.Fatalf("coord %d differs", i)
+		}
+	}
+}
+
+func TestRoundTripLabeled(t *testing.T) {
+	d := data.DayaBay(500, 6)
+	path := filepath.Join(t.TempDir(), "pts.bin")
+	if err := Save(path, d.Points, d.Labels); err != nil {
+		t.Fatal(err)
+	}
+	_, labels, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) != 500 {
+		t.Fatalf("labels len = %d", len(labels))
+	}
+	for i := range labels {
+		if labels[i] != d.Labels[i] {
+			t.Fatalf("label %d differs", i)
+		}
+	}
+}
+
+func TestSaveRejectsLabelMismatch(t *testing.T) {
+	if err := Save(filepath.Join(t.TempDir(), "x"), geom.NewPoints(3, 2), make([]uint8, 2)); err == nil {
+		t.Fatal("mismatched labels accepted")
+	}
+}
+
+func TestLoadRejectsBadMagic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.bin")
+	if err := os.WriteFile(path, []byte("NOPE12345678901234567"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(path); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	d := data.Uniform(100, 3, 7)
+	path := filepath.Join(t.TempDir(), "t.bin")
+	if err := Save(path, d.Points, nil); err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := os.ReadFile(path)
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(path); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+func TestReadAllRejectsWrongVersion(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte("PNDA"))
+	buf.Write([]byte{9, 0, 0, 0}) // version 9
+	buf.Write(make([]byte, 9))
+	if _, _, err := readAll(&buf); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+}
+
+func TestEmptyPointSet(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "e.bin")
+	if err := Save(path, geom.NewPoints(0, 3), nil); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 || got.Dims != 3 {
+		t.Fatalf("shape %dx%d", got.Len(), got.Dims)
+	}
+}

@@ -1,0 +1,181 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeterAccumulates(t *testing.T) {
+	var m Meter
+	m.Add(KDist, 10)
+	m.Add(KDist, 5)
+	m.Add(KHeap, 2)
+	if m.Units(KDist) != 15 || m.Units(KHeap) != 2 {
+		t.Fatalf("units = %d %d", m.Units(KDist), m.Units(KHeap))
+	}
+}
+
+func TestMeterComputeNS(t *testing.T) {
+	r := DefaultRates()
+	var m Meter
+	m.Add(KDist, 100)
+	want := 100 * r.NS[KDist]
+	if got := m.ComputeNS(r); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ComputeNS = %v, want %v", got, want)
+	}
+}
+
+func TestAddMeter(t *testing.T) {
+	var a, b Meter
+	a.Add(KHeap, 3)
+	b.Add(KHeap, 4)
+	b.Add(KDist, 1)
+	a.AddMeter(&b)
+	if a.Units(KHeap) != 7 || a.Units(KDist) != 1 {
+		t.Fatal("AddMeter wrong")
+	}
+}
+
+func TestPhaseComputeIsMaxOverThreads(t *testing.T) {
+	r := DefaultRates()
+	p := &PhaseMeter{Name: "x", Threads: make([]Meter, 3)}
+	p.Thread(0).Add(KDist, 100)
+	p.Thread(1).Add(KDist, 300)
+	p.Thread(2).Add(KDist, 200)
+	want := 300 * r.NS[KDist]
+	if got := p.ComputeNS(r); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ComputeNS = %v, want max thread %v", got, want)
+	}
+}
+
+func TestCommNS(t *testing.T) {
+	r := DefaultRates()
+	p := &PhaseMeter{Name: "x", Threads: make([]Meter, 1)}
+	p.AddComm(2, 1000)
+	want := 2*r.NetLatencyNS + 1000/r.NetBytesPerNS
+	if got := p.CommNS(r); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("CommNS = %v, want %v", got, want)
+	}
+}
+
+func TestOverlappedPhaseTime(t *testing.T) {
+	r := DefaultRates()
+	mk := func(overlapped bool) *PhaseMeter {
+		p := &PhaseMeter{Name: "x", Threads: make([]Meter, 1), Overlapped: overlapped}
+		p.Thread(0).Add(KDist, 10000) // 10000 ns compute
+		p.AddComm(1, 30000)           // 2000 + 3000 = 5000 ns comm
+		return p
+	}
+	seq := mk(false).TimeNS(r)
+	ovl := mk(true).TimeNS(r)
+	if seq <= ovl {
+		t.Fatalf("sequential %v must exceed overlapped %v", seq, ovl)
+	}
+	if math.Abs(ovl-10000*r.NS[KDist]) > 1e-6 {
+		t.Fatalf("overlapped time = %v, want compute-bound %v", ovl, 10000*r.NS[KDist])
+	}
+}
+
+func TestRecorderPhasesAccumulateOnReentry(t *testing.T) {
+	rec := NewRecorder(2)
+	rec.Phase("a").Thread(0).Add(KDist, 5)
+	rec.Phase("b").Thread(0).Add(KDist, 1)
+	rec.Phase("a").Thread(0).Add(KDist, 7)
+	if got := rec.Get("a").Thread(0).Units(KDist); got != 12 {
+		t.Fatalf("re-entered phase units = %d, want 12", got)
+	}
+	if len(rec.Phases()) != 2 {
+		t.Fatalf("phases = %d, want 2", len(rec.Phases()))
+	}
+}
+
+func TestRecorderCurrentDefault(t *testing.T) {
+	rec := NewRecorder(1)
+	rec.Current().Thread(0).Add(KHeap, 1)
+	if rec.Get("default") == nil {
+		t.Fatal("Current on fresh recorder should create default phase")
+	}
+}
+
+func TestAggregateMaxAcrossRanks(t *testing.T) {
+	r := DefaultRates()
+	recs := []*Recorder{NewRecorder(1), NewRecorder(1)}
+	recs[0].Phase("build").Thread(0).Add(KDist, 100)
+	recs[1].Phase("build").Thread(0).Add(KDist, 400)
+	rep := Aggregate(r, recs)
+	pt, ok := rep.Find("build")
+	if !ok {
+		t.Fatal("missing phase")
+	}
+	want := 400 * r.NS[KDist] / 1e9
+	if math.Abs(pt.Seconds-want) > 1e-15 {
+		t.Fatalf("aggregate = %v, want %v (max over ranks)", pt.Seconds, want)
+	}
+}
+
+func TestAggregateNonOverlappedComm(t *testing.T) {
+	r := DefaultRates()
+	rec := NewRecorder(1)
+	p := rec.Phase("query")
+	p.Overlapped = true
+	p.Thread(0).Add(KDist, 1000) // 1000ns compute
+	p.AddComm(0, 50000)          // 5000ns comm
+	rep := Aggregate(r, []*Recorder{rec})
+	pt, _ := rep.Find("query")
+	wantNonOverlap := (5000.0 - 1000.0*r.NS[KDist]) / 1e9
+	if math.Abs(pt.NonOverlappedCommSeconds-wantNonOverlap) > 1e-12 {
+		t.Fatalf("non-overlapped = %v, want %v", pt.NonOverlappedCommSeconds, wantNonOverlap)
+	}
+}
+
+func TestAggregatePreservesPhaseOrder(t *testing.T) {
+	recs := []*Recorder{NewRecorder(1)}
+	recs[0].Phase("z-first")
+	recs[0].Phase("a-second")
+	rep := Aggregate(DefaultRates(), recs)
+	if rep.Phases[0].Name != "z-first" || rep.Phases[1].Name != "a-second" {
+		t.Fatalf("phase order = %v", rep.SortedPhases())
+	}
+}
+
+func TestReportTotalWithFilter(t *testing.T) {
+	rec := NewRecorder(1)
+	rec.Phase("build.a").Thread(0).Add(KDist, 1000)
+	rec.Phase("query.b").Thread(0).Add(KDist, 3000)
+	rep := Aggregate(DefaultRates(), []*Recorder{rec})
+	all := rep.Total(nil)
+	build := rep.Total(func(n string) bool { return n[:5] == "build" })
+	if build >= all || build <= 0 {
+		t.Fatalf("filtered total %v vs all %v", build, all)
+	}
+}
+
+func TestCalibrateProducesPositiveRates(t *testing.T) {
+	r := Calibrate()
+	for k := Kind(0); k < kindCount; k++ {
+		if r.NS[k] <= 0 {
+			t.Fatalf("rate %v = %v", k, r.NS[k])
+		}
+	}
+	if r.NetLatencyNS <= 0 || r.NetBytesPerNS <= 0 {
+		t.Fatal("network rates must be positive")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KDist.String() != "dist" || KHistBinary.String() != "histbinary" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(100).String() != "kind(100)" {
+		t.Fatal("out-of-range kind name wrong")
+	}
+}
+
+func TestScanBeatsBinaryInModel(t *testing.T) {
+	// The model must encode the paper's finding that the sub-interval scan
+	// outperforms binary search for histogram bin location.
+	r := DefaultRates()
+	if r.NS[KHistScan] >= r.NS[KHistBinary] {
+		t.Fatal("model rates must reflect scan < binary cost")
+	}
+}

@@ -1,0 +1,104 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestTCPPeerDisappearsUnblocksRecv injects a mid-run fault: one mesh
+// member closes while a peer is blocked receiving from it. The survivor's
+// pending receive must not hang forever once its own endpoint closes (the
+// cluster layer's failure path shuts local endpoints down on error).
+func TestTCPPeerDisappearsUnblocksRecv(t *testing.T) {
+	lns := make([]net.Listener, 2)
+	addrs := make([]string, 2)
+	for i := range lns {
+		ln, err := Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	eps := make([]Transport, 2)
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := NewTCP(i, lns[i], addrs)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			eps[i] = tr
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := eps[0].Recv(1, 7)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	eps[1].Close() // peer dies without sending
+	time.Sleep(20 * time.Millisecond)
+	eps[0].Close() // local shutdown (what cluster.Run's failure path does)
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("recv returned nil after fabric teardown")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("recv hung after peer disappeared and local close")
+	}
+}
+
+// TestSendAfterCloseErrors verifies post-close sends fail cleanly on both
+// fabrics.
+func TestSendAfterCloseErrors(t *testing.T) {
+	n := NewNetwork(2)
+	ep := n.Endpoint(0)
+	ep1 := n.Endpoint(1)
+	ep1.Close()
+	if err := ep.Send(1, 1, []byte("x")); err == nil {
+		t.Fatal("inproc send to closed mailbox must error")
+	}
+	_ = ep
+}
+
+// TestMailboxOrderUnderConcurrentProducers checks that matched receive
+// never loses messages when several sources feed one mailbox concurrently.
+func TestMailboxOrderUnderConcurrentProducers(t *testing.T) {
+	n := NewNetwork(4)
+	dst := n.Endpoint(3)
+	const per = 200
+	for src := 0; src < 3; src++ {
+		go func(src int) {
+			ep := n.Endpoint(src)
+			for i := 0; i < per; i++ {
+				ep.Send(3, 5, []byte{byte(src), byte(i)})
+			}
+		}(src)
+	}
+	next := [3]int{}
+	for i := 0; i < 3*per; i++ {
+		src, payload, err := dst.Recv(Any, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(payload[0]) != src {
+			t.Fatal("payload source mismatch")
+		}
+		if int(payload[1]) != next[src] {
+			t.Fatalf("source %d out of order: got %d want %d", src, payload[1], next[src])
+		}
+		next[src]++
+	}
+}

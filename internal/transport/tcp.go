@@ -1,0 +1,212 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// TCP is a full-mesh TCP transport: every pair of ranks shares one duplex
+// connection carrying length-prefixed frames. It implements the same
+// matched-receive semantics as the in-process fabric, so PANDA runs
+// unchanged as separate OS processes (cmd/panda-node) on one or many hosts.
+type TCP struct {
+	rank  int
+	addrs []string
+	conns []net.Conn // conns[j] is the link to rank j; nil for self
+	sendM []sync.Mutex
+	box   *mailbox
+	ln    net.Listener
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// frame layout: src int32 | tag int32 | length uint32 | payload.
+const frameHeader = 12
+
+// DialTimeout bounds connection establishment to each peer.
+const DialTimeout = 30 * time.Second
+
+// NewTCP joins a mesh of len(addrs) ranks as rank r, listening on ln
+// (which must be bound to addrs[r]). It dials every lower rank and accepts
+// connections from every higher rank; peers may start in any order within
+// DialTimeout. Use Listen to create ln.
+func NewTCP(rank int, ln net.Listener, addrs []string) (*TCP, error) {
+	p := len(addrs)
+	t := &TCP{
+		rank:  rank,
+		addrs: addrs,
+		conns: make([]net.Conn, p),
+		sendM: make([]sync.Mutex, p),
+		box:   newMailbox(),
+		ln:    ln,
+	}
+
+	errc := make(chan error, p)
+	var pending sync.WaitGroup
+
+	// Accept from higher ranks.
+	nAccept := p - rank - 1
+	pending.Add(1)
+	go func() {
+		defer pending.Done()
+		for i := 0; i < nAccept; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				errc <- fmt.Errorf("rank %d accept: %w", rank, err)
+				return
+			}
+			var hello [4]byte
+			if _, err := io.ReadFull(conn, hello[:]); err != nil {
+				errc <- fmt.Errorf("rank %d handshake read: %w", rank, err)
+				return
+			}
+			peer := int(int32(binary.LittleEndian.Uint32(hello[:])))
+			if peer <= rank || peer >= p {
+				errc <- fmt.Errorf("rank %d: bad hello from peer %d", rank, peer)
+				return
+			}
+			t.conns[peer] = conn
+		}
+		errc <- nil
+	}()
+
+	// Dial lower ranks (with retry: peers may not be listening yet).
+	pending.Add(1)
+	go func() {
+		defer pending.Done()
+		for j := 0; j < rank; j++ {
+			conn, err := dialRetry(addrs[j])
+			if err != nil {
+				errc <- fmt.Errorf("rank %d dial rank %d: %w", rank, j, err)
+				return
+			}
+			var hello [4]byte
+			binary.LittleEndian.PutUint32(hello[:], uint32(rank))
+			if _, err := conn.Write(hello[:]); err != nil {
+				errc <- fmt.Errorf("rank %d handshake write: %w", rank, err)
+				return
+			}
+			t.conns[j] = conn
+		}
+		errc <- nil
+	}()
+
+	pending.Wait()
+	close(errc)
+	for err := range errc {
+		if err != nil {
+			t.Close()
+			return nil, err
+		}
+	}
+
+	for j, c := range t.conns {
+		if c != nil {
+			go t.readLoop(j, c)
+		}
+	}
+	return t, nil
+}
+
+// Listen binds a TCP listener for NewTCP. addr may use port 0; the chosen
+// address is ln.Addr().
+func Listen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr)
+}
+
+func dialRetry(addr string) (net.Conn, error) {
+	deadline := time.Now().Add(DialTimeout)
+	delay := 5 * time.Millisecond
+	for {
+		conn, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+		if err == nil {
+			if tc, ok := conn.(*net.TCPConn); ok {
+				tc.SetNoDelay(true)
+			}
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(delay)
+		if delay < 200*time.Millisecond {
+			delay *= 2
+		}
+	}
+}
+
+func (t *TCP) readLoop(peer int, conn net.Conn) {
+	hdr := make([]byte, frameHeader)
+	for {
+		if _, err := io.ReadFull(conn, hdr); err != nil {
+			return // connection closed
+		}
+		src := int(int32(binary.LittleEndian.Uint32(hdr[0:4])))
+		tag := int(int32(binary.LittleEndian.Uint32(hdr[4:8])))
+		n := binary.LittleEndian.Uint32(hdr[8:12])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(conn, payload); err != nil {
+			return
+		}
+		if t.box.put(src, tag, payload) != nil {
+			return
+		}
+	}
+}
+
+// Rank returns this endpoint's rank.
+func (t *TCP) Rank() int { return t.rank }
+
+// Size returns the mesh size.
+func (t *TCP) Size() int { return len(t.addrs) }
+
+// Send transmits payload to rank `to` with the given tag.
+func (t *TCP) Send(to, tag int, payload []byte) error {
+	if to < 0 || to >= len(t.addrs) {
+		return fmt.Errorf("transport: rank %d out of range", to)
+	}
+	if to == t.rank {
+		return t.box.put(t.rank, tag, payload)
+	}
+	hdr := make([]byte, frameHeader)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(int32(t.rank)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(int32(tag)))
+	binary.LittleEndian.PutUint32(hdr[8:12], uint32(len(payload)))
+	t.sendM[to].Lock()
+	defer t.sendM[to].Unlock()
+	conn := t.conns[to]
+	if conn == nil {
+		return ErrClosed
+	}
+	if _, err := conn.Write(hdr); err != nil {
+		return err
+	}
+	_, err := conn.Write(payload)
+	return err
+}
+
+// Recv blocks until a message matching (from, tag) arrives.
+func (t *TCP) Recv(from, tag int) (int, []byte, error) {
+	return t.box.get(from, tag)
+}
+
+// Close shuts the mesh down, unblocking pending receives.
+func (t *TCP) Close() error {
+	t.closeOnce.Do(func() {
+		t.box.close()
+		if t.ln != nil {
+			t.closeErr = t.ln.Close()
+		}
+		for _, c := range t.conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	})
+	return t.closeErr
+}

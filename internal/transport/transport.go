@@ -1,0 +1,140 @@
+// Package transport provides the message-passing wire underneath PANDA's
+// cluster runtime: MPI-style matched (source, tag) point-to-point messaging
+// over two interchangeable fabrics — in-process channels/mailboxes (the
+// default for simulated clusters) and TCP sockets (for real multi-process
+// runs, see cmd/panda-node). The algorithm above only sees this interface,
+// which is the substitution argument for the paper's MPI/Aries stack
+// (DESIGN.md §1).
+package transport
+
+import (
+	"errors"
+	"sync"
+)
+
+// Any matches messages from any source rank in Recv.
+const Any = -1
+
+// ErrClosed is returned by operations on a closed transport.
+var ErrClosed = errors.New("transport: closed")
+
+// Transport is one rank's endpoint: send to a peer, receive by matching
+// (source, tag). Receives block until a matching message arrives. Sends of
+// a given (src, dst, tag) triple are delivered in order; the payload's
+// ownership transfers to the receiver.
+type Transport interface {
+	Rank() int
+	Size() int
+	Send(to, tag int, payload []byte) error
+	Recv(from, tag int) (src int, payload []byte, err error)
+	Close() error
+}
+
+// message is one in-flight payload.
+type message struct {
+	src, tag int
+	payload  []byte
+}
+
+// mailbox is an unbounded matched-receive queue shared by both fabrics.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	msgs   []message
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(src, tag int, payload []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.msgs = append(m.msgs, message{src: src, tag: tag, payload: payload})
+	m.cond.Broadcast()
+	return nil
+}
+
+func (m *mailbox) get(from, tag int) (int, []byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i := range m.msgs {
+			msg := &m.msgs[i]
+			if msg.tag == tag && (from == Any || msg.src == from) {
+				src, payload := msg.src, msg.payload
+				m.msgs = append(m.msgs[:i], m.msgs[i+1:]...)
+				return src, payload, nil
+			}
+		}
+		if m.closed {
+			return 0, nil, ErrClosed
+		}
+		m.cond.Wait()
+	}
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// Network is an in-process fabric connecting P ranks through shared
+// mailboxes. Create one Network per simulated cluster and hand each rank
+// its Endpoint.
+type Network struct {
+	boxes []*mailbox
+}
+
+// NewNetwork creates an in-process fabric for p ranks.
+func NewNetwork(p int) *Network {
+	n := &Network{boxes: make([]*mailbox, p)}
+	for i := range n.boxes {
+		n.boxes[i] = newMailbox()
+	}
+	return n
+}
+
+// Endpoint returns rank r's transport.
+func (n *Network) Endpoint(r int) Transport {
+	return &inproc{net: n, rank: r}
+}
+
+// Close shuts down every mailbox, unblocking pending receives.
+func (n *Network) Close() {
+	for _, b := range n.boxes {
+		b.close()
+	}
+}
+
+type inproc struct {
+	net  *Network
+	rank int
+}
+
+func (e *inproc) Rank() int { return e.rank }
+func (e *inproc) Size() int { return len(e.net.boxes) }
+
+func (e *inproc) Send(to, tag int, payload []byte) error {
+	if to < 0 || to >= len(e.net.boxes) {
+		return errors.New("transport: rank out of range")
+	}
+	return e.net.boxes[to].put(e.rank, tag, payload)
+}
+
+func (e *inproc) Recv(from, tag int) (int, []byte, error) {
+	return e.net.boxes[e.rank].get(from, tag)
+}
+
+func (e *inproc) Close() error {
+	e.net.boxes[e.rank].close()
+	return nil
+}

@@ -1,0 +1,297 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fabric abstracts the two implementations for shared conformance tests.
+type fabric struct {
+	name string
+	make func(t *testing.T, p int) []Transport
+}
+
+func makeInproc(t *testing.T, p int) []Transport {
+	n := NewNetwork(p)
+	t.Cleanup(n.Close)
+	eps := make([]Transport, p)
+	for i := range eps {
+		eps[i] = n.Endpoint(i)
+	}
+	return eps
+}
+
+func makeTCP(t *testing.T, p int) []Transport {
+	lns := make([]net.Listener, p)
+	addrs := make([]string, p)
+	for i := range lns {
+		ln, err := Listen("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	eps := make([]Transport, p)
+	var wg sync.WaitGroup
+	errs := make([]error, p)
+	for i := 0; i < p; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tr, err := NewTCP(i, lns[i], addrs)
+			eps[i] = tr
+			errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, e := range eps {
+			e.Close()
+		}
+	})
+	return eps
+}
+
+var fabrics = []fabric{
+	{"inproc", makeInproc},
+	{"tcp", makeTCP},
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	for _, f := range fabrics {
+		t.Run(f.name, func(t *testing.T) {
+			eps := f.make(t, 2)
+			done := make(chan error, 1)
+			go func() {
+				done <- eps[0].Send(1, 7, []byte("hello"))
+			}()
+			src, payload, err := eps[1].Recv(0, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if src != 0 || string(payload) != "hello" {
+				t.Fatalf("src=%d payload=%q", src, payload)
+			}
+			if err := <-done; err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRecvMatchesTag(t *testing.T) {
+	for _, f := range fabrics {
+		t.Run(f.name, func(t *testing.T) {
+			eps := f.make(t, 2)
+			if err := eps[0].Send(1, 1, []byte("a")); err != nil {
+				t.Fatal(err)
+			}
+			if err := eps[0].Send(1, 2, []byte("b")); err != nil {
+				t.Fatal(err)
+			}
+			// Receive tag 2 first even though tag 1 arrived first.
+			_, p2, err := eps[1].Recv(0, 2)
+			if err != nil || string(p2) != "b" {
+				t.Fatalf("tag 2 recv = %q, %v", p2, err)
+			}
+			_, p1, err := eps[1].Recv(0, 1)
+			if err != nil || string(p1) != "a" {
+				t.Fatalf("tag 1 recv = %q, %v", p1, err)
+			}
+		})
+	}
+}
+
+func TestRecvMatchesSource(t *testing.T) {
+	for _, f := range fabrics {
+		t.Run(f.name, func(t *testing.T) {
+			eps := f.make(t, 3)
+			if err := eps[0].Send(2, 5, []byte("from0")); err != nil {
+				t.Fatal(err)
+			}
+			if err := eps[1].Send(2, 5, []byte("from1")); err != nil {
+				t.Fatal(err)
+			}
+			_, p, err := eps[2].Recv(1, 5)
+			if err != nil || string(p) != "from1" {
+				t.Fatalf("source-matched recv = %q, %v", p, err)
+			}
+			src, p, err := eps[2].Recv(Any, 5)
+			if err != nil || src != 0 || string(p) != "from0" {
+				t.Fatalf("any recv = src %d %q, %v", src, p, err)
+			}
+		})
+	}
+}
+
+func TestOrderingPerSourceTag(t *testing.T) {
+	for _, f := range fabrics {
+		t.Run(f.name, func(t *testing.T) {
+			eps := f.make(t, 2)
+			const n = 100
+			go func() {
+				for i := 0; i < n; i++ {
+					eps[0].Send(1, 3, []byte{byte(i)})
+				}
+			}()
+			for i := 0; i < n; i++ {
+				_, p, err := eps[1].Recv(0, 3)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if p[0] != byte(i) {
+					t.Errorf("message %d arrived out of order (%d)", i, p[0])
+					return
+				}
+			}
+		})
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	for _, f := range fabrics {
+		t.Run(f.name, func(t *testing.T) {
+			eps := f.make(t, 2)
+			if err := eps[0].Send(0, 9, []byte("self")); err != nil {
+				t.Fatal(err)
+			}
+			src, p, err := eps[0].Recv(0, 9)
+			if err != nil || src != 0 || string(p) != "self" {
+				t.Fatalf("self recv = %d %q %v", src, p, err)
+			}
+		})
+	}
+}
+
+func TestLargePayload(t *testing.T) {
+	for _, f := range fabrics {
+		t.Run(f.name, func(t *testing.T) {
+			eps := f.make(t, 2)
+			big := make([]byte, 1<<20)
+			for i := range big {
+				big[i] = byte(i * 31)
+			}
+			go eps[0].Send(1, 1, big)
+			_, p, err := eps[1].Recv(0, 1)
+			if err != nil || len(p) != len(big) {
+				t.Fatalf("large recv len=%d err=%v", len(p), err)
+			}
+			for i := range p {
+				if p[i] != big[i] {
+					t.Fatalf("byte %d corrupted", i)
+				}
+			}
+		})
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	for _, f := range fabrics {
+		t.Run(f.name, func(t *testing.T) {
+			eps := f.make(t, 2)
+			if err := eps[0].Send(1, 4, nil); err != nil {
+				t.Fatal(err)
+			}
+			src, p, err := eps[1].Recv(0, 4)
+			if err != nil || src != 0 || len(p) != 0 {
+				t.Fatalf("empty recv = %d %v %v", src, p, err)
+			}
+		})
+	}
+}
+
+func TestCloseUnblocksRecv(t *testing.T) {
+	for _, f := range fabrics {
+		t.Run(f.name, func(t *testing.T) {
+			eps := f.make(t, 2)
+			done := make(chan error, 1)
+			go func() {
+				_, _, err := eps[1].Recv(0, 1)
+				done <- err
+			}()
+			time.Sleep(10 * time.Millisecond)
+			eps[1].Close()
+			select {
+			case err := <-done:
+				if err == nil {
+					t.Fatal("recv on closed endpoint returned nil error")
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("recv did not unblock on close")
+			}
+		})
+	}
+}
+
+func TestSendToInvalidRank(t *testing.T) {
+	for _, f := range fabrics {
+		t.Run(f.name, func(t *testing.T) {
+			eps := f.make(t, 2)
+			if err := eps[0].Send(5, 1, nil); err == nil {
+				t.Fatal("send to invalid rank must error")
+			}
+		})
+	}
+}
+
+func TestRankAndSize(t *testing.T) {
+	for _, f := range fabrics {
+		t.Run(f.name, func(t *testing.T) {
+			eps := f.make(t, 3)
+			for i, e := range eps {
+				if e.Rank() != i || e.Size() != 3 {
+					t.Fatalf("endpoint %d: rank=%d size=%d", i, e.Rank(), e.Size())
+				}
+			}
+		})
+	}
+}
+
+func TestManyConcurrentPairs(t *testing.T) {
+	for _, f := range fabrics {
+		t.Run(f.name, func(t *testing.T) {
+			const p = 4
+			eps := f.make(t, p)
+			var wg sync.WaitGroup
+			errs := make(chan error, p*p*2)
+			for i := 0; i < p; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					for j := 0; j < p; j++ {
+						msg := fmt.Sprintf("%d->%d", i, j)
+						if err := eps[i].Send(j, 11, []byte(msg)); err != nil {
+							errs <- err
+						}
+					}
+					for j := 0; j < p; j++ {
+						src, payload, err := eps[i].Recv(j, 11)
+						if err != nil {
+							errs <- err
+							continue
+						}
+						want := fmt.Sprintf("%d->%d", j, i)
+						if src != j || string(payload) != want {
+							errs <- fmt.Errorf("rank %d got %q from %d, want %q", i, payload, src, want)
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				t.Fatal(err)
+			}
+		})
+	}
+}

@@ -1,0 +1,100 @@
+package wire
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestScalarRoundTrip(t *testing.T) {
+	var b []byte
+	b = AppendUint32(b, 42)
+	b = AppendInt32(b, -7)
+	b = AppendUint64(b, 1<<40)
+	b = AppendInt64(b, -1<<40)
+	b = AppendFloat32(b, 3.25)
+	r := NewReader(b)
+	if r.Uint32() != 42 || r.Int32() != -7 || r.Uint64() != 1<<40 || r.Int64() != -1<<40 || r.Float32() != 3.25 {
+		t.Fatal("scalar round trip failed")
+	}
+	if r.Remaining() != 0 {
+		t.Fatalf("remaining = %d", r.Remaining())
+	}
+}
+
+func TestSliceRoundTrip(t *testing.T) {
+	f32 := []float32{1.5, -2.25, float32(math.Inf(1)), 0}
+	i64 := []int64{-1, 0, 1 << 50}
+	i32 := []int32{7, -9}
+	var b []byte
+	b = AppendFloat32s(b, f32)
+	b = AppendInt64s(b, i64)
+	b = AppendInt32s(b, i32)
+	r := NewReader(b)
+	gf := r.Float32s()
+	g64 := r.Int64s()
+	g32 := r.Int32s()
+	for i, v := range f32 {
+		if gf[i] != v {
+			t.Fatalf("float32s[%d] = %v, want %v", i, gf[i], v)
+		}
+	}
+	for i, v := range i64 {
+		if g64[i] != v {
+			t.Fatal("int64s mismatch")
+		}
+	}
+	for i, v := range i32 {
+		if g32[i] != v {
+			t.Fatal("int32s mismatch")
+		}
+	}
+}
+
+func TestEmptySlices(t *testing.T) {
+	var b []byte
+	b = AppendFloat32s(b, nil)
+	b = AppendInt64s(b, nil)
+	r := NewReader(b)
+	if len(r.Float32s()) != 0 || len(r.Int64s()) != 0 {
+		t.Fatal("empty slices must round-trip empty")
+	}
+}
+
+func TestShortBufferPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("short read did not panic")
+		}
+	}()
+	NewReader([]byte{1, 2}).Uint32()
+}
+
+func TestFloat32sPropertyRoundTrip(t *testing.T) {
+	f := func(vals []float32) bool {
+		b := AppendFloat32s(nil, vals)
+		got := NewReader(b).Float32s()
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			// NaNs compare by bit pattern.
+			if math.Float32bits(got[i]) != math.Float32bits(vals[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNaNPreserved(t *testing.T) {
+	nan := float32(math.NaN())
+	b := AppendFloat32(nil, nan)
+	got := NewReader(b).Float32()
+	if !math.IsNaN(float64(got)) {
+		t.Fatal("NaN not preserved")
+	}
+}

@@ -1,0 +1,239 @@
+// Package panda is a from-scratch Go implementation of PANDA (Patwary et
+// al., "PANDA: Extreme Scale Parallel K-Nearest Neighbor on Distributed
+// Architectures", 2016): a distributed kd-tree based exact k-nearest-
+// neighbor system that parallelizes both tree construction and querying.
+//
+// The package offers two layers:
+//
+//   - single-node trees (Build / Tree.KNN / Tree.KNNBatch): the paper's
+//     local kd-tree with sampled-median splits, variance-based dimension
+//     selection, and SIMD-packed 32-point leaf buckets;
+//
+//   - distributed trees (RunCluster / Node.Build / DistTree.Query): the
+//     global partition tree + per-rank local trees of §III, with owner
+//     routing, r'-pruned remote fan-out and top-k merging, over an
+//     in-process simulated cluster or real TCP ranks (JoinTCP).
+//
+// Distributed runs also produce a SimReport: per-phase timings under a
+// calibrated analytic cost model that reproduces the paper's scaling
+// behaviour on a single machine (see DESIGN.md).
+package panda
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"panda/internal/geom"
+	"panda/internal/kdtree"
+	"panda/internal/sample"
+)
+
+// Neighbor is one KNN result: the neighbor's id (the index or caller id of
+// the data point) and its squared Euclidean distance from the query.
+type Neighbor = kdtree.Neighbor
+
+// BuildOptions tunes kd-tree construction. The zero value gives the paper's
+// defaults (variance split dimension, sampled-median split value, bucket
+// size 32, single thread).
+type BuildOptions struct {
+	// BucketSize is the max leaf size (default 32, the paper's best).
+	BucketSize int
+	// Threads is the (simulated) thread count used for construction and
+	// batch queries (default 1).
+	Threads int
+	// SplitDimension is "variance" (default) or "range".
+	SplitDimension string
+	// SplitValue is "sampled-median" (default), "mean-sample" (FLANN
+	// policy) or "mid-range" (ANN policy).
+	SplitValue string
+}
+
+func (o *BuildOptions) toInternal() (kdtree.Options, error) {
+	var opts kdtree.Options
+	if o == nil {
+		return opts, nil
+	}
+	opts.BucketSize = o.BucketSize
+	opts.Threads = o.Threads
+	switch o.SplitDimension {
+	case "", "variance":
+		opts.SplitPolicy = sample.MaxVariance
+	case "range":
+		opts.SplitPolicy = sample.MaxRange
+	default:
+		return opts, fmt.Errorf("panda: unknown SplitDimension %q", o.SplitDimension)
+	}
+	switch o.SplitValue {
+	case "", "sampled-median":
+		opts.SplitValue = kdtree.SplitSampledMedian
+	case "mean-sample":
+		opts.SplitValue = kdtree.SplitMeanSample
+	case "mid-range":
+		opts.SplitValue = kdtree.SplitMidRange
+	default:
+		return opts, fmt.Errorf("panda: unknown SplitValue %q", o.SplitValue)
+	}
+	return opts, nil
+}
+
+// Tree is a single-node kd-tree over a point set.
+type Tree struct {
+	t       *kdtree.Tree
+	threads int
+}
+
+// TreeStats summarizes a built tree.
+type TreeStats struct {
+	Points     int
+	Nodes      int
+	Leaves     int
+	Height     int
+	MaxBucket  int
+	MeanBucket float64
+}
+
+// Build constructs a kd-tree over n = len(coords)/dims points stored
+// row-major in coords. ids, when non-nil, assigns each point the id
+// reported in query results (default: point index). coords is copied.
+func Build(coords []float32, dims int, ids []int64, opts *BuildOptions) (*Tree, error) {
+	if dims <= 0 || len(coords)%dims != 0 {
+		return nil, fmt.Errorf("panda: %d coords is not a multiple of dims %d", len(coords), dims)
+	}
+	kopts, err := opts.toInternal()
+	if err != nil {
+		return nil, err
+	}
+	if ids != nil && len(ids)*dims != len(coords) {
+		return nil, fmt.Errorf("panda: %d ids for %d points", len(ids), len(coords)/dims)
+	}
+	threads := kopts.Threads
+	if threads <= 0 {
+		threads = 1
+	}
+	t := kdtree.Build(geom.FromCoords(coords, dims), ids, kopts)
+	return &Tree{t: t, threads: threads}, nil
+}
+
+// Stats returns structural statistics.
+func (t *Tree) Stats() TreeStats {
+	s := t.t.Stats()
+	return TreeStats{
+		Points: s.Points, Nodes: s.Nodes, Leaves: s.Leaves,
+		Height: s.Height, MaxBucket: s.MaxBucket, MeanBucket: s.MeanBucket,
+	}
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return t.t.Len() }
+
+// Dims returns the point dimensionality.
+func (t *Tree) Dims() int { return t.t.Points.Dims }
+
+// KNN returns the k nearest neighbors of q sorted by ascending distance
+// (exact; ties broken by id).
+func (t *Tree) KNN(q []float32, k int) []Neighbor {
+	return t.t.KNN(q, k)
+}
+
+// KNNBatch answers many queries (len(queries)/Dims of them, row-major),
+// parallelized over the tree's configured thread count. Result i holds the
+// neighbors of query i.
+func (t *Tree) KNNBatch(queries []float32, k int) ([][]Neighbor, error) {
+	dims := t.t.Points.Dims
+	if dims == 0 || len(queries)%dims != 0 {
+		return nil, fmt.Errorf("panda: query buffer not a multiple of dims %d", dims)
+	}
+	n := len(queries) / dims
+	out := make([][]Neighbor, n)
+	workers := t.threads
+	if g := runtime.GOMAXPROCS(0); workers > g {
+		workers = g
+	}
+	if workers <= 1 {
+		s := t.t.NewSearcher()
+		for i := 0; i < n; i++ {
+			out[i], _ = s.Search(queries[i*dims:(i+1)*dims], k, kdtree.Inf2, nil)
+		}
+		return out, nil
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := t.t.NewSearcher()
+			for i := w; i < n; i += workers {
+				out[i], _ = s.Search(queries[i*dims:(i+1)*dims], k, kdtree.Inf2, nil)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// RadiusSearch returns every indexed point with squared distance < r2 from
+// q, sorted by ascending distance — the fixed-radius neighborhood primitive
+// used by DBSCAN-style clustering (the BD-CATS workload the paper contrasts
+// KNN with in §I).
+func (t *Tree) RadiusSearch(q []float32, r2 float32) []Neighbor {
+	out, _ := t.t.NewSearcher().RadiusSearch(q, r2, nil)
+	return out
+}
+
+// CountWithin returns how many indexed points lie strictly within squared
+// radius r2 of q, without materializing them.
+func (t *Tree) CountWithin(q []float32, r2 float32) int {
+	n, _ := t.t.NewSearcher().CountWithin(q, r2)
+	return n
+}
+
+// Regress predicts a continuous value for q by inverse-distance-weighted
+// averaging of its k nearest neighbors' values (value maps a point id to
+// its target). An exact-match neighbor (distance 0) returns its value
+// directly. This is the k-NN regression mode the paper names as the next
+// application of PANDA ("In future, we intend to use PANDA in regression").
+// Returns 0 for an empty tree or k < 1.
+func (t *Tree) Regress(q []float32, k int, value func(id int64) float64) float64 {
+	nbrs := t.KNN(q, k)
+	return WeightedAverage(nbrs, value)
+}
+
+// WeightedAverage combines neighbor values by inverse-distance weighting
+// (1/d²; an exact match short-circuits to its own value).
+func WeightedAverage(neighbors []Neighbor, value func(id int64) float64) float64 {
+	if len(neighbors) == 0 {
+		return 0
+	}
+	var num, den float64
+	for _, nb := range neighbors {
+		if nb.Dist2 == 0 {
+			return value(nb.ID)
+		}
+		w := 1 / float64(nb.Dist2)
+		num += w * value(nb.ID)
+		den += w
+	}
+	return num / den
+}
+
+// MajorityVote classifies by k-NN majority vote: label returns the class of
+// a data point id; ties go to the closest-neighbor class among the tied
+// ones (neighbors must be distance-sorted, as returned by KNN). Returns 0
+// for an empty neighbor list.
+func MajorityVote(neighbors []Neighbor, label func(id int64) uint8) uint8 {
+	if len(neighbors) == 0 {
+		return 0
+	}
+	counts := make(map[uint8]int)
+	best := label(neighbors[0].ID)
+	bestCount := 0
+	for _, nb := range neighbors {
+		c := label(nb.ID)
+		counts[c]++
+		if counts[c] > bestCount {
+			best, bestCount = c, counts[c]
+		}
+	}
+	return best
+}

@@ -1,0 +1,377 @@
+package panda
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func genCoords(name string, n int, seed uint64, t *testing.T) ([]float32, int, []uint8) {
+	t.Helper()
+	coords, dims, labels, err := GenerateDataset(name, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return coords, dims, labels
+}
+
+func bruteRef(coords []float32, dims int, q []float32, k int) []Neighbor {
+	n := len(coords) / dims
+	all := make([]Neighbor, n)
+	for i := 0; i < n; i++ {
+		var d float32
+		for j := 0; j < dims; j++ {
+			diff := q[j] - coords[i*dims+j]
+			d += diff * diff
+		}
+		all[i] = Neighbor{ID: int64(i), Dist2: d}
+	}
+	sort.Slice(all, func(a, b int) bool {
+		if all[a].Dist2 != all[b].Dist2 {
+			return all[a].Dist2 < all[b].Dist2
+		}
+		return all[a].ID < all[b].ID
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(make([]float32, 7), 3, nil, nil); err == nil {
+		t.Fatal("misaligned coords accepted")
+	}
+	if _, err := Build(make([]float32, 6), 3, make([]int64, 1), nil); err == nil {
+		t.Fatal("mismatched ids accepted")
+	}
+	if _, err := Build(nil, 0, nil, nil); err == nil {
+		t.Fatal("zero dims accepted")
+	}
+	if _, err := Build(nil, 3, nil, &BuildOptions{SplitDimension: "bogus"}); err == nil {
+		t.Fatal("bad SplitDimension accepted")
+	}
+	if _, err := Build(nil, 3, nil, &BuildOptions{SplitValue: "bogus"}); err == nil {
+		t.Fatal("bad SplitValue accepted")
+	}
+}
+
+func TestTreeKNNExact(t *testing.T) {
+	coords, dims, _ := genCoords("cosmo", 3000, 1, t)
+	tree, err := Build(coords, dims, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for qi := 0; qi < 20; qi++ {
+		q := coords[qi*37*dims : (qi*37+1)*dims]
+		got := tree.KNN(q, 5)
+		want := bruteRef(coords, dims, q, 5)
+		for i := range want {
+			if got[i].Dist2 != want[i].Dist2 {
+				t.Fatalf("query %d: %v vs %v", qi, got, want)
+			}
+		}
+	}
+}
+
+func TestTreeStatsAndAccessors(t *testing.T) {
+	coords, dims, _ := genCoords("uniform", 5000, 2, t)
+	tree, err := Build(coords, dims, nil, &BuildOptions{BucketSize: 16, Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := tree.Stats()
+	if s.Points != 5000 || s.MaxBucket > 16 || s.Height < 5 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if tree.Len() != 5000 || tree.Dims() != dims {
+		t.Fatalf("len=%d dims=%d", tree.Len(), tree.Dims())
+	}
+}
+
+func TestKNNBatchMatchesSingle(t *testing.T) {
+	coords, dims, _ := genCoords("plasma", 2000, 3, t)
+	tree, err := Build(coords, dims, nil, &BuildOptions{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := coords[:50*dims]
+	batch, err := tree.KNNBatch(queries, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 50 {
+		t.Fatalf("batch size = %d", len(batch))
+	}
+	for i := 0; i < 50; i++ {
+		single := tree.KNN(queries[i*dims:(i+1)*dims], 5)
+		for j := range single {
+			if batch[i][j] != single[j] {
+				t.Fatalf("query %d neighbor %d: batch %v vs single %v", i, j, batch[i][j], single[j])
+			}
+		}
+	}
+}
+
+func TestKNNBatchValidation(t *testing.T) {
+	coords, dims, _ := genCoords("uniform", 100, 4, t)
+	tree, _ := Build(coords, dims, nil, nil)
+	if _, err := tree.KNNBatch(make([]float32, 7), 3); err == nil {
+		t.Fatal("misaligned queries accepted")
+	}
+}
+
+func TestBuildWithAllPolicyCombos(t *testing.T) {
+	coords, dims, _ := genCoords("dayabay", 1000, 5, t)
+	for _, sd := range []string{"variance", "range"} {
+		for _, sv := range []string{"sampled-median", "mean-sample", "mid-range"} {
+			tree, err := Build(coords, dims, nil, &BuildOptions{SplitDimension: sd, SplitValue: sv})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", sd, sv, err)
+			}
+			q := coords[:dims]
+			got := tree.KNN(q, 3)
+			want := bruteRef(coords, dims, q, 3)
+			for i := range want {
+				if got[i].Dist2 != want[i].Dist2 {
+					t.Fatalf("%s/%s: wrong answer", sd, sv)
+				}
+			}
+		}
+	}
+}
+
+func TestMajorityVote(t *testing.T) {
+	labels := map[int64]uint8{1: 0, 2: 1, 3: 1, 4: 2}
+	lab := func(id int64) uint8 { return labels[id] }
+	nbrs := []Neighbor{{ID: 1, Dist2: 1}, {ID: 2, Dist2: 2}, {ID: 3, Dist2: 3}}
+	if got := MajorityVote(nbrs, lab); got != 1 {
+		t.Fatalf("vote = %d, want 1", got)
+	}
+	// Tie between class 0 (1 vote) and class 1 (1 vote): first-reached
+	// (closest) class wins.
+	if got := MajorityVote(nbrs[:2], lab); got != 0 {
+		t.Fatalf("tie vote = %d, want 0 (closest)", got)
+	}
+	if got := MajorityVote(nil, lab); got != 0 {
+		t.Fatalf("empty vote = %d", got)
+	}
+}
+
+func TestMajorityVoteProperty(t *testing.T) {
+	// The winner's count must be >= every other class count.
+	f := func(classSeeds []uint8) bool {
+		if len(classSeeds) == 0 {
+			return true
+		}
+		nbrs := make([]Neighbor, len(classSeeds))
+		for i := range nbrs {
+			nbrs[i] = Neighbor{ID: int64(i), Dist2: float32(i)}
+		}
+		lab := func(id int64) uint8 { return classSeeds[id] % 3 }
+		winner := MajorityVote(nbrs, lab)
+		counts := map[uint8]int{}
+		for i := range nbrs {
+			counts[lab(int64(i))]++
+		}
+		for _, c := range counts {
+			if c > counts[winner] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateDatasetUnknown(t *testing.T) {
+	if _, _, _, err := GenerateDataset("nope", 10, 1); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func shardCoords(coords []float32, dims, p, rank int) ([]float32, []int64) {
+	var out []float32
+	var ids []int64
+	n := len(coords) / dims
+	for i := rank; i < n; i += p {
+		out = append(out, coords[i*dims:(i+1)*dims]...)
+		ids = append(ids, int64(i))
+	}
+	return out, ids
+}
+
+func TestRunClusterDistributedExact(t *testing.T) {
+	coords, dims, _ := genCoords("cosmo", 2000, 7, t)
+	var mu sync.Mutex
+	results := make(map[int64][]Neighbor)
+	rep, err := RunCluster(4, 2, func(n *Node) error {
+		shard, ids := shardCoords(coords, dims, 4, n.Rank())
+		dt, err := n.Build(shard, dims, ids, nil)
+		if err != nil {
+			return err
+		}
+		nq := len(ids) / 5
+		res, _, err := dt.Query(shard[:nq*dims], ids[:nq], 5)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		for _, r := range res {
+			results[r.QID] = r.Neighbors
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	for qid, nbrs := range results {
+		q := coords[qid*int64(dims) : (qid+1)*int64(dims)]
+		want := bruteRef(coords, dims, q, 5)
+		for i := range want {
+			if nbrs[i].Dist2 != want[i].Dist2 {
+				t.Fatalf("qid %d: %v vs %v", qid, nbrs[i], want[i])
+			}
+		}
+	}
+	// The report must include build and query phases with nonzero time.
+	if rep.Total(nil) <= 0 {
+		t.Fatal("empty sim report")
+	}
+	if _, ok := rep.Find("local KNN"); !ok {
+		t.Fatal("missing local KNN phase")
+	}
+}
+
+func TestRunClusterPropagatesErrors(t *testing.T) {
+	_, err := RunCluster(2, 1, func(n *Node) error {
+		if n.Rank() == 1 {
+			return fmt.Errorf("deliberate")
+		}
+		n.Barrier()
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error not propagated")
+	}
+}
+
+func TestSimReportTotalsAndFilters(t *testing.T) {
+	rep := &SimReport{Phases: []PhaseTiming{
+		{Name: "a", Seconds: 1},
+		{Name: "b", Seconds: 2},
+	}}
+	if rep.Total(nil) != 3 {
+		t.Fatal("total wrong")
+	}
+	if rep.Total(func(n string) bool { return n == "b" }) != 2 {
+		t.Fatal("filtered total wrong")
+	}
+	if _, ok := rep.Find("c"); ok {
+		t.Fatal("found nonexistent phase")
+	}
+}
+
+func TestDistTreeAccessors(t *testing.T) {
+	coords, dims, _ := genCoords("uniform", 800, 9, t)
+	_, err := RunCluster(4, 1, func(n *Node) error {
+		shard, ids := shardCoords(coords, dims, 4, n.Rank())
+		dt, err := n.Build(shard, dims, ids, nil)
+		if err != nil {
+			return err
+		}
+		if dt.GlobalLevels() != 2 {
+			return fmt.Errorf("global levels = %d, want 2", dt.GlobalLevels())
+		}
+		if dt.LocalLen() == 0 {
+			return fmt.Errorf("rank %d owns no points", n.Rank())
+		}
+		own := dt.Owner(shard[:dims])
+		if own < 0 || own >= 4 {
+			return fmt.Errorf("owner out of range: %d", own)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinTCPListenerEndToEnd(t *testing.T) {
+	// Full distributed build+query over real TCP sockets in one process.
+	const p = 2
+	coords, dims, _ := genCoords("uniform", 600, 11, t)
+	lns := make([]net.Listener, p)
+	addrs := make([]string, p)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	var mu sync.Mutex
+	results := make(map[int64][]Neighbor)
+	errs := make(chan error, p)
+	for r := 0; r < p; r++ {
+		go func(r int) {
+			node, closeFn, err := JoinTCPListener(r, lns[r], addrs, 1)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer closeFn()
+			shard, ids := shardCoords(coords, dims, p, r)
+			dt, err := node.Build(shard, dims, ids, nil)
+			if err != nil {
+				errs <- err
+				return
+			}
+			res, _, err := dt.Query(shard[:20*dims], ids[:20], 3)
+			if err != nil {
+				errs <- err
+				return
+			}
+			mu.Lock()
+			for _, x := range res {
+				results[x.QID] = x.Neighbors
+			}
+			mu.Unlock()
+			errs <- nil
+		}(r)
+	}
+	for i := 0; i < p; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(results) != 2*20 {
+		t.Fatalf("got %d results", len(results))
+	}
+	for qid, nbrs := range results {
+		q := coords[qid*int64(dims) : (qid+1)*int64(dims)]
+		want := bruteRef(coords, dims, q, 3)
+		for i := range want {
+			if math.Abs(float64(nbrs[i].Dist2-want[i].Dist2)) > 0 {
+				t.Fatalf("TCP qid %d differs from oracle", qid)
+			}
+		}
+	}
+}
+
+func TestJoinTCPRankValidation(t *testing.T) {
+	if _, _, err := JoinTCP(5, []string{"127.0.0.1:1"}, 1); err == nil {
+		t.Fatal("out-of-range rank accepted")
+	}
+}

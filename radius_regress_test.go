@@ -1,0 +1,90 @@
+package panda
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRadiusSearchPublicAPI(t *testing.T) {
+	coords, dims, _ := genCoords("uniform", 2000, 31, t)
+	tree, err := Build(coords, dims, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := coords[:dims]
+	r2 := float32(0.02)
+	got := tree.RadiusSearch(q, r2)
+	// Oracle.
+	want := 0
+	n := len(coords) / dims
+	for i := 0; i < n; i++ {
+		var d float32
+		for j := 0; j < dims; j++ {
+			diff := q[j] - coords[i*dims+j]
+			d += diff * diff
+		}
+		if d < r2 {
+			want++
+		}
+	}
+	if len(got) != want {
+		t.Fatalf("radius search found %d, oracle %d", len(got), want)
+	}
+	if cnt := tree.CountWithin(q, r2); cnt != want {
+		t.Fatalf("CountWithin = %d, oracle %d", cnt, want)
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Dist2 < got[i-1].Dist2 {
+			t.Fatal("radius results not sorted")
+		}
+	}
+}
+
+func TestWeightedAverageExactMatch(t *testing.T) {
+	val := func(id int64) float64 { return float64(id) * 10 }
+	nbrs := []Neighbor{{ID: 3, Dist2: 0}, {ID: 4, Dist2: 1}}
+	if got := WeightedAverage(nbrs, val); got != 30 {
+		t.Fatalf("exact-match average = %v, want 30", got)
+	}
+}
+
+func TestWeightedAverageInverseDistance(t *testing.T) {
+	val := func(id int64) float64 { return float64(id) }
+	// id 1 at d2=1 (weight 1), id 2 at d2=2 (weight 0.5).
+	nbrs := []Neighbor{{ID: 1, Dist2: 1}, {ID: 2, Dist2: 2}}
+	want := (1.0*1 + 0.5*2) / 1.5
+	if got := WeightedAverage(nbrs, val); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("weighted average = %v, want %v", got, want)
+	}
+	if WeightedAverage(nil, val) != 0 {
+		t.Fatal("empty neighbors must average to 0")
+	}
+}
+
+func TestRegressRecoversSmoothField(t *testing.T) {
+	// Target = smooth function of position; k-NN regression on a dense
+	// sample should recover it closely at held-out points.
+	coords, dims, _ := genCoords("uniform", 20000, 33, t)
+	field := func(p []float32) float64 {
+		return float64(p[0])*2 + float64(p[1])*float64(p[1]) - float64(p[2])
+	}
+	n := len(coords) / dims
+	values := make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = field(coords[i*dims : (i+1)*dims])
+	}
+	trainN := n - 500
+	tree, err := Build(coords[:trainN*dims], dims, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumErr float64
+	for i := trainN; i < n; i++ {
+		q := coords[i*dims : (i+1)*dims]
+		pred := tree.Regress(q, 8, func(id int64) float64 { return values[id] })
+		sumErr += math.Abs(pred - values[i])
+	}
+	if mae := sumErr / 500; mae > 0.02 {
+		t.Fatalf("regression MAE = %v, want < 0.02 on a smooth field", mae)
+	}
+}
