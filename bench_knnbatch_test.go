@@ -1,0 +1,52 @@
+package panda
+
+// BenchmarkKNNBatch measures steady-state batched query throughput on the
+// paper's two headline shapes: 3-D cosmology particles (§V-A) and 10-D Daya
+// Bay detector records (§V-C), both at k=5. Reported per query. The
+// single-thread runs are the acceptance gauge for the zero-allocation
+// batched engine; the threaded runs exercise the chunked dynamic scheduler.
+
+import (
+	"testing"
+
+	"panda/internal/data"
+)
+
+func benchKNNBatch(b *testing.B, gen string, n, nq, k, threads int) {
+	d, err := data.ByName(gen, n, 2016)
+	if err != nil {
+		b.Fatal(err)
+	}
+	qd, err := data.ByName(gen, nq, 2017)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tree, err := Build(d.Points.Coords, d.Points.Dims, nil, &BuildOptions{Threads: threads})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm up once so pooled searchers and arenas exist before timing.
+	if _, err := tree.KNNBatch(qd.Points.Coords, k); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := tree.KNNBatch(qd.Points.Coords, k)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res) != nq {
+			b.Fatalf("got %d results, want %d", len(res), nq)
+		}
+	}
+	b.StopTimer()
+	// Report per-query cost: ns/op divided by nq is the paper's metric.
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(nq), "ns/query")
+}
+
+func BenchmarkKNNBatch(b *testing.B) {
+	b.Run("cosmo3d/t=1", func(b *testing.B) { benchKNNBatch(b, "cosmo", 200_000, 20_000, 5, 1) })
+	b.Run("dayabay10d/t=1", func(b *testing.B) { benchKNNBatch(b, "dayabay", 100_000, 10_000, 5, 1) })
+	b.Run("cosmo3d/t=4", func(b *testing.B) { benchKNNBatch(b, "cosmo", 200_000, 20_000, 5, 4) })
+	b.Run("dayabay10d/t=4", func(b *testing.B) { benchKNNBatch(b, "dayabay", 100_000, 10_000, 5, 4) })
+}

@@ -1,0 +1,3 @@
+module panda
+
+go 1.24

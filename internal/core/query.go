@@ -5,10 +5,12 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"panda/internal/geom"
 	"panda/internal/kdtree"
 	"panda/internal/knnheap"
+	"panda/internal/simtime"
 	"panda/internal/wire"
 )
 
@@ -126,16 +128,85 @@ type queryEngine struct {
 	dt *DistTree
 	k  int
 
-	searchers []*kdtree.Searcher // one per simulated thread
+	searchers []*kdtree.Searcher  // one per worker, reused across rounds
+	nbrBufs   [][]kdtree.Neighbor // per-worker result arenas
 }
 
 func newQueryEngine(dt *DistTree, k int) *queryEngine {
 	t := dt.comm.Threads()
-	e := &queryEngine{dt: dt, k: k, searchers: make([]*kdtree.Searcher, t)}
+	e := &queryEngine{
+		dt:        dt,
+		k:         k,
+		searchers: make([]*kdtree.Searcher, t),
+		nbrBufs:   make([][]kdtree.Neighbor, t),
+	}
 	for i := range e.searchers {
 		e.searchers[i] = dt.Local.NewSearcher()
+		e.nbrBufs[i] = make([]kdtree.Neighbor, 0, k)
 	}
 	return e
+}
+
+// searchChunk is the unit of dynamic work assignment in the local-scan
+// stages: workers claim runs of queries from a shared atomic cursor, so a
+// skewed batch (a few queries landing in dense regions) cannot idle the
+// other workers the way the previous fixed striding could.
+const searchChunk = 16
+
+// searchParallel runs fn(i, worker) for every item with chunked dynamic
+// work assignment over per-worker searchers, then charges each item's
+// returned work stats to simulated thread i%threads — the same mapping the
+// fixed-striding scheduler produced — after the parallel section. Detaching
+// the metering from the scheduling keeps simulated times bit-deterministic
+// no matter which real worker ran which query.
+func (e *queryEngine) searchParallel(n int, pm *simtime.PhaseMeter, fn func(item, worker int) kdtree.QueryStats) {
+	if n == 0 {
+		return
+	}
+	threads := len(e.searchers)
+	stats := make([]kdtree.QueryStats, n)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > threads {
+		workers = threads
+	}
+	if nc := (n + searchChunk - 1) / searchChunk; workers > nc {
+		workers = nc
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			stats[i] = fn(i, 0)
+		}
+	} else {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for {
+					lo := int(cursor.Add(1)-1) * searchChunk
+					if lo >= n {
+						return
+					}
+					hi := lo + searchChunk
+					if hi > n {
+						hi = n
+					}
+					for i := lo; i < hi; i++ {
+						stats[i] = fn(i, w)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	dims := e.dt.dims
+	for i := range stats {
+		m := pm.Thread(i % threads)
+		m.Add(simtime.KNodeVisit, stats[i].NodesVisited)
+		m.Add(simtime.KDist, stats[i].PointsScanned*int64(dims))
+		m.Add(simtime.KHeap, stats[i].HeapPushes)
+	}
 }
 
 // ownedQuery is a query routed to this rank (the domain owner).
@@ -197,14 +268,14 @@ func (e *queryEngine) runRound(queries geom.Points, qids []int64, lo, hi int, tr
 	}
 	trace.Owned += int64(len(owned))
 
-	// Step 2 — local KNN at the owner (§III-B step 2), thread-parallel
-	// over the batch.
+	// Step 2 — local KNN at the owner (§III-B step 2), parallel over the
+	// batch with dynamic chunk assignment; searchers append into the
+	// per-worker arena and only the exact-size retained copy allocates.
 	lpm := c.Phase(PhaseLocalKNN)
-	e.parallelOver(len(owned), func(i, thread int) {
+	e.searchParallel(len(owned), lpm, func(i, w int) kdtree.QueryStats {
 		q := owned[i]
-		s := e.searchers[thread]
-		s.Meter = lpm.Thread(thread)
-		nbrs, _ := s.Search(q.coords, k, kdtree.Inf2, nil)
+		nbrs, st := e.searchers[w].Search(q.coords, k, kdtree.Inf2, e.nbrBufs[w][:0])
+		e.nbrBufs[w] = nbrs[:0]
 		q.local = make([]knnheap.Item, len(nbrs))
 		for j, nb := range nbrs {
 			q.local[j] = knnheap.Item{Dist2: nb.Dist2, ID: nb.ID}
@@ -214,6 +285,7 @@ func (e *queryEngine) runRound(queries geom.Points, qids []int64, lo, hi int, tr
 		} else {
 			q.r2 = kdtree.Inf2
 		}
+		return st
 	})
 
 	// Step 3 — identify remote ranks within r' (§III-B step 3).
@@ -275,10 +347,13 @@ func (e *queryEngine) runRound(queries geom.Points, qids []int64, lo, hi int, tr
 		}
 	}
 	remoteAnswers := make([][]kdtree.Neighbor, len(incoming))
-	e.parallelOver(len(incoming), func(i, thread int) {
-		s := e.searchers[thread]
-		s.Meter = rpm.Thread(thread)
-		remoteAnswers[i], _ = s.Search(incoming[i].coords, k, incoming[i].r2, nil)
+	e.searchParallel(len(incoming), rpm, func(i, w int) kdtree.QueryStats {
+		nbrs, st := e.searchers[w].Search(incoming[i].coords, k, incoming[i].r2, e.nbrBufs[w][:0])
+		e.nbrBufs[w] = nbrs[:0]
+		if len(nbrs) > 0 {
+			remoteAnswers[i] = append([]kdtree.Neighbor(nil), nbrs...)
+		}
+		return st
 	})
 	respBufs := make([][]byte, p)
 	respCounts := make([]int, p)

@@ -127,32 +127,8 @@ func dist2Ref(a, b []float32) float64 {
 	return s
 }
 
-func TestDist2BatchMatchesScalar(t *testing.T) {
-	for _, dims := range []int{1, 2, 3, 4, 10, 15} {
-		n := 37
-		pts := make([]float32, n*dims)
-		q := make([]float32, dims)
-		rng := uint32(12345 + dims)
-		next := func() float32 {
-			rng = rng*1664525 + 1013904223
-			return float32(rng>>8) / float32(1<<24)
-		}
-		for i := range pts {
-			pts[i] = next()
-		}
-		for i := range q {
-			q[i] = next()
-		}
-		out := make([]float32, n)
-		Dist2Batch(q, pts, out)
-		for i := 0; i < n; i++ {
-			want := Dist2(q, pts[i*dims:(i+1)*dims])
-			if math.Abs(float64(out[i]-want)) > 1e-6*math.Max(1, float64(want)) {
-				t.Fatalf("dims=%d point %d: batch=%v scalar=%v", dims, i, out[i], want)
-			}
-		}
-	}
-}
+// Dist2Batch vs scalar Dist2 exact-equality coverage lives in dist2_test.go
+// alongside the widened kernels.
 
 func TestDist2AgreesWithFloat64OracleProperty(t *testing.T) {
 	f := func(av, bv [6]float32) bool {

@@ -112,47 +112,6 @@ func Dist(a, b []float32) float32 {
 	return float32(math.Sqrt(float64(Dist2(a, b))))
 }
 
-// Dist2Batch computes squared distances from query q to every point in the
-// packed block pts (n points of len(q) dims, laid out contiguously), writing
-// into out[:n]. The loop is written in the blocked, branch-free style the
-// packed-bucket layout enables; specialized inner loops for the paper's
-// dimensionalities (3-D particle data, 10-D Daya Bay) avoid the generic
-// per-coordinate loop overhead, standing in for the SIMD kernels of the
-// C++ implementation.
-func Dist2Batch(q []float32, pts []float32, out []float32) {
-	dims := len(q)
-	n := len(pts) / dims
-	switch dims {
-	case 3:
-		q0, q1, q2 := q[0], q[1], q[2]
-		for i := 0; i < n; i++ {
-			b := pts[i*3 : i*3+3 : i*3+3]
-			d0 := q0 - b[0]
-			d1 := q1 - b[1]
-			d2 := q2 - b[2]
-			out[i] = d0*d0 + d1*d1 + d2*d2
-		}
-	case 2:
-		q0, q1 := q[0], q[1]
-		for i := 0; i < n; i++ {
-			b := pts[i*2 : i*2+2 : i*2+2]
-			d0 := q0 - b[0]
-			d1 := q1 - b[1]
-			out[i] = d0*d0 + d1*d1
-		}
-	default:
-		for i := 0; i < n; i++ {
-			b := pts[i*dims : i*dims+dims : i*dims+dims]
-			var s float32
-			for j, qv := range q {
-				d := qv - b[j]
-				s += d * d
-			}
-			out[i] = s
-		}
-	}
-}
-
 // MinMax returns per-dimension minimum and maximum over points [lo,hi).
 // Returns zero-length slices when the range is empty.
 func (p Points) MinMax(lo, hi int) (mins, maxs []float32) {

@@ -1,6 +1,7 @@
 package kdtree
 
 import (
+	"math"
 	"runtime"
 	"sort"
 	"sync"
@@ -45,6 +46,11 @@ func Build(pts geom.Points, ids []int64, opts Options) *Tree {
 	t.nodes = b.nodes
 	t.root = root
 	t.height = height
+	for _, nd := range t.nodes {
+		if nd.dim == leafDim && int(nd.end-nd.start) > t.maxBucket {
+			t.maxBucket = int(nd.end - nd.start)
+		}
+	}
 
 	// SIMD packing: shuffle the dataset so each bucket is contiguous. The
 	// index array is already in final leaf order, so packing is a gather.
@@ -58,7 +64,75 @@ func Build(pts geom.Points, ids []int64, opts Options) *Tree {
 	pack.all(simtime.KPointMove, int64(n)*int64(pts.Dims)*4+int64(n)*8)
 
 	t.Box = geom.BoundingBox(t.Points)
+	t.computeNodeBoxes()
 	return t
+}
+
+// computeNodeBoxes derives each node's tight bounding box over its packed
+// point range (leaves by a direct scan, internal nodes as the union of
+// their children, post-order) and distills the query-side pruning data
+// into splitBounds: per internal node, the point extents along its split
+// dimension — own [lo, hi], left child's max, right child's min. The full
+// boxes are scratch; only the 4-float split intervals are retained. One
+// O(n·dims) pass at build buys the query side its tight pruning bound.
+func (t *Tree) computeNodeBoxes() {
+	d := t.Points.Dims
+	if len(t.nodes) == 0 || d == 0 {
+		return
+	}
+	boxMin := make([]float32, len(t.nodes)*d)
+	boxMax := make([]float32, len(t.nodes)*d)
+	t.splitBounds = make([]float32, len(t.nodes)*4)
+	coords := t.Points.Coords
+	posInf := float32(math.Inf(1))
+	var rec func(ni int32)
+	rec = func(ni int32) {
+		n := t.nodes[ni]
+		mn := boxMin[int(ni)*d : int(ni)*d+d]
+		mx := boxMax[int(ni)*d : int(ni)*d+d]
+		if n.dim == leafDim {
+			if n.start == n.end {
+				// Empty leaf: inverted box, infinitely far from any query.
+				for i := range mn {
+					mn[i] = posInf
+					mx[i] = -posInf
+				}
+				return
+			}
+			base := int(n.start) * d
+			copy(mn, coords[base:base+d])
+			copy(mx, coords[base:base+d])
+			for p := int(n.start) + 1; p < int(n.end); p++ {
+				row := coords[p*d : p*d+d : p*d+d]
+				for i, v := range row {
+					if v < mn[i] {
+						mn[i] = v
+					}
+					if v > mx[i] {
+						mx[i] = v
+					}
+				}
+			}
+			return
+		}
+		rec(n.left)
+		rec(n.right)
+		lmn := boxMin[int(n.left)*d : int(n.left)*d+d]
+		lmx := boxMax[int(n.left)*d : int(n.left)*d+d]
+		rmn := boxMin[int(n.right)*d : int(n.right)*d+d]
+		rmx := boxMax[int(n.right)*d : int(n.right)*d+d]
+		for i := 0; i < d; i++ {
+			mn[i] = min(lmn[i], rmn[i])
+			mx[i] = max(lmx[i], rmx[i])
+		}
+		dim := int(n.dim)
+		sb := t.splitBounds[int(ni)*4 : int(ni)*4+4]
+		sb[0] = mn[dim]  // own interval lower bound along split dim
+		sb[1] = mx[dim]  // own interval upper bound
+		sb[2] = lmx[dim] // left child's max: left interval is [lo, lowMax]
+		sb[3] = rmn[dim] // right child's min: right interval is [highMin, hi]
+	}
+	rec(t.root)
 }
 
 // quickselectThreshold is the node size below which the exact-median

@@ -159,6 +159,21 @@ type Tree struct {
 	root   int32
 	opts   Options
 	height int
+	// maxBucket is the largest leaf size, computed once at Build so
+	// NewSearcher can size its leaf-scan scratch buffer without the
+	// O(nodes) Stats walk the seed performed per searcher.
+	maxBucket int
+	// splitBounds holds, for each internal node ni at [ni*4:(ni+1)*4],
+	// the tight point extents along its split dimension: the node's own
+	// interval [lo, hi], the left child's maximum (lowMax) and the right
+	// child's minimum (highMin). Computed once at Build. Queries prune
+	// with the distance to the child's actual interval — a strictly
+	// tighter lower bound than the split-plane offset (it sees the empty
+	// gap between the children, the dominant slack in clustered data) at
+	// O(1) per node. Results are identical: a subtree skipped by a valid
+	// lower bound holds only points at distance ≥ the bound, which the
+	// strict d < r' filter rejects regardless.
+	splitBounds []float32
 }
 
 // Stats summarizes a built tree.
@@ -193,6 +208,9 @@ func (t *Tree) Stats() Stats {
 
 // Height returns the tree height (root = height 1; empty tree = 0).
 func (t *Tree) Height() int { return t.height }
+
+// MaxBucket returns the largest leaf size (cached at Build).
+func (t *Tree) MaxBucket() int { return t.maxBucket }
 
 // Len returns the number of indexed points.
 func (t *Tree) Len() int { return t.Points.Len() }

@@ -22,11 +22,8 @@ func (s *Searcher) RadiusSearch(q []float32, r2 float32, out []Neighbor) ([]Neig
 	}
 	s.q = q
 	s.r2cap = r2
-	for i := range s.off {
-		s.off[i] = 0
-	}
 	start := len(out)
-	out = s.radiusWalk(s.t.root, 0, out)
+	out, _ = s.radiusIter(true, out)
 	sorted := out[start:]
 	sort.Slice(sorted, func(a, b int) bool {
 		if sorted[a].Dist2 != sorted[b].Dist2 {
@@ -39,46 +36,6 @@ func (s *Searcher) RadiusSearch(q []float32, r2 float32, out []Neighbor) ([]Neig
 		s.Meter.Add(simtime.KDist, s.stats.PointsScanned*int64(s.t.Points.Dims))
 	}
 	return out, s.stats
-}
-
-func (s *Searcher) radiusWalk(ni int32, d2 float32, out []Neighbor) []Neighbor {
-	n := &s.t.nodes[ni]
-	s.stats.NodesVisited++
-	if n.dim == leafDim {
-		lo, hi := int(n.start), int(n.end)
-		if lo == hi {
-			return out
-		}
-		cnt := hi - lo
-		dims := s.t.Points.Dims
-		block := s.t.Points.Coords[lo*dims : hi*dims]
-		dist := s.scratch[:cnt]
-		geom.Dist2Batch(s.q, block, dist)
-		s.stats.PointsScanned += int64(cnt)
-		for i, d := range dist {
-			if d < s.r2cap {
-				out = append(out, Neighbor{ID: s.t.IDs[lo+i], Dist2: d})
-			}
-		}
-		return out
-	}
-	dim := int(n.dim)
-	off := s.q[dim] - n.median
-	var closer, far int32
-	if off < 0 {
-		closer, far = n.left, n.right
-	} else {
-		closer, far = n.right, n.left
-	}
-	out = s.radiusWalk(closer, d2, out)
-	old := s.off[dim]
-	farD2 := d2 - old*old + off*off
-	if farD2 < s.r2cap {
-		s.off[dim] = off
-		out = s.radiusWalk(far, farD2, out)
-		s.off[dim] = old
-	}
-	return out
 }
 
 // CountWithin returns how many indexed points lie strictly within squared
@@ -94,49 +51,109 @@ func (s *Searcher) CountWithin(q []float32, r2 float32) (int, QueryStats) {
 	}
 	s.q = q
 	s.r2cap = r2
-	for i := range s.off {
-		s.off[i] = 0
+	_, n := s.radiusIter(false, nil)
+	if s.Meter != nil {
+		s.Meter.Add(simtime.KNodeVisit, s.stats.NodesVisited)
+		s.Meter.Add(simtime.KDist, s.stats.PointsScanned*int64(s.t.Points.Dims))
 	}
-	return s.countWalk(s.t.root, 0), s.stats
+	return n, s.stats
 }
 
-func (s *Searcher) countWalk(ni int32, d2 float32) int {
-	n := &s.t.nodes[ni]
-	s.stats.NodesVisited++
-	if n.dim == leafDim {
-		lo, hi := int(n.start), int(n.end)
-		if lo == hi {
-			return 0
+// radiusIter traverses the tree over the Searcher's explicit stack with the
+// fixed pruning radius r2cap (no shrinking bound, unlike the KNN walk), so
+// push-time checks are exact and popped frames need no re-check. Pruning
+// uses the same incremental sliding-gap bound as the KNN walk (see
+// searchIter). With collect it appends matches to out; otherwise it only
+// counts them.
+func (s *Searcher) radiusIter(collect bool, out []Neighbor) ([]Neighbor, int) {
+	stack := s.stack[:0]
+	t := s.t
+	nodes := t.nodes
+	q := s.q
+	r2 := s.r2cap
+	total := 0
+	ni := s.t.root
+	d2 := float32(0)
+	for {
+		for {
+			n := &nodes[ni]
+			s.stats.NodesVisited++
+			if n.dim == leafDim {
+				out, total = s.radiusScanLeaf(n, collect, out, total)
+				break
+			}
+			// Sliding-gap child bounds — duplicated verbatim from
+			// searchIter (query.go); see the NOTE there before editing:
+			// keep both copies in sync.
+			v := q[n.dim]
+			b4 := t.splitBounds[ni*4 : ni*4+4 : ni*4+4]
+			lo, hi, lowMax, highMin := b4[0], b4[1], b4[2], b4[3]
+			var old float32
+			if v < lo {
+				old = lo - v
+			} else if v > hi {
+				old = v - hi
+			}
+			var leftDd, rightDd float32
+			if v < lo {
+				leftDd = lo - v
+			} else if v > lowMax {
+				leftDd = v - lowMax
+			}
+			if v < highMin {
+				rightDd = highMin - v
+			} else if v > hi {
+				rightDd = v - hi
+			}
+			base := d2 - old*old
+			var closer, far int32
+			var closerD2, farD2 float32
+			if v < n.median {
+				closer, far = n.left, n.right
+				closerD2, farD2 = base+leftDd*leftDd, base+rightDd*rightDd
+			} else {
+				closer, far = n.right, n.left
+				closerD2, farD2 = base+rightDd*rightDd, base+leftDd*leftDd
+			}
+			if farD2 < r2 {
+				stack = append(stack, frame{node: far, d2: farD2})
+			}
+			if closerD2 >= r2 {
+				break
+			}
+			ni = closer
+			d2 = closerD2
 		}
-		cnt := hi - lo
-		dims := s.t.Points.Dims
-		block := s.t.Points.Coords[lo*dims : hi*dims]
-		dist := s.scratch[:cnt]
-		geom.Dist2Batch(s.q, block, dist)
-		s.stats.PointsScanned += int64(cnt)
-		c := 0
-		for _, d := range dist {
-			if d < s.r2cap {
-				c++
+		if len(stack) == 0 {
+			break
+		}
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		ni = top.node
+		d2 = top.d2
+	}
+	s.stack = stack[:0]
+	return out, total
+}
+
+func (s *Searcher) radiusScanLeaf(n *node, collect bool, out []Neighbor, total int) ([]Neighbor, int) {
+	lo, hi := int(n.start), int(n.end)
+	if lo == hi {
+		return out, total
+	}
+	cnt := hi - lo
+	dims := s.t.Points.Dims
+	block := s.t.Points.Coords[lo*dims : hi*dims]
+	dist := s.scratch[:cnt]
+	geom.Dist2BatchBounded(s.q, block, dist, s.r2cap)
+	s.stats.PointsScanned += int64(cnt)
+	for i, d := range dist {
+		if d < s.r2cap {
+			total++
+			if collect {
+				out = append(out, Neighbor{ID: s.t.IDs[lo+i], Dist2: d})
 			}
 		}
-		return c
 	}
-	dim := int(n.dim)
-	off := s.q[dim] - n.median
-	var closer, far int32
-	if off < 0 {
-		closer, far = n.left, n.right
-	} else {
-		closer, far = n.right, n.left
-	}
-	total := s.countWalk(closer, d2)
-	old := s.off[dim]
-	farD2 := d2 - old*old + off*off
-	if farD2 < s.r2cap {
-		s.off[dim] = off
-		total += s.countWalk(far, farD2)
-		s.off[dim] = old
-	}
-	return total
+	return out, total
 }

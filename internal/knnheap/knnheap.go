@@ -16,11 +16,25 @@ type Item struct {
 	ID    int64
 }
 
-// Heap is a bounded max-heap of at most K items, ordered by Dist2.
+// smallK is the capacity at or below which the heap keeps its candidates as
+// a sorted array instead of a binary max-heap. For the small k the paper
+// evaluates (5–10 neighbors), a shift-insert into a sorted array beats heap
+// sifting: no branch-mispredicting sift loops, the pruning bound is a plain
+// read of the last element, and the final ascending extraction is free. The
+// accept rule is identical to the heap's (strictly closer than the current
+// worst); only the eviction among candidates *tied* at the worst distance
+// differs — the sorted array canonically drops the largest (distance, id)
+// while a binary heap drops whichever tied item sifting left at the root.
+// Both retentions are valid exact-KNN answers and both are deterministic.
+const smallK = 16
+
+// Heap is a bounded worst-out collection of at most K items ordered by
+// Dist2: a sorted array for K ≤ smallK, a binary max-heap above that.
 // The zero value is unusable; call New or Reset.
 type Heap struct {
-	items []Item
-	k     int
+	items  []Item
+	k      int
+	sorted bool // sorted-array mode (k <= smallK)
 }
 
 // New returns a heap with capacity k (k >= 1).
@@ -28,7 +42,7 @@ func New(k int) *Heap {
 	if k < 1 {
 		panic("knnheap: k must be >= 1")
 	}
-	return &Heap{items: make([]Item, 0, k), k: k}
+	return &Heap{items: make([]Item, 0, k), k: k, sorted: k <= smallK}
 }
 
 // Reset empties the heap and sets a new capacity, reusing storage when
@@ -44,6 +58,7 @@ func (h *Heap) Reset(k int) {
 		h.items = h.items[:0]
 	}
 	h.k = k
+	h.sorted = k <= smallK
 }
 
 // Len returns the number of items currently held.
@@ -63,6 +78,9 @@ func (h *Heap) MaxDist2() float32 {
 	if len(h.items) < h.k {
 		return maxFloat32
 	}
+	if h.sorted {
+		return h.items[len(h.items)-1].Dist2
+	}
 	return h.items[0].Dist2
 }
 
@@ -72,6 +90,9 @@ const maxFloat32 = 3.40282346638528859811704183484516925440e+38
 // otherwise it replaces the current worst candidate only when strictly
 // closer (Algorithm 1 lines 8–15). It returns true when the heap changed.
 func (h *Heap) Push(dist2 float32, id int64) bool {
+	if h.sorted {
+		return h.insertSorted(dist2, id)
+	}
 	if len(h.items) < h.k {
 		h.items = append(h.items, Item{Dist2: dist2, ID: id})
 		h.siftUp(len(h.items) - 1)
@@ -85,8 +106,59 @@ func (h *Heap) Push(dist2 float32, id int64) bool {
 	return true
 }
 
-// Items returns the retained candidates in heap order (not sorted). The
-// returned slice aliases internal storage and is invalidated by Push/Reset.
+// PushBound is Push fused with the bound read the query kernel performs
+// after every accepted candidate: it returns whether the heap changed and
+// the updated pruning bound min(MaxDist2, cap) in one call, saving the
+// query hot loop a second method call per push.
+func (h *Heap) PushBound(dist2 float32, id int64, cap float32) (bool, float32) {
+	if h.sorted {
+		changed := h.insertSorted(dist2, id)
+		if n := len(h.items); n == h.k {
+			return changed, minf(h.items[n-1].Dist2, cap)
+		}
+		return changed, cap
+	}
+	changed := h.Push(dist2, id)
+	if len(h.items) == h.k {
+		return changed, minf(h.items[0].Dist2, cap)
+	}
+	return changed, cap
+}
+
+// insertSorted is the sorted-array form of Push: shift-insert by
+// (distance, id), dropping the largest once full. The accept test against
+// the last element is the same strictly-closer rule as the heap's root
+// test.
+func (h *Heap) insertSorted(dist2 float32, id int64) bool {
+	n := len(h.items)
+	if n == h.k {
+		if dist2 >= h.items[n-1].Dist2 {
+			return false
+		}
+		n-- // evict the worst: shift-insert over the last slot
+	} else {
+		h.items = h.items[:n+1]
+	}
+	it := Item{Dist2: dist2, ID: id}
+	i := n - 1
+	for ; i >= 0 && less(it, h.items[i]); i-- {
+		h.items[i+1] = h.items[i]
+	}
+	h.items[i+1] = it
+	return true
+}
+
+func minf(a, b float32) float32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Items returns the retained candidates in internal order: ascending
+// (distance, id) in sorted-array mode (k ≤ smallK), heap order (unsorted)
+// otherwise — callers must not rely on either. The returned slice aliases
+// internal storage and is invalidated by Push/Reset.
 func (h *Heap) Items() []Item { return h.items }
 
 // Sorted extracts all items ordered by ascending distance, emptying the
@@ -95,6 +167,21 @@ func (h *Heap) Sorted() []Item {
 	out := make([]Item, len(h.items))
 	copy(out, h.items)
 	sortItems(out)
+	h.items = h.items[:0]
+	return out
+}
+
+// SortedInPlace is the zero-allocation form of Sorted: it sorts the heap's
+// own storage ascending by (distance, id), empties the heap, and returns the
+// sorted items as an alias of internal storage. The returned slice is
+// invalidated by the next Push/Reset — callers must copy anything they keep.
+// This is what the batched query loop uses: one heap per searcher, drained
+// in place after every query.
+func (h *Heap) SortedInPlace() []Item {
+	if !h.sorted {
+		sortItems(h.items)
+	}
+	out := h.items
 	h.items = h.items[:0]
 	return out
 }
@@ -162,5 +249,5 @@ func MergeTopK(k int, lists ...[]Item) []Item {
 			h.Push(it.Dist2, it.ID)
 		}
 	}
-	return h.Sorted()
+	return h.SortedInPlace()
 }

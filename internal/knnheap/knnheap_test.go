@@ -143,8 +143,9 @@ func TestHeapMatchesBruteForceProperty(t *testing.T) {
 }
 
 func TestHeapInvariantMaintained(t *testing.T) {
+	// k > smallK exercises the binary-heap representation.
 	r := rand.New(rand.NewSource(42))
-	h := New(16)
+	h := New(smallK + 1)
 	for i := 0; i < 1000; i++ {
 		h.Push(r.Float32(), int64(i))
 		items := h.Items()
@@ -152,6 +153,46 @@ func TestHeapInvariantMaintained(t *testing.T) {
 			parent := (j - 1) / 2
 			if items[parent].Dist2 < items[j].Dist2 {
 				t.Fatalf("heap property violated at %d after %d pushes", j, i+1)
+			}
+		}
+	}
+}
+
+func TestSortedArrayInvariantMaintained(t *testing.T) {
+	// k ≤ smallK keeps candidates as an array sorted by (Dist2, ID).
+	r := rand.New(rand.NewSource(42))
+	h := New(smallK)
+	for i := 0; i < 1000; i++ {
+		h.Push(float32(r.Intn(40)), int64(i))
+		items := h.Items()
+		for j := 1; j < len(items); j++ {
+			if less(items[j], items[j-1]) {
+				t.Fatalf("sorted order violated at %d after %d pushes", j, i+1)
+			}
+		}
+	}
+}
+
+func TestSmallAndLargeKAgreeOnDistances(t *testing.T) {
+	// The two representations must retain identical distance multisets
+	// (retained ids may differ only on boundary ties).
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		small := New(smallK)
+		large := New(smallK)
+		large.sorted = false // force heap mode at the same k
+		for i := 0; i < 300; i++ {
+			d := float32(r.Intn(60))
+			small.Push(d, int64(i))
+			large.Push(d, int64(i))
+		}
+		a, b := small.Sorted(), large.Sorted()
+		if len(a) != len(b) {
+			t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Dist2 != b[i].Dist2 {
+				t.Fatalf("distance %d differs: %v vs %v", i, a[i], b[i])
 			}
 		}
 	}

@@ -21,8 +21,11 @@ package panda
 
 import (
 	"fmt"
+	"math"
 	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"panda/internal/geom"
 	"panda/internal/kdtree"
@@ -81,7 +84,21 @@ func (o *BuildOptions) toInternal() (kdtree.Options, error) {
 type Tree struct {
 	t       *kdtree.Tree
 	threads int
+	// pool recycles warmed-up searchers (heap, traversal stack, scratch)
+	// across queries and batches so the steady-state query loop performs
+	// zero allocations.
+	pool sync.Pool
 }
+
+// getSearcher returns a pooled searcher for t, creating one on first use.
+func (t *Tree) getSearcher() *kdtree.Searcher {
+	if s, ok := t.pool.Get().(*kdtree.Searcher); ok {
+		return s
+	}
+	return t.t.NewSearcher()
+}
+
+func (t *Tree) putSearcher(s *kdtree.Searcher) { t.pool.Put(s) }
 
 // TreeStats summarizes a built tree.
 type TreeStats struct {
@@ -133,43 +150,220 @@ func (t *Tree) Dims() int { return t.t.Points.Dims }
 // KNN returns the k nearest neighbors of q sorted by ascending distance
 // (exact; ties broken by id).
 func (t *Tree) KNN(q []float32, k int) []Neighbor {
-	return t.t.KNN(q, k)
+	s := t.getSearcher()
+	res, _ := s.Search(q, k, kdtree.Inf2, nil)
+	t.putSearcher(s)
+	return res
 }
+
+// batchChunk is the unit of dynamic work assignment in KNNBatch: workers
+// claim runs of queries from a shared atomic cursor, so a few expensive
+// queries (dense regions, high dimensions) cannot idle the other workers
+// the way fixed striding could.
+const batchChunk = 64
 
 // KNNBatch answers many queries (len(queries)/Dims of them, row-major),
 // parallelized over the tree's configured thread count. Result i holds the
-// neighbors of query i.
+// neighbors of query i; all result slices are views into one flat backing
+// array (see KNNBatchFlat), so a batch costs O(1) allocations rather than
+// O(queries).
 func (t *Tree) KNNBatch(queries []float32, k int) ([][]Neighbor, error) {
+	flat, offsets, err := t.KNNBatchFlat(queries, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Neighbor, len(offsets)-1)
+	for i := range out {
+		out[i] = flat[offsets[i]:offsets[i+1]:offsets[i+1]]
+	}
+	return out, nil
+}
+
+// KNNBatchFlat is the arena form of KNNBatch: neighbors of query i occupy
+// flat[offsets[i]:offsets[i+1]], ascending by (distance, id). One backing
+// array serves the whole batch — each worker's searcher appends into its
+// queries' pre-sized slots, so the steady-state loop performs zero
+// allocations per query. Queries are processed in Morton (Z-curve) order of
+// their leading coordinates so consecutive queries traverse largely the
+// same tree paths (per-query results are position-independent; only the
+// processing schedule changes). Use this form when feeding results into
+// further batch stages (classification, regression, serialization) without
+// materializing per-query slices.
+func (t *Tree) KNNBatchFlat(queries []float32, k int) ([]Neighbor, []int32, error) {
 	dims := t.t.Points.Dims
 	if dims == 0 || len(queries)%dims != 0 {
-		return nil, fmt.Errorf("panda: query buffer not a multiple of dims %d", dims)
+		return nil, nil, fmt.Errorf("panda: query buffer not a multiple of dims %d", dims)
 	}
 	n := len(queries) / dims
-	out := make([][]Neighbor, n)
+	offsets := make([]int32, n+1)
+	// Every query returns exactly min(k, points) neighbors under an
+	// unbounded radius, so slot sizes are known up front.
+	kEff := k
+	if kEff > t.t.Len() {
+		kEff = t.t.Len()
+	}
+	if n == 0 || kEff <= 0 {
+		return nil, offsets, nil
+	}
+	// Offsets are int32; reject batches whose result arena wouldn't fit
+	// rather than silently wrapping during compaction.
+	if int64(n)*int64(kEff) > math.MaxInt32 {
+		return nil, nil, fmt.Errorf("panda: batch result arena %d×%d exceeds int32 offsets; split the batch", n, kEff)
+	}
+	flat := make([]Neighbor, n*kEff)
+	counts := make([]int32, n)
+	perm := t.queryOrder(queries, n, dims)
+
+	runChunks := func(s *kdtree.Searcher, cursor *atomic.Int64) {
+		for {
+			lo := int(cursor.Add(1)-1) * batchChunk
+			if lo >= n {
+				return
+			}
+			hi := lo + batchChunk
+			if hi > n {
+				hi = n
+			}
+			for p := lo; p < hi; p++ {
+				i := p
+				if perm != nil {
+					i = int(perm[p])
+				}
+				slot := flat[i*kEff : i*kEff : (i+1)*kEff]
+				res, _ := s.Search(queries[i*dims:(i+1)*dims], k, kdtree.Inf2, slot)
+				counts[i] = int32(len(res))
+			}
+		}
+	}
+
 	workers := t.threads
 	if g := runtime.GOMAXPROCS(0); workers > g {
 		workers = g
 	}
+	if nc := (n + batchChunk - 1) / batchChunk; workers > nc {
+		workers = nc
+	}
+	var cursor atomic.Int64
 	if workers <= 1 {
-		s := t.t.NewSearcher()
-		for i := 0; i < n; i++ {
-			out[i], _ = s.Search(queries[i*dims:(i+1)*dims], k, kdtree.Inf2, nil)
+		s := t.getSearcher()
+		runChunks(s, &cursor)
+		t.putSearcher(s)
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				s := t.getSearcher()
+				runChunks(s, &cursor)
+				t.putSearcher(s)
+			}()
 		}
-		return out, nil
+		wg.Wait()
 	}
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			s := t.t.NewSearcher()
-			for i := w; i < n; i += workers {
-				out[i], _ = s.Search(queries[i*dims:(i+1)*dims], k, kdtree.Inf2, nil)
+
+	// Compact: queries can return fewer than kEff neighbors only in
+	// degenerate cases (non-finite coordinates), so this pass is normally
+	// offset bookkeeping with no copying.
+	pos := int32(0)
+	for i := 0; i < n; i++ {
+		cnt := counts[i]
+		src := int32(i) * int32(kEff)
+		if src != pos {
+			copy(flat[pos:pos+cnt], flat[src:src+cnt])
+		}
+		pos += cnt
+		offsets[i+1] = pos
+	}
+	return flat[:pos], offsets, nil
+}
+
+// queryOrderMin is the batch size below which Morton ordering isn't worth
+// the counting-sort pass.
+const queryOrderMin = 256
+
+// queryOrder returns a processing permutation that visits queries along a
+// Morton (Z-curve) over their first ≤3 coordinates, quantized to 5 bits per
+// dimension against the tree's bounding box. Spatially adjacent queries
+// traverse largely the same kd-tree nodes and leaf buckets, so scheduling
+// them consecutively keeps those cache lines hot across queries — a pure
+// scheduling change (results are written to each query's own slot). Returns
+// nil (natural order) for small batches.
+func (t *Tree) queryOrder(queries []float32, n, dims int) []int32 {
+	if n < queryOrderMin {
+		return nil
+	}
+	m := dims
+	if m > 3 {
+		m = 3
+	}
+	box := t.t.Box
+	if len(box.Min) < m {
+		return nil
+	}
+	const cellBits = 5 // 32 cells per dimension, ≤ 15-bit keys
+	scale := make([]float32, m)
+	for d := 0; d < m; d++ {
+		if ext := box.Max[d] - box.Min[d]; ext > 0 {
+			scale[d] = (1 << cellBits) / ext
+		}
+	}
+	// Per-dimension spread tables: bit b of a cell index lands at key
+	// position b*m+d (Z-curve interleave), precomputed for the 32 cells.
+	var spread [3][1 << cellBits]uint32
+	for d := 0; d < m; d++ {
+		for c := 0; c < 1<<cellBits; c++ {
+			var v uint32
+			for b := 0; b < cellBits; b++ {
+				v |= (uint32(c) >> b & 1) << (b*m + d)
 			}
-		}(w)
+			spread[d][c] = v
+		}
 	}
-	wg.Wait()
-	return out, nil
+	keys := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		q := queries[i*dims : i*dims+m]
+		var key uint32
+		for d := 0; d < m; d++ {
+			x := (q[d] - box.Min[d]) * scale[d]
+			var c uint32
+			if x > 0 { // false for NaN and below-range: cell 0
+				c = uint32(x)
+				if c > (1<<cellBits)-1 {
+					c = (1 << cellBits) - 1
+				}
+			}
+			key |= spread[d][c]
+		}
+		keys[i] = key
+	}
+	perm := make([]int32, n)
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	maxKey := 1 << (cellBits * m)
+	if n < maxKey/4 {
+		// Small batch: a comparison sort beats zeroing and prefix-summing
+		// the full bin table. Stable, so equal-cell queries keep input
+		// order like the counting sort below.
+		sort.SliceStable(perm, func(a, b int) bool { return keys[perm[a]] < keys[perm[b]] })
+		return perm
+	}
+	// Counting sort by key — O(n + cells), stable, so equal-cell queries
+	// keep their input order.
+	bins := make([]int32, maxKey+1)
+	for _, k := range keys {
+		bins[k+1]++
+	}
+	for b := 1; b <= maxKey; b++ {
+		bins[b] += bins[b-1]
+	}
+	for i := 0; i < n; i++ {
+		k := keys[i]
+		perm[bins[k]] = int32(i)
+		bins[k]++
+	}
+	return perm
 }
 
 // RadiusSearch returns every indexed point with squared distance < r2 from
@@ -177,14 +371,18 @@ func (t *Tree) KNNBatch(queries []float32, k int) ([][]Neighbor, error) {
 // used by DBSCAN-style clustering (the BD-CATS workload the paper contrasts
 // KNN with in §I).
 func (t *Tree) RadiusSearch(q []float32, r2 float32) []Neighbor {
-	out, _ := t.t.NewSearcher().RadiusSearch(q, r2, nil)
+	s := t.getSearcher()
+	out, _ := s.RadiusSearch(q, r2, nil)
+	t.putSearcher(s)
 	return out
 }
 
 // CountWithin returns how many indexed points lie strictly within squared
 // radius r2 of q, without materializing them.
 func (t *Tree) CountWithin(q []float32, r2 float32) int {
-	n, _ := t.t.NewSearcher().CountWithin(q, r2)
+	s := t.getSearcher()
+	n, _ := s.CountWithin(q, r2)
+	t.putSearcher(s)
 	return n
 }
 
