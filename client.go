@@ -1,0 +1,242 @@
+package panda
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"panda/internal/proto"
+)
+
+// ErrClientClosed is returned by Client calls after Close (or after the
+// connection failed).
+var ErrClientClosed = errors.New("panda: client closed")
+
+// Client is a connection to a panda serving process (internal/server,
+// started by cmd/panda-serve or server.New). It is safe for concurrent use:
+// calls from many goroutines are pipelined over the single connection with
+// per-request ids, so N goroutines sharing one Client keep N requests in
+// flight — which is exactly what the server's dynamic micro-batcher
+// coalesces into batched engine calls.
+type Client struct {
+	nc     net.Conn
+	dims   int
+	points int64
+
+	wmu  sync.Mutex // serializes request writes
+	wbuf []byte
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan clientResult
+	err     error // sticky; set once the reader dies
+}
+
+// clientResult is one decoded response handed to a waiter.
+type clientResult struct {
+	flat    []Neighbor
+	offsets []int32
+	err     error
+}
+
+// DialTimeout bounds connection establishment and the handshake in Dial.
+const clientDialTimeout = 10 * time.Second
+
+// Dial connects to a panda server at addr and performs the protocol
+// handshake.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.DialTimeout("tcp", addr, clientDialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	nc.SetDeadline(time.Now().Add(clientDialTimeout))
+	if _, err := nc.Write(proto.AppendHello(nil)); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("panda: handshake: %w", err)
+	}
+	dims, points, err := proto.ReadWelcome(nc)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("panda: handshake: %w", err)
+	}
+	nc.SetDeadline(time.Time{})
+	c := &Client{
+		nc:      nc,
+		dims:    dims,
+		points:  points,
+		pending: map[uint64]chan clientResult{},
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Dims returns the dimensionality of the served tree; every query must
+// carry exactly Dims coordinates.
+func (c *Client) Dims() int { return c.dims }
+
+// Len returns the number of points indexed by the served tree.
+func (c *Client) Len() int64 { return c.points }
+
+// Close tears down the connection. In-flight calls return ErrClientClosed.
+func (c *Client) Close() error {
+	err := c.nc.Close()
+	c.failAll(ErrClientClosed)
+	return err
+}
+
+// failAll marks the client dead and releases every waiter.
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- clientResult{err: c.err}
+	}
+	c.mu.Unlock()
+}
+
+// readLoop is the single response reader: it decodes frames and routes them
+// to waiters by request id.
+func (c *Client) readLoop() {
+	var buf []byte
+	for {
+		payload, err := proto.ReadFrame(c.nc, buf)
+		if err != nil {
+			c.failAll(fmt.Errorf("panda: connection lost: %w", err))
+			c.nc.Close()
+			return
+		}
+		buf = payload
+		var resp proto.Response
+		if err := proto.ConsumeResponse(payload, &resp); err != nil {
+			c.failAll(fmt.Errorf("panda: malformed response: %w", err))
+			c.nc.Close()
+			return
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch == nil {
+			continue // response for an abandoned id; drop
+		}
+		res := clientResult{}
+		if resp.Kind == proto.KindError {
+			res.err = fmt.Errorf("panda: server: %s", resp.Err)
+		} else {
+			// Copy out of the decode scratch: the waiter owns its result.
+			res.flat = append([]Neighbor(nil), resp.Flat...)
+			res.offsets = append([]int32(nil), resp.Offsets...)
+		}
+		ch <- res
+	}
+}
+
+// register allocates a request id and its result channel.
+func (c *Client) register() (uint64, chan clientResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.err != nil {
+		return 0, nil, c.err
+	}
+	id := c.nextID
+	c.nextID++
+	ch := make(chan clientResult, 1)
+	c.pending[id] = ch
+	return id, ch, nil
+}
+
+// send frames and writes one encoded request payload.
+func (c *Client) send(encode func(b []byte) []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	c.wbuf = proto.BeginFrame(c.wbuf[:0])
+	c.wbuf = encode(c.wbuf)
+	if err := proto.FinishFrame(c.wbuf, 0); err != nil {
+		return err
+	}
+	_, err := c.nc.Write(c.wbuf)
+	return err
+}
+
+// call issues one request and waits for its response.
+func (c *Client) call(encode func(b []byte, id uint64) []byte) (clientResult, error) {
+	id, ch, err := c.register()
+	if err != nil {
+		return clientResult{}, err
+	}
+	if err := c.send(func(b []byte) []byte { return encode(b, id) }); err != nil {
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return clientResult{}, fmt.Errorf("panda: send: %w", err)
+	}
+	res := <-ch
+	return res, res.err
+}
+
+// KNN returns the k nearest neighbors of q, exactly as Tree.KNN would.
+func (c *Client) KNN(q []float32, k int) ([]Neighbor, error) {
+	if len(q) != c.dims {
+		return nil, fmt.Errorf("panda: query has %d coords, server tree has %d dims", len(q), c.dims)
+	}
+	if k < 1 || k > proto.MaxK {
+		return nil, fmt.Errorf("panda: k %d out of range [1, %d]", k, proto.MaxK)
+	}
+	res, err := c.call(func(b []byte, id uint64) []byte {
+		return proto.AppendKNNRequest(b, id, k, q, c.dims)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.flat, nil
+}
+
+// KNNBatch answers len(queries)/Dims row-major queries in one request;
+// result i holds the neighbors of query i (all slices view one flat backing
+// array, as in Tree.KNNBatch).
+func (c *Client) KNNBatch(queries []float32, k int) ([][]Neighbor, error) {
+	if c.dims == 0 || len(queries) == 0 || len(queries)%c.dims != 0 {
+		return nil, fmt.Errorf("panda: query buffer of %d floats is not a positive multiple of dims %d", len(queries), c.dims)
+	}
+	if k < 1 || k > proto.MaxK {
+		return nil, fmt.Errorf("panda: k %d out of range [1, %d]", k, proto.MaxK)
+	}
+	if nq := len(queries) / c.dims; int64(nq)*int64(k) > proto.MaxResultNeighbors {
+		return nil, fmt.Errorf("panda: %d queries × k=%d exceeds the %d-neighbor response cap; split the batch",
+			nq, k, proto.MaxResultNeighbors)
+	}
+	res, err := c.call(func(b []byte, id uint64) []byte {
+		return proto.AppendKNNRequest(b, id, k, queries, c.dims)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Neighbor, len(res.offsets)-1)
+	for i := range out {
+		out[i] = res.flat[res.offsets[i]:res.offsets[i+1]:res.offsets[i+1]]
+	}
+	return out, nil
+}
+
+// RadiusSearch returns every indexed point with squared distance < r2 from
+// q, exactly as Tree.RadiusSearch would.
+func (c *Client) RadiusSearch(q []float32, r2 float32) ([]Neighbor, error) {
+	if len(q) != c.dims {
+		return nil, fmt.Errorf("panda: query has %d coords, server tree has %d dims", len(q), c.dims)
+	}
+	res, err := c.call(func(b []byte, id uint64) []byte {
+		return proto.AppendRadiusRequest(b, id, r2, q)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.flat, nil
+}

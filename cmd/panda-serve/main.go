@@ -1,0 +1,122 @@
+// Command panda-serve runs the PANDA KNN serving process: it builds a
+// kd-tree over a dataset and answers KNN and radius-search queries over TCP
+// with dynamic micro-batching (see internal/server for the protocol and
+// batching semantics). Clients connect with panda.Dial.
+//
+// Usage:
+//
+//	panda-serve -in cosmo.pnda -addr :7077
+//	panda-serve -dataset uniform -n 100000 -dims 3 -addr 127.0.0.1:0
+//
+// Either -in (a .pnda file written by `panda gen`, see internal/ptsio) or
+// -dataset (a synthetic family generated in-process) selects the points.
+// SIGINT or SIGTERM triggers a graceful shutdown: in-flight queries are
+// answered before the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"panda"
+	"panda/internal/data"
+	"panda/internal/ptsio"
+	"panda/internal/server"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "dataset file (.pnda, from `panda gen`)")
+		dataset = flag.String("dataset", "", "synthetic dataset family (uniform|gaussian|cosmo|plasma|dayabay|sdss10|sdss15); alternative to -in")
+		n       = flag.Int("n", 100000, "synthetic point count (with -dataset)")
+		dims    = flag.Int("dims", 3, "synthetic dimensionality (uniform/gaussian only)")
+		seed    = flag.Uint64("seed", 1, "synthetic generator seed (with -dataset)")
+		bucket  = flag.Int("bucket", 32, "kd-tree bucket size")
+		threads = flag.Int("threads", 0, "engine threads for batched queries (0 = all cores)")
+		addr    = flag.String("addr", ":7077", "listen address")
+		batch   = flag.Int("batch", 64, "max queries coalesced into one engine call")
+		linger  = flag.Duration("linger", 200*time.Microsecond, "max time to wait filling a batch")
+		grace   = flag.Duration("grace", 10*time.Second, "graceful shutdown drain budget")
+	)
+	flag.Parse()
+	if err := run(*in, *dataset, *n, *dims, *seed, *bucket, *threads, *addr, *batch, *linger, *grace); err != nil {
+		fmt.Fprintln(os.Stderr, "panda-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, dataset string, n, dims int, seed uint64, bucket, threads int, addr string, batch int, linger, grace time.Duration) error {
+	var coords []float32
+	var pdims int
+	switch {
+	case in != "":
+		pts, _, err := ptsio.Load(in)
+		if err != nil {
+			return err
+		}
+		coords, pdims = pts.Coords, pts.Dims
+		log.Printf("loaded %s: %d points, %d dims", in, pts.Len(), pts.Dims)
+	case dataset != "":
+		var d data.Dataset
+		var err error
+		switch dataset {
+		case "uniform":
+			d = data.Uniform(n, dims, seed)
+		case "gaussian":
+			d = data.Gaussian(n, dims, seed)
+		default:
+			d, err = data.ByName(dataset, n, seed)
+			if err != nil {
+				return err
+			}
+		}
+		coords, pdims = d.Points.Coords, d.Points.Dims
+		log.Printf("generated %s: %d points, %d dims", d.Name, d.Points.Len(), d.Points.Dims)
+	default:
+		return fmt.Errorf("one of -in or -dataset is required")
+	}
+
+	start := time.Now()
+	tree, err := panda.Build(coords, pdims, nil, &panda.BuildOptions{
+		BucketSize: bucket,
+		Threads:    threads,
+	})
+	if err != nil {
+		return err
+	}
+	log.Printf("built tree over %d points in %v", tree.Len(), time.Since(start).Round(time.Millisecond))
+
+	srv := server.New(tree, server.Config{MaxBatch: batch, MaxLinger: linger})
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	log.Printf("serving on %s (batch=%d linger=%v)", ln.Addr(), batch, linger)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case s := <-sig:
+		log.Printf("received %v, draining in-flight queries (budget %v)", s, grace)
+		ctx, cancel := context.WithTimeout(context.Background(), grace)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		log.Printf("drained; bye")
+		return nil
+	}
+}

@@ -307,8 +307,11 @@ func runDistributedKNN(t *testing.T, d geom.Points, p, threads, k int, opts Opti
 		nq := pts.Len() / 4
 		queries := pts.Slice(0, nq)
 		qids := ids[:nq]
-		qopts.K = k
-		res, _, err := dt.QueryBatch(queries, qids, qopts)
+		// Per-rank copy: the closure runs once per rank concurrently, and
+		// writing the shared captured qopts would race.
+		qo := qopts
+		qo.K = k
+		res, _, err := dt.QueryBatch(queries, qids, qo)
 		if err != nil {
 			return err
 		}

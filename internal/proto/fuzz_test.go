@@ -1,0 +1,150 @@
+package proto
+
+import (
+	"testing"
+
+	"panda/internal/kdtree"
+)
+
+// FuzzConsumeRequest throws arbitrary payload bytes at the request decoder:
+// it must never panic, and whatever it accepts must re-encode byte-for-byte.
+func FuzzConsumeRequest(f *testing.F) {
+	f.Add(AppendKNNRequest(nil, 1, 5, []float32{1, 2, 3}, 3), 3)
+	f.Add(AppendKNNRequest(nil, 2, 8, []float32{1, 2, 3, 4, 5, 6}, 3), 3)
+	f.Add(AppendRadiusRequest(nil, 3, 0.5, []float32{1, 2}), 2)
+	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, 1)
+	f.Add([]byte{}, 1)
+	f.Fuzz(func(t *testing.T, payload []byte, dims int) {
+		if dims < 1 || dims > 64 {
+			dims = 1 + (dims&0x3F+64)%64
+		}
+		var req Request
+		if err := ConsumeRequest(payload, dims, &req); err != nil {
+			return
+		}
+		// Accepted requests must satisfy the documented invariants...
+		switch req.Kind {
+		case KindKNN:
+			if req.K < 1 || req.K > MaxK || req.NQ < 1 || req.NQ*dims != len(req.Coords) {
+				t.Fatalf("accepted invalid KNN request %+v (dims %d)", req, dims)
+			}
+		case KindRadius:
+			if len(req.Coords) != dims {
+				t.Fatalf("accepted invalid radius request %+v (dims %d)", req, dims)
+			}
+		default:
+			t.Fatalf("accepted unknown kind %d", req.Kind)
+		}
+		// ...and re-encode to exactly the bytes that were decoded.
+		var out []byte
+		if req.Kind == KindKNN {
+			out = AppendKNNRequest(nil, req.ID, req.K, req.Coords, dims)
+		} else {
+			out = AppendRadiusRequest(nil, req.ID, req.R2, req.Coords)
+		}
+		if string(out) != string(payload) {
+			t.Fatalf("reencode mismatch:\n got %x\nwant %x", out, payload)
+		}
+	})
+}
+
+// FuzzConsumeResponse throws arbitrary payload bytes at the response
+// decoder: no panic, no over-allocation, offsets always consistent.
+func FuzzConsumeResponse(f *testing.F) {
+	f.Add(AppendNeighborsResponse(nil, 1, []int32{0, 2}, []kdtree.Neighbor{{ID: 1, Dist2: 2}, {ID: 3, Dist2: 4}}))
+	f.Add(AppendErrorResponse(nil, 2, "bad"))
+	f.Add([]byte{3, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		var resp Response
+		if err := ConsumeResponse(payload, &resp); err != nil {
+			return
+		}
+		if resp.Kind == KindNeighbors {
+			if len(resp.Offsets) < 1 || resp.Offsets[0] != 0 {
+				t.Fatalf("offsets %v", resp.Offsets)
+			}
+			for i := 1; i < len(resp.Offsets); i++ {
+				if resp.Offsets[i] < resp.Offsets[i-1] {
+					t.Fatalf("offsets not monotone: %v", resp.Offsets)
+				}
+			}
+			if int(resp.Offsets[len(resp.Offsets)-1]) != len(resp.Flat) {
+				t.Fatalf("offsets end %d != %d neighbors", resp.Offsets[len(resp.Offsets)-1], len(resp.Flat))
+			}
+		}
+	})
+}
+
+// FuzzRequestRoundTrip builds structurally valid requests from fuzzed
+// values and checks encode → decode is the identity.
+func FuzzRequestRoundTrip(f *testing.F) {
+	f.Add(uint64(1), 5, 3, 2, float32(0.5), []byte{1, 2, 3, 4})
+	f.Add(uint64(1<<60), 1, 1, 1, float32(-1), []byte{})
+	f.Add(uint64(0), MaxK, 10, 7, float32(1e30), []byte{9, 9, 9, 9, 9, 9, 9, 9})
+	f.Fuzz(func(t *testing.T, id uint64, k, dims, nq int, r2 float32, raw []byte) {
+		if dims < 1 || dims > 16 {
+			dims = 1 + (dims%16+16)%16
+		}
+		if nq < 1 || nq > 32 {
+			nq = 1 + (nq%32+32)%32
+		}
+		if k < 1 || k > MaxK {
+			k = 1 + (k%MaxK+MaxK)%MaxK
+		}
+		coords := make([]float32, nq*dims)
+		for i := range coords {
+			if len(raw) > 0 {
+				coords[i] = float32(raw[i%len(raw)]) / 8
+			}
+		}
+		var req Request
+		b := AppendKNNRequest(nil, id, k, coords, dims)
+		if err := ConsumeRequest(b, dims, &req); err != nil {
+			t.Fatalf("valid KNN request rejected: %v", err)
+		}
+		if req.ID != id || req.K != k || req.NQ != nq || len(req.Coords) != len(coords) {
+			t.Fatalf("decoded %+v, want id=%d k=%d nq=%d", req, id, k, nq)
+		}
+		for i := range coords {
+			if req.Coords[i] != coords[i] {
+				t.Fatalf("coord %d: %v != %v", i, req.Coords[i], coords[i])
+			}
+		}
+
+		b = AppendRadiusRequest(nil, id, r2, coords[:dims])
+		if err := ConsumeRequest(b, dims, &req); err != nil {
+			t.Fatalf("valid radius request rejected: %v", err)
+		}
+		if req.ID != id || len(req.Coords) != dims {
+			t.Fatalf("decoded %+v", req)
+		}
+		if req.R2 != r2 && !(req.R2 != req.R2 && r2 != r2) {
+			t.Fatalf("r2 %v != %v", req.R2, r2)
+		}
+
+		// Response side: random-ish offsets partitioning nq*k neighbors.
+		flat := make([]kdtree.Neighbor, nq)
+		for i := range flat {
+			flat[i] = kdtree.Neighbor{ID: int64(i), Dist2: coords[i*dims]}
+		}
+		offsets := make([]int32, nq+1)
+		for i := 1; i <= nq; i++ {
+			offsets[i] = int32(i)
+		}
+		b = AppendNeighborsResponse(nil, id, offsets, flat)
+		var resp Response
+		if err := ConsumeResponse(b, &resp); err != nil {
+			t.Fatalf("valid response rejected: %v", err)
+		}
+		if resp.ID != id || len(resp.Flat) != nq {
+			t.Fatalf("decoded %+v", resp)
+		}
+		for i := range flat {
+			same := resp.Flat[i] == flat[i] ||
+				(resp.Flat[i].ID == flat[i].ID && resp.Flat[i].Dist2 != resp.Flat[i].Dist2 && flat[i].Dist2 != flat[i].Dist2)
+			if !same {
+				t.Fatalf("neighbor %d: %+v != %+v", i, resp.Flat[i], flat[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,392 @@
+// Package proto defines the client/server serving protocol spoken by
+// internal/server and panda.Client: a versioned handshake followed by
+// length-prefixed frames carrying KNN and radius-search requests and their
+// responses. Encoding is the little-endian append/consume style of
+// internal/wire; decoding uses wire.Decoder, so truncated or hostile
+// payloads surface as errors with length-prefix sanity caps instead of
+// panics or unbounded allocations.
+//
+// # Handshake
+//
+// Immediately after connecting the client sends
+//
+//	magic   [4]byte "PNDQ"
+//	version uint32  1
+//
+// and the server answers
+//
+//	magic   [4]byte "PNDQ"
+//	version uint32  1   (the version the server will speak)
+//	dims    uint32      dimensionality of the served tree
+//	points  uint64      number of indexed points
+//
+// A server that cannot speak the client's version closes the connection
+// after answering with its own version; the client surfaces a mismatch
+// error. Dims is authoritative: every query the client sends must carry
+// exactly dims coordinates.
+//
+// # Frames
+//
+// After the handshake both directions carry frames:
+//
+//	length  uint32          payload byte count (≤ MaxFrame)
+//	payload length bytes
+//
+// Every payload starts with
+//
+//	kind  uint8
+//	id    uint64   request id, echoed verbatim in the response
+//
+// followed by a kind-specific body:
+//
+//	KindKNN:       k uint32 | nq uint32 | coords nq*dims*float32
+//	KindRadius:    r2 float32 | coords dims*float32
+//	KindNeighbors: nq uint32 | counts nq*uint32 | pairs Σcounts×(id int64, d2 float32)
+//	KindError:     msg uint32-length-prefixed UTF-8
+//
+// Request ids are client-chosen and may be pipelined: the server answers
+// every request exactly once but in any order, so a client can keep many
+// requests in flight on one connection and match responses by id.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"panda/internal/kdtree"
+	"panda/internal/wire"
+)
+
+func leUint32(b []byte) uint32     { return binary.LittleEndian.Uint32(b) }
+func leUint64(b []byte) uint64     { return binary.LittleEndian.Uint64(b) }
+func f32frombits(v uint32) float32 { return math.Float32frombits(v) }
+
+// Magic starts both halves of the handshake.
+var Magic = [4]byte{'P', 'N', 'D', 'Q'}
+
+// Version is the protocol version this tree speaks.
+const Version = 1
+
+// MaxFrame caps a frame payload (64 MiB): large enough for a 1M-point
+// response at k=8, small enough that a hostile length prefix cannot make
+// either side allocate unboundedly.
+const MaxFrame = 64 << 20
+
+// Message kinds.
+const (
+	KindKNN       uint8 = 1 // request: k nearest neighbors for nq queries
+	KindRadius    uint8 = 2 // request: all points within squared radius r2
+	KindNeighbors uint8 = 3 // response: neighbor lists for each query
+	KindError     uint8 = 4 // response: request failed; body is the reason
+)
+
+// headerLen is kind + id.
+const headerLen = 1 + 8
+
+// maxErrorLen caps an error-message body.
+const maxErrorLen = 4096
+
+// AppendHello appends the client half of the handshake.
+func AppendHello(b []byte) []byte {
+	b = append(b, Magic[:]...)
+	return wire.AppendUint32(b, Version)
+}
+
+// helloLen is the size of the client hello.
+const helloLen = 8
+
+// ReadHello consumes a client hello from r and returns the client's version.
+func ReadHello(r io.Reader) (version uint32, err error) {
+	var buf [helloLen]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, fmt.Errorf("proto: reading hello: %w", err)
+	}
+	d := wire.NewDecoder(buf[:])
+	var magic [4]byte
+	copy(magic[:], d.Bytes(4))
+	version = d.Uint32()
+	if err := d.Err(); err != nil {
+		return 0, err
+	}
+	if magic != Magic {
+		return 0, fmt.Errorf("proto: bad magic %q", magic[:])
+	}
+	return version, nil
+}
+
+// AppendWelcome appends the server half of the handshake.
+func AppendWelcome(b []byte, dims int, points int64) []byte {
+	b = append(b, Magic[:]...)
+	b = wire.AppendUint32(b, Version)
+	b = wire.AppendUint32(b, uint32(dims))
+	return wire.AppendUint64(b, uint64(points))
+}
+
+// welcomeLen is the size of the server welcome.
+const welcomeLen = 20
+
+// ReadWelcome consumes a server welcome from r.
+func ReadWelcome(r io.Reader) (dims int, points int64, err error) {
+	var buf [welcomeLen]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, 0, fmt.Errorf("proto: reading welcome: %w", err)
+	}
+	d := wire.NewDecoder(buf[:])
+	var magic [4]byte
+	copy(magic[:], d.Bytes(4))
+	version := d.Uint32()
+	dims = int(d.Uint32())
+	points = int64(d.Uint64())
+	if err := d.Err(); err != nil {
+		return 0, 0, err
+	}
+	if magic != Magic {
+		return 0, 0, fmt.Errorf("proto: bad magic %q", magic[:])
+	}
+	if version != Version {
+		return 0, 0, fmt.Errorf("proto: server speaks version %d, client speaks %d", version, Version)
+	}
+	if dims <= 0 {
+		return 0, 0, fmt.Errorf("proto: welcome with invalid dims %d", dims)
+	}
+	return dims, points, nil
+}
+
+// BeginFrame appends a 4-byte length placeholder and returns the buffer;
+// encode the payload after it, then call FinishFrame on the same buffer.
+func BeginFrame(b []byte) []byte { return append(b, 0, 0, 0, 0) }
+
+// FinishFrame patches the length prefix at offset start (where BeginFrame
+// wrote its placeholder) to cover everything appended after it.
+func FinishFrame(b []byte, start int) error {
+	n := len(b) - start - 4
+	if n < 0 || n > MaxFrame {
+		return fmt.Errorf("proto: frame payload %d bytes out of range", n)
+	}
+	b[start] = byte(n)
+	b[start+1] = byte(n >> 8)
+	b[start+2] = byte(n >> 16)
+	b[start+3] = byte(n >> 24)
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame payload from r into buf
+// (reusing its capacity) and returns the payload. A length prefix above
+// MaxFrame is rejected before any allocation.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	// Compare as uint32 before converting: on 32-bit platforms a hostile
+	// prefix ≥ 2³¹ would otherwise wrap negative and panic in buf[:n].
+	u := uint32(hdr[0]) | uint32(hdr[1])<<8 | uint32(hdr[2])<<16 | uint32(hdr[3])<<24
+	if u > MaxFrame {
+		return nil, fmt.Errorf("proto: frame payload %d exceeds MaxFrame %d", u, MaxFrame)
+	}
+	n := int(u)
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("proto: reading frame payload: %w", err)
+	}
+	return buf, nil
+}
+
+// Request is a decoded client request. Coords is reused across decodes when
+// the caller keeps the struct alive (ConsumeRequest appends into
+// Coords[:0]), so a steady-state reader performs no per-request allocation.
+type Request struct {
+	ID     uint64
+	Kind   uint8     // KindKNN or KindRadius
+	K      int       // KindKNN
+	NQ     int       // KindKNN: number of query points
+	R2     float32   // KindRadius
+	Coords []float32 // NQ*dims (KNN) or dims (radius) coordinates
+}
+
+// MaxK caps the requested neighbor count per query.
+const MaxK = 4096
+
+// MaxResultNeighbors caps nq×k for one request — the most neighbors a
+// single KindNeighbors response can carry within MaxFrame (12 bytes per
+// pair). Without this cap one legal 64 MiB request frame (many queries ×
+// large k) could drive a response arena of tens of gigabytes.
+const MaxResultNeighbors = MaxFrame / 12
+
+// ErrMalformed marks structural decode failures — truncated or trailing
+// bytes, hostile length prefixes, unknown kinds — after which the byte
+// stream cannot be trusted and the connection should be dropped. Semantic
+// violations (k or nq out of range, coordinate count not matching the
+// tree's dims) return plain errors: the stream is still framed correctly
+// and the connection stays usable.
+var ErrMalformed = errors.New("proto: malformed request")
+
+// AppendKNNRequest encodes a KindKNN request for nq = len(coords)/dims
+// query points.
+func AppendKNNRequest(b []byte, id uint64, k int, coords []float32, dims int) []byte {
+	b = append(b, KindKNN)
+	b = wire.AppendUint64(b, id)
+	b = wire.AppendUint32(b, uint32(k))
+	b = wire.AppendUint32(b, uint32(len(coords)/dims))
+	b = wire.AppendFloat32s(b, coords)
+	return b
+}
+
+// AppendRadiusRequest encodes a KindRadius request for one query point.
+func AppendRadiusRequest(b []byte, id uint64, r2 float32, q []float32) []byte {
+	b = append(b, KindRadius)
+	b = wire.AppendUint64(b, id)
+	b = wire.AppendFloat32(b, r2)
+	b = wire.AppendFloat32s(b, q)
+	return b
+}
+
+// ConsumeRequest decodes a request payload for a tree of the given
+// dimensionality into req, reusing req.Coords. It validates structure
+// (truncation, trailing bytes, length caps — failures wrap ErrMalformed)
+// and semantics (k, nq, and nq×k ranges, coords matching nq*dims — plain
+// errors; see ErrMalformed for the distinction).
+func ConsumeRequest(payload []byte, dims int, req *Request) error {
+	d := wire.NewDecoder(payload)
+	req.Kind = d.Uint8()
+	req.ID = d.Uint64()
+	req.Coords = req.Coords[:0]
+	switch req.Kind {
+	case KindKNN:
+		req.K = int(d.Uint32())
+		req.NQ = int(d.Uint32())
+		req.Coords = d.Float32sInto(req.Coords, MaxFrame/4)
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("%w: %w", ErrMalformed, err)
+		}
+		if req.K < 1 || req.K > MaxK {
+			return fmt.Errorf("proto: k %d out of range [1, %d]", req.K, MaxK)
+		}
+		if req.NQ < 1 || req.NQ*dims != len(req.Coords) {
+			return fmt.Errorf("proto: %d coords for %d queries of dim %d", len(req.Coords), req.NQ, dims)
+		}
+		if int64(req.NQ)*int64(req.K) > MaxResultNeighbors {
+			return fmt.Errorf("proto: %d queries × k=%d exceeds the %d-neighbor response cap; split the batch",
+				req.NQ, req.K, MaxResultNeighbors)
+		}
+	case KindRadius:
+		req.R2 = d.Float32()
+		req.Coords = d.Float32sInto(req.Coords, MaxFrame/4)
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("%w: %w", ErrMalformed, err)
+		}
+		req.NQ = 1
+		if len(req.Coords) != dims {
+			return fmt.Errorf("proto: radius query has %d coords, want %d", len(req.Coords), dims)
+		}
+	default:
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("%w: %w", ErrMalformed, err)
+		}
+		return fmt.Errorf("%w: unknown request kind %d", ErrMalformed, req.Kind)
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("%w: %d trailing bytes after request", ErrMalformed, d.Remaining())
+	}
+	return nil
+}
+
+// AppendNeighborsResponse encodes a KindNeighbors response: query i's
+// neighbors are flat[offsets[i]:offsets[i+1]] (the arena layout produced by
+// Tree.KNNBatchFlat); len(offsets) is nq+1.
+func AppendNeighborsResponse(b []byte, id uint64, offsets []int32, flat []kdtree.Neighbor) []byte {
+	b = append(b, KindNeighbors)
+	b = wire.AppendUint64(b, id)
+	nq := len(offsets) - 1
+	b = wire.AppendUint32(b, uint32(nq))
+	for i := 0; i < nq; i++ {
+		b = wire.AppendUint32(b, uint32(offsets[i+1]-offsets[i]))
+	}
+	for _, nb := range flat {
+		b = wire.AppendInt64(b, nb.ID)
+		b = wire.AppendFloat32(b, nb.Dist2)
+	}
+	return b
+}
+
+// AppendErrorResponse encodes a KindError response.
+func AppendErrorResponse(b []byte, id uint64, msg string) []byte {
+	if len(msg) > maxErrorLen {
+		msg = msg[:maxErrorLen]
+	}
+	b = append(b, KindError)
+	b = wire.AppendUint64(b, id)
+	b = wire.AppendUint32(b, uint32(len(msg)))
+	return append(b, msg...)
+}
+
+// Response is a decoded server response. Offsets and Flat are reused
+// across decodes when the caller keeps the struct alive.
+type Response struct {
+	ID      uint64
+	Kind    uint8 // KindNeighbors or KindError
+	Err     string
+	Offsets []int32 // nq+1 arena offsets into Flat
+	Flat    []kdtree.Neighbor
+}
+
+// ConsumeResponse decodes a response payload into resp, reusing its slices.
+func ConsumeResponse(payload []byte, resp *Response) error {
+	d := wire.NewDecoder(payload)
+	resp.Kind = d.Uint8()
+	resp.ID = d.Uint64()
+	resp.Err = ""
+	resp.Offsets = resp.Offsets[:0]
+	resp.Flat = resp.Flat[:0]
+	switch resp.Kind {
+	case KindNeighbors:
+		nq := d.Len(4, MaxFrame/4)
+		resp.Offsets = append(resp.Offsets, 0)
+		total := 0
+		for i := 0; i < nq; i++ {
+			cnt := int(d.Uint32())
+			if cnt < 0 || cnt > MaxFrame/12 {
+				return fmt.Errorf("proto: neighbor count %d out of range", cnt)
+			}
+			total += cnt
+			if total > MaxFrame/12 {
+				return fmt.Errorf("proto: response claims %d neighbors, exceeding frame cap", total)
+			}
+			resp.Offsets = append(resp.Offsets, int32(total))
+		}
+		if err := d.Err(); err != nil {
+			return err
+		}
+		raw := d.Bytes(12 * total)
+		if err := d.Err(); err != nil {
+			return err
+		}
+		for i := 0; i < total; i++ {
+			id := int64(leUint64(raw[12*i:]))
+			d2 := f32frombits(leUint32(raw[12*i+8:]))
+			resp.Flat = append(resp.Flat, kdtree.Neighbor{ID: id, Dist2: d2})
+		}
+	case KindError:
+		n := d.Len(1, maxErrorLen)
+		msg := d.Bytes(n)
+		if err := d.Err(); err != nil {
+			return err
+		}
+		resp.Err = string(msg)
+	default:
+		if err := d.Err(); err != nil {
+			return err
+		}
+		return fmt.Errorf("proto: unknown response kind %d", resp.Kind)
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("proto: %d trailing bytes after response", d.Remaining())
+	}
+	return nil
+}

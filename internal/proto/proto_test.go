@@ -1,0 +1,223 @@
+package proto
+
+import (
+	"bytes"
+	"net"
+	"strings"
+	"testing"
+
+	"panda/internal/kdtree"
+)
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	hello := AppendHello(nil)
+	v, err := ReadHello(bytes.NewReader(hello))
+	if err != nil || v != Version {
+		t.Fatalf("ReadHello = %d, %v", v, err)
+	}
+	welcome := AppendWelcome(nil, 7, 123456)
+	dims, points, err := ReadWelcome(bytes.NewReader(welcome))
+	if err != nil || dims != 7 || points != 123456 {
+		t.Fatalf("ReadWelcome = %d, %d, %v", dims, points, err)
+	}
+
+	if _, err := ReadHello(strings.NewReader("XXXXxxxx")); err == nil {
+		t.Error("bad magic accepted")
+	}
+	bad := AppendWelcome(nil, 7, 1)
+	bad[4] = 99 // version
+	if _, _, err := ReadWelcome(bytes.NewReader(bad)); err == nil {
+		t.Error("version mismatch accepted")
+	}
+}
+
+func TestRequestRoundTrip(t *testing.T) {
+	coords := []float32{1, 2, 3, 4, 5, 6}
+	b := AppendKNNRequest(nil, 99, 5, coords, 3)
+	var req Request
+	if err := ConsumeRequest(b, 3, &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.ID != 99 || req.Kind != KindKNN || req.K != 5 || req.NQ != 2 {
+		t.Fatalf("decoded %+v", req)
+	}
+	for i, v := range coords {
+		if req.Coords[i] != v {
+			t.Fatalf("coord %d: %v != %v", i, req.Coords[i], v)
+		}
+	}
+
+	b = AppendRadiusRequest(nil, 7, 0.25, coords[:3])
+	if err := ConsumeRequest(b, 3, &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.ID != 7 || req.Kind != KindRadius || req.R2 != 0.25 || len(req.Coords) != 3 {
+		t.Fatalf("decoded %+v", req)
+	}
+}
+
+func TestRequestValidation(t *testing.T) {
+	coords := []float32{1, 2, 3}
+	var req Request
+	cases := map[string][]byte{
+		"wrong dims":    AppendKNNRequest(nil, 1, 5, coords, 3), // consumed with dims=4 below
+		"zero k":        AppendKNNRequest(nil, 1, 0, coords, 3),
+		"huge k":        AppendKNNRequest(nil, 1, MaxK+1, coords, 3),
+		"truncated":     AppendKNNRequest(nil, 1, 5, coords, 3)[:8],
+		"trailing":      append(AppendKNNRequest(nil, 1, 5, coords, 3), 0xAA),
+		"unknown kind":  {42, 0, 0, 0, 0, 0, 0, 0, 0},
+		"radius short":  AppendRadiusRequest(nil, 1, 0.5, coords[:2]),
+		"empty payload": {},
+		"oversize nq*k": AppendKNNRequest(nil, 1, MaxK,
+			make([]float32, 3*(MaxResultNeighbors/MaxK+1)), 3),
+	}
+	for name, payload := range cases {
+		dims := 3
+		if name == "wrong dims" {
+			dims = 4
+		}
+		if err := ConsumeRequest(payload, dims, &req); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	flat := []kdtree.Neighbor{{ID: 1, Dist2: 0.5}, {ID: 2, Dist2: 1.5}, {ID: 3, Dist2: 2.5}}
+	offsets := []int32{0, 2, 2, 3}
+	b := AppendNeighborsResponse(nil, 11, offsets, flat)
+	var resp Response
+	if err := ConsumeResponse(b, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 11 || resp.Kind != KindNeighbors {
+		t.Fatalf("decoded %+v", resp)
+	}
+	if len(resp.Offsets) != len(offsets) {
+		t.Fatalf("offsets %v", resp.Offsets)
+	}
+	for i := range offsets {
+		if resp.Offsets[i] != offsets[i] {
+			t.Fatalf("offsets %v != %v", resp.Offsets, offsets)
+		}
+	}
+	for i := range flat {
+		if resp.Flat[i] != flat[i] {
+			t.Fatalf("flat %v != %v", resp.Flat, flat)
+		}
+	}
+
+	// Absolute arena offsets must decode to the same per-query counts.
+	b = AppendNeighborsResponse(nil, 12, []int32{100, 102, 103}, flat)
+	if err := ConsumeResponse(b, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Offsets[0] != 0 || resp.Offsets[1] != 2 || resp.Offsets[2] != 3 {
+		t.Fatalf("absolute offsets decoded to %v", resp.Offsets)
+	}
+
+	b = AppendErrorResponse(nil, 13, "boom")
+	if err := ConsumeResponse(b, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != KindError || resp.ID != 13 || resp.Err != "boom" {
+		t.Fatalf("decoded %+v", resp)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	b := BeginFrame(nil)
+	b = AppendErrorResponse(b, 5, "x")
+	if err := FinishFrame(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := ReadFrame(bytes.NewReader(b), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := ConsumeResponse(payload, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 5 || resp.Err != "x" {
+		t.Fatalf("decoded %+v", resp)
+	}
+
+	// Oversized length prefix is rejected before allocation.
+	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadFrame(bytes.NewReader(huge), nil); err == nil {
+		t.Error("oversized frame accepted")
+	}
+}
+
+// TestFrameOverTCP sanity-checks framing across a real socket boundary,
+// including partial reads.
+func TestFrameOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan error, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		payload, err := ReadFrame(conn, nil)
+		if err != nil {
+			done <- err
+			return
+		}
+		var req Request
+		if err := ConsumeRequest(payload, 2, &req); err != nil {
+			done <- err
+			return
+		}
+		b := BeginFrame(nil)
+		b = AppendNeighborsResponse(b, req.ID, []int32{0, 1}, []kdtree.Neighbor{{ID: 9, Dist2: 0.125}})
+		if err := FinishFrame(b, 0); err != nil {
+			done <- err
+			return
+		}
+		_, err = conn.Write(b)
+		done <- err
+	}()
+
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	b := BeginFrame(nil)
+	b = AppendKNNRequest(b, 77, 1, []float32{0.5, 0.5}, 2)
+	if err := FinishFrame(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Dribble the frame to exercise partial reads.
+	for i := 0; i < len(b); i += 3 {
+		end := i + 3
+		if end > len(b) {
+			end = len(b)
+		}
+		if _, err := nc.Write(b[i:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	payload, err := ReadFrame(nc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := ConsumeResponse(payload, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 77 || len(resp.Flat) != 1 || resp.Flat[0].ID != 9 {
+		t.Fatalf("decoded %+v", resp)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}

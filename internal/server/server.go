@@ -1,0 +1,596 @@
+// Package server is PANDA's network serving layer: it owns a built
+// panda.Tree and answers KNN and radius-search queries over TCP, speaking
+// the versioned length-prefixed protocol of internal/proto (handshake,
+// frame layout, and message kinds are documented there).
+//
+// # Dynamic micro-batching
+//
+// The server's core mechanism converts independent single-query client
+// traffic into the batched engine's hot path. Each connection has a reader
+// goroutine that decodes requests and enqueues them on a shared intake
+// queue. A dispatcher goroutine coalesces whatever has accumulated — up to
+// Config.MaxBatch queries, waiting at most Config.MaxLinger for stragglers
+// — groups the KNN queries by k, concatenates their coordinates, and
+// answers each group with one Tree.KNNBatchFlatInto call on the pooled
+// zero-allocation engine. Responses are then fanned back out to the waiting
+// connections. A thousand independent clients therefore get batched-engine
+// throughput without changing their one-query-at-a-time API; the cost is at
+// most MaxLinger of added latency when traffic is sparse. Radius queries
+// ride in the same intake but execute individually against pooled
+// searchers (they have no fixed result size to batch into an arena).
+//
+// Request structs, coordinate buffers, result arenas, and response encode
+// buffers are all recycled, so the steady-state dispatch loop performs zero
+// allocations per query.
+//
+// # Batching semantics
+//
+// Requests are answered exactly once, in no guaranteed order relative to
+// other requests (clients match responses by id). A batch request larger
+// than MaxBatch is not split: it runs as its own engine call. Grouping by k
+// happens within one coalesced batch only. Malformed frames are answered
+// with a KindError response when the request id is recoverable, and the
+// connection is closed either way; semantic errors (bad k, wrong coordinate
+// count) are answered with KindError and the connection stays usable.
+//
+// # Wire format
+//
+// In brief (internal/proto is the authoritative reference): a connection
+// opens with a versioned handshake — client sends magic "PNDQ" + version,
+// server answers magic + version + tree dims + point count, and a version
+// mismatch closes the connection. After that, both directions carry
+// length-prefixed frames (uint32 length, capped at proto.MaxFrame) whose
+// payload is kind byte + uint64 request id + a kind-specific body: KNN
+// requests carry k, a query count, and packed float32 coordinates; radius
+// requests carry r² and one point; neighbor responses carry per-query
+// counts followed by (id int64, dist² float32) pairs; error responses carry
+// a message string. All integers and floats are little-endian. Request ids
+// are client-chosen and echoed verbatim, which is what allows pipelining
+// and out-of-order responses.
+//
+// # Shutdown
+//
+// Shutdown stops accepting connections, unblocks every connection reader,
+// waits for the dispatcher to answer all requests already read off the
+// wire, then closes the connections — an in-flight query enqueued before
+// Shutdown always receives its response.
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"panda"
+	"panda/internal/proto"
+)
+
+// ErrServerClosed is returned by Serve after Shutdown.
+var ErrServerClosed = errors.New("server: closed")
+
+// Config tunes the serving layer. The zero value gives the defaults noted
+// on each field.
+type Config struct {
+	// MaxBatch is the most queries the dispatcher coalesces into one
+	// engine call (default 64). A single oversize batch request still runs
+	// whole.
+	MaxBatch int
+	// MaxLinger is how long the dispatcher waits for more queries once it
+	// has at least one (default 200µs). Zero means "grab only what has
+	// already accumulated".
+	MaxLinger time.Duration
+	// LingerSet reports whether MaxLinger zero is intentional; leave false
+	// to get the default.
+	LingerSet bool
+	// WriteTimeout bounds each response write (default 2s). The single
+	// dispatcher writes responses synchronously, so a client that stops
+	// draining its socket head-of-line blocks other responses for up to
+	// one WriteTimeout; after that the connection is closed and costs
+	// nothing further. (Per-connection writer queues would remove the
+	// one-timeout stall; they are future work.)
+	WriteTimeout time.Duration
+	// IntakeDepth is the intake queue capacity in requests (default
+	// 4×MaxBatch).
+	IntakeDepth int
+	// HandshakeTimeout bounds the initial hello exchange (default 10s).
+	HandshakeTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxLinger <= 0 && !c.LingerSet {
+		c.MaxLinger = 200 * time.Microsecond
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 2 * time.Second
+	}
+	if c.IntakeDepth <= 0 {
+		c.IntakeDepth = 4 * c.MaxBatch
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// server lifecycle states.
+const (
+	stateIdle = iota
+	stateServing
+	stateDraining
+	stateClosed
+)
+
+// Server serves one built tree. Create with New, start with Serve or
+// ListenAndServe, stop with Shutdown. All methods are safe for concurrent
+// use.
+type Server struct {
+	tree *panda.Tree
+	cfg  Config
+
+	intake chan *pending
+
+	mu      sync.Mutex
+	state   int
+	ln      net.Listener
+	conns   map[*conn]struct{}
+	readers sync.WaitGroup
+
+	dispatcherUp   bool
+	dispatcherDone chan struct{}
+
+	pendingPool sync.Pool
+}
+
+// New returns an unstarted server for tree.
+func New(tree *panda.Tree, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		tree:           tree,
+		cfg:            cfg,
+		intake:         make(chan *pending, cfg.IntakeDepth),
+		conns:          map[*conn]struct{}{},
+		dispatcherDone: make(chan struct{}),
+	}
+}
+
+// Addr returns the listener address once Serve has been called (nil
+// before).
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// ListenAndServe listens on addr and calls Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown. It always returns a
+// non-nil error; after a clean Shutdown the error is ErrServerClosed.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.state != stateIdle {
+		s.mu.Unlock()
+		return fmt.Errorf("server: Serve called twice")
+	}
+	s.state = stateServing
+	s.ln = ln
+	s.dispatcherUp = true
+	s.mu.Unlock()
+	go s.dispatch()
+
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			draining := s.state >= stateDraining
+			s.mu.Unlock()
+			if draining {
+				return ErrServerClosed
+			}
+			return err
+		}
+		if tc, ok := nc.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		c := &conn{nc: nc}
+		s.mu.Lock()
+		if s.state != stateServing {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.readers.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(c)
+	}
+}
+
+// Shutdown gracefully stops the server: no new connections are accepted,
+// requests already read off the wire are answered, then every connection
+// is closed. If ctx expires first the remaining connections are closed
+// immediately and ctx.Err is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.state == stateClosed {
+		s.mu.Unlock()
+		return nil
+	}
+	alreadyDraining := s.state == stateDraining
+	s.state = stateDraining
+	ln := s.ln
+	dispatcherUp := s.dispatcherUp
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if alreadyDraining {
+		// A concurrent Shutdown is already driving the drain; just wait.
+		select {
+		case <-s.dispatcherDone:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+
+	if ln != nil {
+		ln.Close()
+	}
+	// Unblock every reader; draining readers exit without closing their
+	// connection so queued responses can still be written.
+	for _, c := range conns {
+		c.nc.SetReadDeadline(time.Now())
+	}
+
+	drained := make(chan struct{})
+	go func() {
+		s.readers.Wait()
+		close(s.intake)
+		if dispatcherUp {
+			<-s.dispatcherDone
+		} else {
+			close(s.dispatcherDone)
+		}
+		close(drained)
+	}()
+
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.mu.Lock()
+	s.state = stateClosed
+	for c := range s.conns {
+		c.close()
+		delete(s.conns, c)
+	}
+	s.mu.Unlock()
+	return err
+}
+
+func (s *Server) draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state >= stateDraining
+}
+
+// removeConn drops c from the conn table (reader-initiated close paths).
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+}
+
+// conn is one client connection. The reader goroutine is the only reader;
+// writes (dispatcher responses, reader error responses) serialize on wmu.
+type conn struct {
+	nc   net.Conn
+	wmu  sync.Mutex
+	dead atomic.Bool
+}
+
+func (c *conn) close() {
+	c.dead.Store(true)
+	c.nc.Close()
+}
+
+// writeFrame writes one already-framed buffer (length prefix included).
+// Errors mark the connection dead; the dispatcher keeps going.
+func (c *conn) writeFrame(buf []byte, timeout time.Duration) error {
+	if c.dead.Load() {
+		return net.ErrClosed
+	}
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if timeout > 0 {
+		c.nc.SetWriteDeadline(time.Now().Add(timeout))
+	}
+	_, err := c.nc.Write(buf)
+	if err != nil {
+		c.dead.Store(true)
+	}
+	return err
+}
+
+// pending is one request waiting for dispatch. Its request struct (and the
+// coords buffer inside) is recycled through the server's pool.
+type pending struct {
+	c   *conn
+	req proto.Request
+}
+
+func (s *Server) getPending() *pending {
+	if p, ok := s.pendingPool.Get().(*pending); ok {
+		return p
+	}
+	return &pending{}
+}
+
+func (s *Server) putPending(p *pending) {
+	p.c = nil
+	s.pendingPool.Put(p)
+}
+
+// serveConn is the per-connection reader: handshake, then decode frames and
+// enqueue requests until the client disconnects or the server drains.
+func (s *Server) serveConn(c *conn) {
+	defer s.readers.Done()
+	dims := s.tree.Dims()
+
+	c.nc.SetReadDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
+	version, err := proto.ReadHello(c.nc)
+	if err != nil {
+		s.removeConn(c)
+		c.close()
+		return
+	}
+	welcome := proto.AppendWelcome(make([]byte, 0, 20), dims, int64(s.tree.Len()))
+	if c.writeFrameless(welcome, s.cfg.WriteTimeout) != nil || version != proto.Version {
+		s.removeConn(c)
+		c.close()
+		return
+	}
+	c.nc.SetReadDeadline(time.Time{})
+
+	var buf []byte
+	var errBuf []byte
+	for {
+		payload, rerr := proto.ReadFrame(c.nc, buf)
+		if rerr != nil {
+			break
+		}
+		buf = payload
+		p := s.getPending()
+		if derr := proto.ConsumeRequest(payload, dims, &p.req); derr != nil {
+			s.putPending(p)
+			// Answer with the reason when the request id survived.
+			if len(payload) >= 9 {
+				id := binary.LittleEndian.Uint64(payload[1:9])
+				errBuf = proto.BeginFrame(errBuf[:0])
+				errBuf = proto.AppendErrorResponse(errBuf, id, derr.Error())
+				if proto.FinishFrame(errBuf, 0) == nil {
+					c.writeFrame(errBuf, s.cfg.WriteTimeout)
+				}
+			}
+			// Semantic violations leave the stream correctly framed: keep
+			// serving the connection. Structural failures mean we can no
+			// longer trust the framing: drop it.
+			if errors.Is(derr, proto.ErrMalformed) || len(payload) < 9 {
+				break
+			}
+			continue
+		}
+		p.c = c
+		s.intake <- p
+	}
+	if !s.draining() {
+		s.removeConn(c)
+		c.close()
+	}
+}
+
+// writeFrameless writes raw bytes (the handshake, which is not framed).
+func (c *conn) writeFrameless(buf []byte, timeout time.Duration) error {
+	return c.writeFrame(buf, timeout)
+}
+
+// dispatcher holds the dispatch loop's recycled buffers.
+type dispatcher struct {
+	s     *Server
+	batch []*pending // coalesced intake
+	done  []bool     // batch[i] already answered (k-grouping marker)
+	group []*pending // same-k members of the current engine call
+	// engine call staging, reused across calls
+	coords  []float32
+	flat    []panda.Neighbor
+	offsets []int32
+	// radius staging
+	radius []panda.Neighbor
+	offs2  []int32
+	// response frame encode buffer
+	wbuf []byte
+}
+
+func newDispatcher(s *Server) *dispatcher {
+	return &dispatcher{s: s, offs2: make([]int32, 2)}
+}
+
+// dispatch is the micro-batching loop: block for one request, linger up to
+// MaxLinger (or MaxBatch queries) for stragglers, process, repeat. Exits
+// when the intake closes, after draining everything still queued.
+func (s *Server) dispatch() {
+	defer close(s.dispatcherDone)
+	d := newDispatcher(s)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		p, ok := <-s.intake
+		if !ok {
+			return
+		}
+		d.batch = append(d.batch[:0], p)
+		total := p.req.NQ
+		// Grab everything already queued without blocking.
+	drain:
+		for total < s.cfg.MaxBatch {
+			select {
+			case p2, ok2 := <-s.intake:
+				if !ok2 {
+					break drain
+				}
+				d.batch = append(d.batch, p2)
+				total += p2.req.NQ
+			default:
+				break drain
+			}
+		}
+		// Linger for stragglers to fill the batch.
+		if total < s.cfg.MaxBatch && s.cfg.MaxLinger > 0 {
+			timer.Reset(s.cfg.MaxLinger)
+		linger:
+			for total < s.cfg.MaxBatch {
+				select {
+				case p2, ok2 := <-s.intake:
+					if !ok2 {
+						break linger
+					}
+					d.batch = append(d.batch, p2)
+					total += p2.req.NQ
+				case <-timer.C:
+					break linger
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		}
+		d.process()
+	}
+}
+
+// process answers every request in d.batch: KNN requests grouped by k into
+// single engine calls, radius requests individually. All staging buffers
+// are reused; the loop allocates nothing once warm.
+func (d *dispatcher) process() {
+	s := d.s
+	n := len(d.batch)
+	if cap(d.done) < n {
+		d.done = make([]bool, n)
+	}
+	d.done = d.done[:n]
+	for i := range d.done {
+		d.done[i] = false
+	}
+
+	for i := 0; i < n; i++ {
+		if d.done[i] {
+			continue
+		}
+		p := d.batch[i]
+		if p.req.Kind == proto.KindRadius {
+			d.done[i] = true
+			d.radius = s.tree.RadiusSearchInto(p.req.Coords, p.req.R2, d.radius[:0])
+			if len(d.radius) > proto.MaxResultNeighbors {
+				// Refuse before encoding: a dense-enough ball would
+				// otherwise build a response buffer beyond the frame cap.
+				d.respondError(p, fmt.Errorf("radius search matched %d points, exceeding the %d-neighbor response cap; shrink r2",
+					len(d.radius), proto.MaxResultNeighbors))
+				continue
+			}
+			d.offs2[0] = 0
+			d.offs2[1] = int32(len(d.radius))
+			d.respondNeighbors(p, d.offs2, d.radius)
+			continue
+		}
+		// Gather every not-yet-answered KNN request with the same k.
+		k := p.req.K
+		d.group = d.group[:0]
+		d.coords = d.coords[:0]
+		for j := i; j < n; j++ {
+			q := d.batch[j]
+			if d.done[j] || q.req.Kind != proto.KindKNN || q.req.K != k {
+				continue
+			}
+			d.done[j] = true
+			d.group = append(d.group, q)
+			d.coords = append(d.coords, q.req.Coords...)
+		}
+		flat, offsets, err := s.tree.KNNBatchFlatInto(d.coords, k, d.flat, d.offsets)
+		if err != nil {
+			for _, q := range d.group {
+				d.respondError(q, err)
+			}
+			continue
+		}
+		d.flat, d.offsets = flat, offsets
+		// Fan the arena back out: request q owns queries [qpos, qpos+NQ).
+		qpos := 0
+		for _, q := range d.group {
+			nq := q.req.NQ
+			segOff := offsets[qpos : qpos+nq+1]
+			d.respondNeighbors(q, segOff, flat[segOff[0]:segOff[nq]])
+			qpos += nq
+		}
+	}
+	for _, p := range d.batch {
+		s.putPending(p)
+	}
+}
+
+// respondNeighbors encodes and writes one KindNeighbors response. Offsets
+// may be absolute into a larger arena; only differences matter.
+func (d *dispatcher) respondNeighbors(p *pending, offsets []int32, flat []panda.Neighbor) {
+	d.wbuf = proto.BeginFrame(d.wbuf[:0])
+	d.wbuf = proto.AppendNeighborsResponse(d.wbuf, p.req.ID, offsets, flat)
+	if err := proto.FinishFrame(d.wbuf, 0); err != nil {
+		d.respondError(p, err)
+		return
+	}
+	d.write(p, d.wbuf)
+}
+
+// respondError encodes and writes one KindError response.
+func (d *dispatcher) respondError(p *pending, err error) {
+	d.wbuf = proto.BeginFrame(d.wbuf[:0])
+	d.wbuf = proto.AppendErrorResponse(d.wbuf, p.req.ID, err.Error())
+	if proto.FinishFrame(d.wbuf, 0) == nil {
+		d.write(p, d.wbuf)
+	}
+}
+
+// write delivers one framed response. A failed write (stalled or vanished
+// client) closes the connection, which also unblocks its reader — the
+// connection pays at most one WriteTimeout before every later response to
+// it is skipped via the dead flag.
+func (d *dispatcher) write(p *pending, buf []byte) {
+	if p.c.writeFrame(buf, d.s.cfg.WriteTimeout) != nil {
+		d.s.removeConn(p.c)
+		p.c.close()
+	}
+}

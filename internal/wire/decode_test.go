@@ -1,0 +1,110 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestDecoderRoundTrip(t *testing.T) {
+	b := AppendUint32(nil, 42)
+	b = AppendInt32(b, -7)
+	b = AppendUint64(b, 1<<40)
+	b = AppendInt64(b, -1<<40)
+	b = AppendFloat32(b, 1.5)
+	b = AppendFloat64(b, -2.25)
+	b = AppendFloat32s(b, []float32{3, 4, 5})
+	b = AppendInt32s(b, []int32{-1, 0, 1})
+	b = AppendInt64s(b, []int64{9, -9})
+
+	d := NewDecoder(b)
+	if v := d.Uint32(); v != 42 {
+		t.Errorf("Uint32 = %d", v)
+	}
+	if v := d.Int32(); v != -7 {
+		t.Errorf("Int32 = %d", v)
+	}
+	if v := d.Uint64(); v != 1<<40 {
+		t.Errorf("Uint64 = %d", v)
+	}
+	if v := d.Int64(); v != -1<<40 {
+		t.Errorf("Int64 = %d", v)
+	}
+	if v := d.Float32(); v != 1.5 {
+		t.Errorf("Float32 = %v", v)
+	}
+	if v := d.Float64(); v != -2.25 {
+		t.Errorf("Float64 = %v", v)
+	}
+	fs := d.Float32sInto(nil, 16)
+	if len(fs) != 3 || fs[0] != 3 || fs[2] != 5 {
+		t.Errorf("Float32sInto = %v", fs)
+	}
+	is := d.Int32sInto(nil, 16)
+	if len(is) != 3 || is[0] != -1 {
+		t.Errorf("Int32sInto = %v", is)
+	}
+	ls := d.Int64sInto(nil, 16)
+	if len(ls) != 2 || ls[1] != -9 {
+		t.Errorf("Int64sInto = %v", ls)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("Err = %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("Remaining = %d", d.Remaining())
+	}
+}
+
+func TestDecoderShortBuffer(t *testing.T) {
+	d := NewDecoder([]byte{1, 2})
+	if v := d.Uint32(); v != 0 {
+		t.Errorf("short Uint32 = %d, want 0", v)
+	}
+	if !errors.Is(d.Err(), ErrShort) {
+		t.Fatalf("Err = %v, want ErrShort", d.Err())
+	}
+	// Error is sticky: subsequent reads return zero values.
+	if v := d.Uint64(); v != 0 {
+		t.Errorf("post-error Uint64 = %d", v)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("post-error Remaining = %d", d.Remaining())
+	}
+}
+
+func TestDecoderHostileLengthPrefix(t *testing.T) {
+	// A 0xFFFFFFFF element count with a 4-byte body: must error without
+	// allocating anything.
+	b := AppendUint32(nil, 0xFFFFFFFF)
+	b = append(b, 0, 0, 0, 0)
+	d := NewDecoder(b)
+	out := d.Float32sInto(nil, 0)
+	if len(out) != 0 {
+		t.Fatalf("decoded %d elements from hostile prefix", len(out))
+	}
+	if !errors.Is(d.Err(), ErrShort) {
+		t.Fatalf("Err = %v, want ErrShort", d.Err())
+	}
+
+	// A count above the caller cap errors with ErrTooLarge even when the
+	// bytes are present.
+	b = AppendFloat32s(nil, make([]float32, 100))
+	d = NewDecoder(b)
+	d.Float32sInto(nil, 10)
+	if !errors.Is(d.Err(), ErrTooLarge) {
+		t.Fatalf("Err = %v, want ErrTooLarge", d.Err())
+	}
+}
+
+func TestDecoderExpect(t *testing.T) {
+	d := NewDecoder([]byte{7})
+	d.Expect(7, "kind")
+	if d.Err() != nil {
+		t.Fatalf("Expect match: %v", d.Err())
+	}
+	d = NewDecoder([]byte{8})
+	d.Expect(7, "kind")
+	if d.Err() == nil {
+		t.Fatal("Expect mismatch not reported")
+	}
+}

@@ -14,6 +14,11 @@
 //     routing, r'-pruned remote fan-out and top-k merging, over an
 //     in-process simulated cluster or real TCP ranks (JoinTCP).
 //
+// A TCP serving layer (internal/server, cmd/panda-serve) exposes a built
+// tree to external processes; Dial returns a Client whose single queries
+// the server coalesces into batched engine calls via dynamic
+// micro-batching.
+//
 // Distributed runs also produce a SimReport: per-phase timings under a
 // calibrated analytic cost model that reproduces the paper's scaling
 // behaviour on a single machine (see DESIGN.md).
@@ -88,6 +93,76 @@ type Tree struct {
 	// across queries and batches so the steady-state query loop performs
 	// zero allocations.
 	pool sync.Pool
+	// scratch recycles per-batch bookkeeping (counts, Morton permutation)
+	// so repeated KNNBatchFlatInto calls allocate nothing once warm.
+	scratch sync.Pool
+}
+
+// batchScratch is the per-batch bookkeeping KNNBatchFlatInto reuses across
+// calls: per-query result counts, the Morton-ordering work arrays, and the
+// shared worker-run state.
+type batchScratch struct {
+	counts []int32
+	perm   []int32
+	keys   []uint32
+	bins   []int32
+	run    batchRun
+}
+
+// batchRun is the state one KNNBatchFlatInto call shares across its
+// workers, who claim chunks of queries from cursor. It lives inside the
+// pooled batchScratch (rather than as stack locals captured by a closure)
+// so that the worker-spawn path, which makes captured state escape, costs
+// the steady-state loop no allocations.
+type batchRun struct {
+	t                *Tree
+	queries          []float32
+	flat             []Neighbor
+	counts           []int32
+	perm             []int32
+	k, kEff, dims, n int
+	cursor           atomic.Int64
+}
+
+// runChunks drains the batch with one searcher: claim a chunk of queries,
+// answer each into its arena slot, repeat until the cursor runs out.
+func (r *batchRun) runChunks(s *kdtree.Searcher) {
+	n, kEff, dims := r.n, r.kEff, r.dims
+	for {
+		lo := int(r.cursor.Add(1)-1) * batchChunk
+		if lo >= n {
+			return
+		}
+		hi := lo + batchChunk
+		if hi > n {
+			hi = n
+		}
+		for p := lo; p < hi; p++ {
+			i := p
+			if r.perm != nil {
+				i = int(r.perm[p])
+			}
+			slot := r.flat[i*kEff : i*kEff : (i+1)*kEff]
+			res, _ := s.Search(r.queries[i*dims:(i+1)*dims], r.k, kdtree.Inf2, slot)
+			r.counts[i] = int32(len(res))
+		}
+	}
+}
+
+func (t *Tree) getScratch() *batchScratch {
+	if s, ok := t.scratch.Get().(*batchScratch); ok {
+		return s
+	}
+	return &batchScratch{}
+}
+
+// growInt32 returns s resized to n entries, reallocating only when capacity
+// is short. Contents are unspecified; callers overwrite every entry.
+func growInt32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
 }
 
 // getSearcher returns a pooled searcher for t, creating one on first use.
@@ -190,12 +265,23 @@ func (t *Tree) KNNBatch(queries []float32, k int) ([][]Neighbor, error) {
 // further batch stages (classification, regression, serialization) without
 // materializing per-query slices.
 func (t *Tree) KNNBatchFlat(queries []float32, k int) ([]Neighbor, []int32, error) {
+	return t.KNNBatchFlatInto(queries, k, nil, nil)
+}
+
+// KNNBatchFlatInto is KNNBatchFlat with caller-owned result storage: flat
+// and offsets (either may be nil) are reused when their capacity suffices
+// and reallocated otherwise, and the returned slices must be used in their
+// place. Per-batch bookkeeping is recycled through an internal pool, so a
+// caller that feeds the returned slices back in — the serving layer's
+// dispatch loop does — runs the whole batch path with zero steady-state
+// allocations.
+func (t *Tree) KNNBatchFlatInto(queries []float32, k int, flat []Neighbor, offsets []int32) ([]Neighbor, []int32, error) {
 	dims := t.t.Points.Dims
 	if dims == 0 || len(queries)%dims != 0 {
 		return nil, nil, fmt.Errorf("panda: query buffer not a multiple of dims %d", dims)
 	}
 	n := len(queries) / dims
-	offsets := make([]int32, n+1)
+	offsets = growInt32(offsets, n+1)
 	// Every query returns exactly min(k, points) neighbors under an
 	// unbounded radius, so slot sizes are known up front.
 	kEff := k
@@ -203,38 +289,30 @@ func (t *Tree) KNNBatchFlat(queries []float32, k int) ([]Neighbor, []int32, erro
 		kEff = t.t.Len()
 	}
 	if n == 0 || kEff <= 0 {
-		return nil, offsets, nil
+		for i := range offsets {
+			offsets[i] = 0
+		}
+		return flat[:0], offsets, nil
 	}
 	// Offsets are int32; reject batches whose result arena wouldn't fit
 	// rather than silently wrapping during compaction.
 	if int64(n)*int64(kEff) > math.MaxInt32 {
 		return nil, nil, fmt.Errorf("panda: batch result arena %d×%d exceeds int32 offsets; split the batch", n, kEff)
 	}
-	flat := make([]Neighbor, n*kEff)
-	counts := make([]int32, n)
-	perm := t.queryOrder(queries, n, dims)
-
-	runChunks := func(s *kdtree.Searcher, cursor *atomic.Int64) {
-		for {
-			lo := int(cursor.Add(1)-1) * batchChunk
-			if lo >= n {
-				return
-			}
-			hi := lo + batchChunk
-			if hi > n {
-				hi = n
-			}
-			for p := lo; p < hi; p++ {
-				i := p
-				if perm != nil {
-					i = int(perm[p])
-				}
-				slot := flat[i*kEff : i*kEff : (i+1)*kEff]
-				res, _ := s.Search(queries[i*dims:(i+1)*dims], k, kdtree.Inf2, slot)
-				counts[i] = int32(len(res))
-			}
-		}
+	if cap(flat) < n*kEff {
+		flat = make([]Neighbor, n*kEff)
+	} else {
+		flat = flat[:n*kEff]
 	}
+	sc := t.getScratch()
+	sc.counts = growInt32(sc.counts, n)
+	counts := sc.counts
+	perm := t.queryOrder(queries, n, dims, sc)
+
+	r := &sc.run
+	r.t, r.queries, r.flat, r.counts, r.perm = t, queries, flat, counts, perm
+	r.k, r.kEff, r.dims, r.n = k, kEff, dims, n
+	r.cursor.Store(0)
 
 	workers := t.threads
 	if g := runtime.GOMAXPROCS(0); workers > g {
@@ -243,10 +321,9 @@ func (t *Tree) KNNBatchFlat(queries []float32, k int) ([]Neighbor, []int32, erro
 	if nc := (n + batchChunk - 1) / batchChunk; workers > nc {
 		workers = nc
 	}
-	var cursor atomic.Int64
 	if workers <= 1 {
 		s := t.getSearcher()
-		runChunks(s, &cursor)
+		r.runChunks(s)
 		t.putSearcher(s)
 	} else {
 		var wg sync.WaitGroup
@@ -255,17 +332,21 @@ func (t *Tree) KNNBatchFlat(queries []float32, k int) ([]Neighbor, []int32, erro
 			go func() {
 				defer wg.Done()
 				s := t.getSearcher()
-				runChunks(s, &cursor)
+				r.runChunks(s)
 				t.putSearcher(s)
 			}()
 		}
 		wg.Wait()
 	}
+	// Drop the caller-owned references before the scratch returns to the
+	// pool so a pooled scratch cannot pin a retired arena.
+	r.queries, r.flat = nil, nil
 
 	// Compact: queries can return fewer than kEff neighbors only in
 	// degenerate cases (non-finite coordinates), so this pass is normally
 	// offset bookkeeping with no copying.
 	pos := int32(0)
+	offsets[0] = 0
 	for i := 0; i < n; i++ {
 		cnt := counts[i]
 		src := int32(i) * int32(kEff)
@@ -275,6 +356,7 @@ func (t *Tree) KNNBatchFlat(queries []float32, k int) ([]Neighbor, []int32, erro
 		pos += cnt
 		offsets[i+1] = pos
 	}
+	t.scratch.Put(sc)
 	return flat[:pos], offsets, nil
 }
 
@@ -289,7 +371,7 @@ const queryOrderMin = 256
 // them consecutively keeps those cache lines hot across queries — a pure
 // scheduling change (results are written to each query's own slot). Returns
 // nil (natural order) for small batches.
-func (t *Tree) queryOrder(queries []float32, n, dims int) []int32 {
+func (t *Tree) queryOrder(queries []float32, n, dims int, sc *batchScratch) []int32 {
 	if n < queryOrderMin {
 		return nil
 	}
@@ -320,7 +402,10 @@ func (t *Tree) queryOrder(queries []float32, n, dims int) []int32 {
 			spread[d][c] = v
 		}
 	}
-	keys := make([]uint32, n)
+	if cap(sc.keys) < n {
+		sc.keys = make([]uint32, n)
+	}
+	keys := sc.keys[:n]
 	for i := 0; i < n; i++ {
 		q := queries[i*dims : i*dims+m]
 		var key uint32
@@ -337,7 +422,8 @@ func (t *Tree) queryOrder(queries []float32, n, dims int) []int32 {
 		}
 		keys[i] = key
 	}
-	perm := make([]int32, n)
+	sc.perm = growInt32(sc.perm, n)
+	perm := sc.perm
 	for i := range perm {
 		perm[i] = int32(i)
 	}
@@ -351,7 +437,11 @@ func (t *Tree) queryOrder(queries []float32, n, dims int) []int32 {
 	}
 	// Counting sort by key — O(n + cells), stable, so equal-cell queries
 	// keep their input order.
-	bins := make([]int32, maxKey+1)
+	sc.bins = growInt32(sc.bins, maxKey+1)
+	bins := sc.bins
+	for i := range bins {
+		bins[i] = 0
+	}
 	for _, k := range keys {
 		bins[k+1]++
 	}
@@ -364,6 +454,28 @@ func (t *Tree) queryOrder(queries []float32, n, dims int) []int32 {
 		bins[k]++
 	}
 	return perm
+}
+
+// KNNInto appends the k nearest neighbors of q to out (which may be nil)
+// and returns the extended slice. When out has spare capacity for k
+// results, the query performs zero allocations — the serving layer's
+// dispatch loop relies on this.
+func (t *Tree) KNNInto(q []float32, k int, out []Neighbor) []Neighbor {
+	s := t.getSearcher()
+	out, _ = s.Search(q, k, kdtree.Inf2, out)
+	t.putSearcher(s)
+	return out
+}
+
+// RadiusSearchInto appends every indexed point with squared distance < r2
+// from q to out (which may be nil) and returns the extended slice, sorted
+// by ascending distance. With spare capacity in out the query performs zero
+// allocations.
+func (t *Tree) RadiusSearchInto(q []float32, r2 float32, out []Neighbor) []Neighbor {
+	s := t.getSearcher()
+	out, _ = s.RadiusSearch(q, r2, out)
+	t.putSearcher(s)
+	return out
 }
 
 // RadiusSearch returns every indexed point with squared distance < r2 from

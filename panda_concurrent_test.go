@@ -1,0 +1,176 @@
+package panda
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentMixedQueries hammers one Tree from GOMAXPROCS×4 goroutines
+// issuing interleaved KNN and RadiusSearch calls (the serving layer's
+// access pattern: many connection handlers sharing one tree through the
+// searcher pool) and requires every answer to match the single-threaded
+// ground truth bit-for-bit.
+func TestConcurrentMixedQueries(t *testing.T) {
+	const (
+		dims    = 4
+		nPoints = 8000
+		nq      = 96
+	)
+	rng := rand.New(rand.NewSource(7))
+	coords := make([]float32, nPoints*dims)
+	for i := range coords {
+		coords[i] = rng.Float32()
+	}
+	tree, err := Build(coords, dims, nil, &BuildOptions{Threads: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Single-threaded ground truth, computed before any concurrency.
+	queries := make([]float32, nq*dims)
+	for i := range queries {
+		queries[i] = rng.Float32()
+	}
+	ks := make([]int, nq)
+	r2s := make([]float32, nq)
+	wantKNN := make([][]Neighbor, nq)
+	wantRad := make([][]Neighbor, nq)
+	for i := 0; i < nq; i++ {
+		ks[i] = 1 + i%13
+		r2s[i] = 0.005 + 0.01*float32(i%7)
+		q := queries[i*dims : (i+1)*dims]
+		wantKNN[i] = tree.KNN(q, ks[i])
+		wantRad[i] = tree.RadiusSearch(q, r2s[i])
+	}
+
+	workers := runtime.GOMAXPROCS(0) * 4
+	const rounds = 40
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				i := (w*rounds + r*13) % nq
+				q := queries[i*dims : (i+1)*dims]
+				if w%2 == 0 {
+					got := tree.KNN(q, ks[i])
+					if !equalNeighborSlices(got, wantKNN[i]) {
+						errs <- fmt.Errorf("worker %d round %d: KNN(%d) diverged from single-threaded answer", w, r, i)
+						return
+					}
+					got2 := tree.RadiusSearch(q, r2s[i])
+					if !equalNeighborSlices(got2, wantRad[i]) {
+						errs <- fmt.Errorf("worker %d round %d: RadiusSearch(%d) diverged", w, r, i)
+						return
+					}
+				} else {
+					got2 := tree.RadiusSearch(q, r2s[i])
+					if !equalNeighborSlices(got2, wantRad[i]) {
+						errs <- fmt.Errorf("worker %d round %d: RadiusSearch(%d) diverged", w, r, i)
+						return
+					}
+					got := tree.KNN(q, ks[i])
+					if !equalNeighborSlices(got, wantKNN[i]) {
+						errs <- fmt.Errorf("worker %d round %d: KNN(%d) diverged", w, r, i)
+						return
+					}
+				}
+				if n := tree.CountWithin(q, r2s[i]); n != len(wantRad[i]) {
+					errs <- fmt.Errorf("worker %d round %d: CountWithin %d != %d", w, r, n, len(wantRad[i]))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentBatches runs KNNBatchFlatInto concurrently from several
+// goroutines (each with its own arena, as concurrent dispatchers would) and
+// cross-checks against the single-threaded flat result.
+func TestConcurrentBatches(t *testing.T) {
+	const (
+		dims  = 3
+		nPts  = 5000
+		batch = 300 // above queryOrderMin, so the Morton scratch is contended
+	)
+	rng := rand.New(rand.NewSource(11))
+	coords := make([]float32, nPts*dims)
+	for i := range coords {
+		coords[i] = rng.Float32()
+	}
+	tree, err := Build(coords, dims, nil, &BuildOptions{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]float32, batch*dims)
+	for i := range queries {
+		queries[i] = rng.Float32()
+	}
+	wantFlat, wantOff, err := tree.KNNBatchFlat(queries, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	workers := runtime.GOMAXPROCS(0) * 2
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var flat []Neighbor
+			var off []int32
+			for r := 0; r < 8; r++ {
+				var err error
+				flat, off, err = tree.KNNBatchFlatInto(queries, 6, flat, off)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(flat) != len(wantFlat) || len(off) != len(wantOff) {
+					errs <- fmt.Errorf("worker %d: shape %d/%d want %d/%d", w, len(flat), len(off), len(wantFlat), len(wantOff))
+					return
+				}
+				for i := range off {
+					if off[i] != wantOff[i] {
+						errs <- fmt.Errorf("worker %d: offset %d is %d want %d", w, i, off[i], wantOff[i])
+						return
+					}
+				}
+				for i := range flat {
+					if flat[i] != wantFlat[i] {
+						errs <- fmt.Errorf("worker %d: neighbor %d is %+v want %+v", w, i, flat[i], wantFlat[i])
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func equalNeighborSlices(a, b []Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
