@@ -7,12 +7,18 @@ import (
 	"sync"
 	"time"
 
+	"panda/internal/geom"
 	"panda/internal/proto"
 )
 
 // ErrClientClosed is returned by Client calls after Close (or after the
 // connection failed).
 var ErrClientClosed = errors.New("panda: client closed")
+
+// errNonFiniteQuery rejects NaN/±Inf query inputs client-side; the server
+// enforces the same rule at its decode boundary (semantic KindError, the
+// connection stays usable).
+var errNonFiniteQuery = errors.New("panda: non-finite query input (NaN/±Inf coordinates or radius)")
 
 // Client is a connection to a panda serving process (internal/server,
 // started by cmd/panda-serve or server.New). It is safe for concurrent use:
@@ -73,6 +79,27 @@ func Dial(addr string) (*Client, error) {
 	}
 	go c.readLoop()
 	return c, nil
+}
+
+// DialCluster connects to a sharded panda cluster (panda-serve -cluster):
+// addrs lists the serving address of each rank, in any order. Every rank
+// answers every query — a query landing on a non-owner rank is forwarded to
+// its owner inside the cluster — so DialCluster simply connects to the
+// first reachable rank and returns a normal Client. Ranks earlier in addrs
+// are preferred; pass a rotated slice to spread clients across ranks.
+func DialCluster(addrs []string) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("panda: DialCluster needs at least one address")
+	}
+	var errs []error
+	for _, addr := range addrs {
+		c, err := Dial(addr)
+		if err == nil {
+			return c, nil
+		}
+		errs = append(errs, fmt.Errorf("%s: %w", addr, err))
+	}
+	return nil, fmt.Errorf("panda: no cluster rank reachable: %w", errors.Join(errs...))
 }
 
 // Dims returns the dimensionality of the served tree; every query must
@@ -187,6 +214,9 @@ func (c *Client) KNN(q []float32, k int) ([]Neighbor, error) {
 	if len(q) != c.dims {
 		return nil, fmt.Errorf("panda: query has %d coords, server tree has %d dims", len(q), c.dims)
 	}
+	if !geom.AllFinite(q) {
+		return nil, errNonFiniteQuery
+	}
 	if k < 1 || k > proto.MaxK {
 		return nil, fmt.Errorf("panda: k %d out of range [1, %d]", k, proto.MaxK)
 	}
@@ -205,6 +235,9 @@ func (c *Client) KNN(q []float32, k int) ([]Neighbor, error) {
 func (c *Client) KNNBatch(queries []float32, k int) ([][]Neighbor, error) {
 	if c.dims == 0 || len(queries) == 0 || len(queries)%c.dims != 0 {
 		return nil, fmt.Errorf("panda: query buffer of %d floats is not a positive multiple of dims %d", len(queries), c.dims)
+	}
+	if !geom.AllFinite(queries) {
+		return nil, errNonFiniteQuery
 	}
 	if k < 1 || k > proto.MaxK {
 		return nil, fmt.Errorf("panda: k %d out of range [1, %d]", k, proto.MaxK)
@@ -231,6 +264,9 @@ func (c *Client) KNNBatch(queries []float32, k int) ([][]Neighbor, error) {
 func (c *Client) RadiusSearch(q []float32, r2 float32) ([]Neighbor, error) {
 	if len(q) != c.dims {
 		return nil, fmt.Errorf("panda: query has %d coords, server tree has %d dims", len(q), c.dims)
+	}
+	if !geom.AllFinite(q) || !geom.Finite(r2) {
+		return nil, errNonFiniteQuery
 	}
 	res, err := c.call(func(b []byte, id uint64) []byte {
 		return proto.AppendRadiusRequest(b, id, r2, q)

@@ -1,0 +1,199 @@
+// Command panda-query drives a running panda-serve instance (single-node or
+// -cluster) with a query workload from the outside: it connects over TCP,
+// sends mixed single/batch KNN and radius-search queries, and reports
+// throughput. With -check it rebuilds the same deterministic synthetic
+// dataset locally and verifies every answer bit-for-bit against a local
+// tree — the external ground-truth probe used by the CI cluster smoke job.
+//
+// Usage:
+//
+//	panda-serve -dataset uniform -n 50000 -seed 9 -addr 127.0.0.1:7077 &
+//	panda-query -addrs 127.0.0.1:7077 -dataset uniform -n 50000 -seed 9 -check
+//
+// Against a cluster, -addrs takes every rank's serving address; queries are
+// spread across the ranks so both owner-local and forwarded paths run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"panda"
+)
+
+func main() {
+	var (
+		addrs   = flag.String("addrs", "127.0.0.1:7077", "comma-separated serving addresses (all ranks of a cluster)")
+		dataset = flag.String("dataset", "uniform", "synthetic dataset family the server was started with")
+		n       = flag.Int("n", 100000, "server's synthetic point count")
+		seed    = flag.Uint64("seed", 1, "server's synthetic generator seed")
+		check   = flag.Bool("check", false, "rebuild the dataset locally and verify every answer bit-for-bit")
+		queries = flag.Int("queries", 2000, "total queries to send")
+		k       = flag.Int("k", 5, "neighbors per KNN query")
+		qseed   = flag.Int64("qseed", 7, "query generator seed")
+		wait    = flag.Duration("wait", 30*time.Second, "how long to retry connecting while the cluster starts")
+	)
+	flag.Parse()
+	if err := run(splitAddrs(*addrs), *dataset, *n, *seed, *check, *queries, *k, *qseed, *wait); err != nil {
+		fmt.Fprintln(os.Stderr, "panda-query:", err)
+		os.Exit(1)
+	}
+}
+
+func splitAddrs(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func run(addrs []string, dataset string, n int, seed uint64, check bool, queries, k int, qseed int64, wait time.Duration) error {
+	if len(addrs) == 0 {
+		return fmt.Errorf("-addrs needs at least one serving address")
+	}
+	coords, dims, _, err := panda.GenerateDataset(dataset, n, seed)
+	if err != nil {
+		return err
+	}
+	var ref *panda.Tree
+	if check {
+		if ref, err = panda.Build(coords, dims, nil, nil); err != nil {
+			return err
+		}
+		log.Printf("rebuilt local ground-truth tree (%d points, %d dims)", n, dims)
+	}
+
+	// The cluster may still be joining its mesh and building: retry until
+	// every rank accepts the handshake.
+	deadline := time.Now().Add(wait)
+	clients := make([]*panda.Client, len(addrs))
+	for i, addr := range addrs {
+		for {
+			clients[i], err = panda.Dial(addr)
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("connecting to %s: %w", addr, err)
+			}
+			time.Sleep(200 * time.Millisecond)
+		}
+		defer clients[i].Close()
+	}
+	if got := clients[0].Dims(); got != dims {
+		return fmt.Errorf("server tree has %d dims, dataset %q has %d — wrong dataset flags?", got, dataset, dims)
+	}
+	log.Printf("connected to %d rank(s); sending %d queries (k=%d)", len(addrs), queries, k)
+
+	// Spread the workload across the clients without dropping the
+	// remainder: the first queries%len clients send one extra.
+	start := time.Now()
+	var wg sync.WaitGroup
+	errc := make(chan error, len(clients))
+	total := 0
+	for ci, c := range clients {
+		per := queries / len(clients)
+		if ci < queries%len(clients) {
+			per++
+		}
+		if per == 0 {
+			continue
+		}
+		total += per
+		wg.Add(1)
+		go func(ci, per int, c *panda.Client) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(qseed + int64(ci)))
+			q := make([]float32, dims)
+			batch := make([]float32, 16*dims)
+			for sent := 0; sent < per; {
+				switch {
+				case sent%64 == 0 && per-sent >= 16: // batch request
+					for i := range batch {
+						batch[i] = rng.Float32()
+					}
+					got, err := c.KNNBatch(batch, k)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if ref != nil {
+						for qi := range got {
+							if !same(got[qi], ref.KNN(batch[qi*dims:(qi+1)*dims], k)) {
+								errc <- fmt.Errorf("client %d: batch KNN mismatch", ci)
+								return
+							}
+						}
+					}
+					sent += 16
+				case sent%10 == 9: // radius request
+					for d := range q {
+						q[d] = rng.Float32()
+					}
+					r2 := rng.Float32() * 0.001
+					got, err := c.RadiusSearch(q, r2)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if ref != nil && !same(got, ref.RadiusSearch(q, r2)) {
+						errc <- fmt.Errorf("client %d: radius mismatch", ci)
+						return
+					}
+					sent++
+				default: // single KNN
+					for d := range q {
+						q[d] = rng.Float32()
+					}
+					got, err := c.KNN(q, k)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if ref != nil && !same(got, ref.KNN(q, k)) {
+						errc <- fmt.Errorf("client %d: KNN mismatch", ci)
+						return
+					}
+					sent++
+				}
+			}
+		}(ci, per, c)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		return err
+	}
+	if total == 0 {
+		return fmt.Errorf("no queries sent (-queries %d)", queries)
+	}
+	elapsed := time.Since(start)
+	verified := ""
+	if check {
+		verified = ", all verified bit-identical"
+	}
+	log.Printf("%d queries in %v (%.1f µs/query%s)", total, elapsed.Round(time.Millisecond),
+		float64(elapsed.Microseconds())/float64(total), verified)
+	return nil
+}
+
+func same(a, b []panda.Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -12,6 +12,25 @@
 // -dataset (a synthetic family generated in-process) selects the points.
 // SIGINT or SIGTERM triggers a graceful shutdown: in-flight queries are
 // answered before the process exits.
+//
+// # Cluster mode
+//
+// With -cluster, one panda-serve process runs per rank: the processes join
+// a TCP mesh (-mesh lists every rank's mesh address, -rank selects this
+// process's), build a distributed tree over their shards, and then each
+// rank serves external clients on its entry of -serve. Every rank answers
+// every query — non-owned queries are forwarded to their owner and the
+// remote-candidate exchange runs when a query's neighbor ball crosses shard
+// boundaries — so clients may panda.Dial any rank (or panda.DialCluster the
+// whole list). Each rank derives its shard deterministically from the
+// shared dataset flags: point i belongs to rank i mod ranks, and neighbor
+// ids are global point indices, so answers are identical to a single
+// panda-serve over the same dataset:
+//
+//	panda-serve -cluster -rank 0 -mesh 127.0.0.1:9101,127.0.0.1:9102 \
+//	    -serve 127.0.0.1:7071,127.0.0.1:7072 -dataset uniform -n 100000
+//	panda-serve -cluster -rank 1 -mesh 127.0.0.1:9101,127.0.0.1:9102 \
+//	    -serve 127.0.0.1:7071,127.0.0.1:7072 -dataset uniform -n 100000
 package main
 
 import (
@@ -22,6 +41,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -40,29 +60,51 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "synthetic generator seed (with -dataset)")
 		bucket  = flag.Int("bucket", 32, "kd-tree bucket size")
 		threads = flag.Int("threads", 0, "engine threads for batched queries (0 = all cores)")
-		addr    = flag.String("addr", ":7077", "listen address")
+		addr    = flag.String("addr", ":7077", "listen address (single-node mode)")
 		batch   = flag.Int("batch", 64, "max queries coalesced into one engine call")
 		linger  = flag.Duration("linger", 200*time.Microsecond, "max time to wait filling a batch")
 		grace   = flag.Duration("grace", 10*time.Second, "graceful shutdown drain budget")
+
+		clusterMode = flag.Bool("cluster", false, "run as one rank of a sharded cluster")
+		rank        = flag.Int("rank", 0, "this process's rank (with -cluster)")
+		mesh        = flag.String("mesh", "", "comma-separated rank mesh addresses, rank order (with -cluster)")
+		serveAddrs  = flag.String("serve", "", "comma-separated rank serving addresses, rank order (with -cluster)")
 	)
 	flag.Parse()
-	if err := run(*in, *dataset, *n, *dims, *seed, *bucket, *threads, *addr, *batch, *linger, *grace); err != nil {
+	var err error
+	if *clusterMode {
+		err = runCluster(*in, *dataset, *n, *dims, *seed, *bucket, *threads, *batch, *linger, *grace,
+			*rank, splitAddrs(*mesh), splitAddrs(*serveAddrs))
+	} else {
+		err = run(*in, *dataset, *n, *dims, *seed, *bucket, *threads, *addr, *batch, *linger, *grace)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "panda-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, dataset string, n, dims int, seed uint64, bucket, threads int, addr string, batch int, linger, grace time.Duration) error {
-	var coords []float32
-	var pdims int
+func splitAddrs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// loadPoints resolves the dataset flags to row-major coordinates.
+func loadPoints(in, dataset string, n, dims int, seed uint64) ([]float32, int, error) {
 	switch {
 	case in != "":
 		pts, _, err := ptsio.Load(in)
 		if err != nil {
-			return err
+			return nil, 0, err
 		}
-		coords, pdims = pts.Coords, pts.Dims
 		log.Printf("loaded %s: %d points, %d dims", in, pts.Len(), pts.Dims)
+		return pts.Coords, pts.Dims, nil
 	case dataset != "":
 		var d data.Dataset
 		var err error
@@ -74,13 +116,20 @@ func run(in, dataset string, n, dims int, seed uint64, bucket, threads int, addr
 		default:
 			d, err = data.ByName(dataset, n, seed)
 			if err != nil {
-				return err
+				return nil, 0, err
 			}
 		}
-		coords, pdims = d.Points.Coords, d.Points.Dims
 		log.Printf("generated %s: %d points, %d dims", d.Name, d.Points.Len(), d.Points.Dims)
+		return d.Points.Coords, d.Points.Dims, nil
 	default:
-		return fmt.Errorf("one of -in or -dataset is required")
+		return nil, 0, fmt.Errorf("one of -in or -dataset is required")
+	}
+}
+
+func run(in, dataset string, n, dims int, seed uint64, bucket, threads int, addr string, batch int, linger, grace time.Duration) error {
+	coords, pdims, err := loadPoints(in, dataset, n, dims, seed)
+	if err != nil {
+		return err
 	}
 
 	start := time.Now()
@@ -100,7 +149,75 @@ func run(in, dataset string, n, dims int, seed uint64, bucket, threads int, addr
 		return err
 	}
 	log.Printf("serving on %s (batch=%d linger=%v)", ln.Addr(), batch, linger)
+	return serveUntilSignal(srv, ln, grace)
+}
 
+// runCluster joins the rank mesh, builds this rank's DistTree shard, and
+// serves external clients on serveAddrs[rank].
+func runCluster(in, dataset string, n, dims int, seed uint64, bucket, threads, batch int, linger, grace time.Duration,
+	rank int, mesh, serveAddrs []string) error {
+	if len(mesh) == 0 || len(mesh) != len(serveAddrs) {
+		return fmt.Errorf("-cluster needs -mesh and -serve with one address per rank (got %d mesh, %d serve)", len(mesh), len(serveAddrs))
+	}
+	if rank < 0 || rank >= len(mesh) {
+		return fmt.Errorf("-rank %d out of range for %d ranks", rank, len(mesh))
+	}
+	coords, pdims, err := loadPoints(in, dataset, n, dims, seed)
+	if err != nil {
+		return err
+	}
+	total := len(coords) / pdims
+
+	// Deterministic striping: every process derives the same global view,
+	// so rank r owns points {i : i mod P == r} with their global indices as
+	// ids — answers match a single tree over the whole dataset.
+	p := len(mesh)
+	var shard []float32
+	var ids []int64
+	for i := rank; i < total; i += p {
+		shard = append(shard, coords[i*pdims:(i+1)*pdims]...)
+		ids = append(ids, int64(i))
+	}
+
+	log.Printf("rank %d/%d: joining mesh at %s", rank, p, mesh[rank])
+	node, closeMesh, err := panda.JoinTCP(rank, mesh, 1)
+	if err != nil {
+		return fmt.Errorf("joining mesh: %w", err)
+	}
+	defer closeMesh()
+
+	start := time.Now()
+	dt, err := node.Build(shard, pdims, ids, &panda.BuildOptions{BucketSize: bucket, Threads: threads})
+	if err != nil {
+		return fmt.Errorf("distributed build: %w", err)
+	}
+	log.Printf("rank %d: built shard (%d local of %d total points) in %v",
+		rank, dt.LocalLen(), total, time.Since(start).Round(time.Millisecond))
+	if threads > 0 {
+		dt.SetServingThreads(threads)
+	}
+
+	srv, err := server.NewCluster(dt, server.ClusterConfig{
+		Config:      server.Config{MaxBatch: batch, MaxLinger: linger},
+		ServeAddrs:  serveAddrs,
+		TotalPoints: int64(total),
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", serveAddrs[rank])
+	if err != nil {
+		return err
+	}
+	log.Printf("rank %d: serving on %s (batch=%d linger=%v)", rank, ln.Addr(), batch, linger)
+	return serveUntilSignal(srv, ln, grace)
+}
+
+// serveUntilSignal serves until SIGINT/SIGTERM, then drains gracefully.
+// In cluster mode the drain is best-effort across ranks: queries already
+// read off this rank's wire are answered, but a query needing a rank that
+// has already exited fails with a KindError rather than blocking shutdown.
+func serveUntilSignal(srv *server.Server, ln net.Listener, grace time.Duration) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	serveErr := make(chan error, 1)

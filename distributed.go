@@ -3,6 +3,8 @@ package panda
 import (
 	"fmt"
 	"net"
+	"runtime"
+	"sync"
 
 	"panda/internal/cluster"
 	"panda/internal/core"
@@ -40,6 +42,10 @@ type QueryTrace = core.QueryTrace
 // DistTree is a distributed kd-tree handle held by one rank.
 type DistTree struct {
 	dt *core.DistTree
+
+	localOnce    sync.Once
+	local        *Tree
+	serveThreads int
 }
 
 // Build constructs the distributed kd-tree over this rank's point shard
@@ -69,7 +75,45 @@ func (t *DistTree) LocalLen() int { return t.dt.Local.Len() }
 func (t *DistTree) GlobalLevels() int { return t.dt.Global.Levels() }
 
 // Owner returns the rank whose domain contains q.
-func (t *DistTree) Owner(q []float32) int { return t.dt.Global.Owner(q, nil) }
+func (t *DistTree) Owner(q []float32) int { return t.dt.OwnerOf(q) }
+
+// Rank returns the rank holding this shard.
+func (t *DistTree) Rank() int { return t.dt.Rank() }
+
+// Ranks returns the number of shards (cluster ranks).
+func (t *DistTree) Ranks() int { return t.dt.Size() }
+
+// Dims returns the point dimensionality.
+func (t *DistTree) Dims() int { return t.dt.Dims() }
+
+// RanksWithin appends to out every rank other than exclude whose domain
+// intersects the ball of squared radius r2 around q — the paper's §III-B
+// step 3, exposed per-query for serving. Pass exclude = -1 to include
+// every intersecting rank. Safe for concurrent use.
+func (t *DistTree) RanksWithin(q []float32, r2 float32, exclude int, out []int) []int {
+	return t.dt.RemoteRanks(q, r2, exclude, out)
+}
+
+// SetServingThreads caps the worker threads LocalTree's batched queries use
+// (default: GOMAXPROCS). Call before the first LocalTree/NewCluster use;
+// once the cached wrapper exists the setting is fixed.
+func (t *DistTree) SetServingThreads(n int) { t.serveThreads = n }
+
+// LocalTree returns this rank's local shard wrapped as a single-node Tree
+// (pooled searchers, batched queries) — the non-SPMD query surface cluster
+// serving runs on. The wrapper is created once and cached; it shares the
+// shard's storage, so it must not outlive the DistTree's data. Neighbor IDs
+// are the global point ids passed to Build.
+func (t *DistTree) LocalTree() *Tree {
+	t.localOnce.Do(func() {
+		threads := t.serveThreads
+		if threads <= 0 {
+			threads = runtime.GOMAXPROCS(0)
+		}
+		t.local = &Tree{t: t.dt.Local, threads: threads}
+	})
+	return t.local
+}
 
 // Query answers k-NN for this rank's query shard (SPMD: every rank calls it
 // with its own queries; all ranks must pass the same k). queries is
@@ -80,6 +124,9 @@ func (t *DistTree) Query(queries []float32, qids []int64, k int) ([]Result, *Que
 	if len(queries)%dims != 0 {
 		return nil, nil, fmt.Errorf("panda: query buffer not a multiple of dims %d", dims)
 	}
+	// Non-finite coordinates are rejected inside QueryBatch, where the
+	// check rides an existing collective so every rank errors in lockstep —
+	// rejecting here, per rank, would strand the other ranks mid-collective.
 	return t.dt.QueryBatch(geom.FromCoords(queries, dims), qids, core.QueryOptions{K: k})
 }
 
@@ -191,7 +238,9 @@ func newSimReport(rep simtime.Report) *SimReport {
 // JoinTCP joins a real multi-process mesh as rank `rank`: addrs lists every
 // rank's listen address in rank order, and this process listens on
 // addrs[rank] (a port of 0 is not supported here — processes must agree on
-// addresses up front). Returns the node and a close function.
+// addresses up front). Returns the node and a close function. A failed join
+// releases the bound listener before returning, so the port is immediately
+// reusable.
 func JoinTCP(rank int, addrs []string, threadsPerRank int) (*Node, func() error, error) {
 	if rank < 0 || rank >= len(addrs) {
 		return nil, nil, fmt.Errorf("panda: rank %d out of range for %d addrs", rank, len(addrs))
@@ -202,6 +251,9 @@ func JoinTCP(rank int, addrs []string, threadsPerRank int) (*Node, func() error,
 	}
 	tr, err := transport.NewTCP(rank, ln, addrs)
 	if err != nil {
+		// NewTCP closes ln on its own failure paths; close again here so the
+		// port cannot stay bound even if a future NewTCP change misses one.
+		ln.Close()
 		return nil, nil, err
 	}
 	if threadsPerRank < 1 {
@@ -212,10 +264,13 @@ func JoinTCP(rank int, addrs []string, threadsPerRank int) (*Node, func() error,
 }
 
 // JoinTCPListener is JoinTCP for a pre-bound listener (use when ports are
-// assigned dynamically and shared out of band, e.g. in tests).
+// assigned dynamically and shared out of band, e.g. in tests). Like
+// JoinTCP, a failed join closes ln — ownership transfers on call, matching
+// Server.Serve semantics.
 func JoinTCPListener(rank int, ln net.Listener, addrs []string, threadsPerRank int) (*Node, func() error, error) {
 	tr, err := transport.NewTCP(rank, ln, addrs)
 	if err != nil {
+		ln.Close()
 		return nil, nil, err
 	}
 	if threadsPerRank < 1 {

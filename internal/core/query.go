@@ -87,8 +87,20 @@ func (dt *DistTree) QueryBatch(queries geom.Points, qids []int64, opts QueryOpti
 	nLocal := queries.Len()
 	trace := &QueryTrace{Queries: int64(nLocal)}
 
-	// Align the pipeline depth across ranks.
-	maxN := c.AllReduceInt64([]int64{int64(nLocal)}, "max")[0]
+	// Align the pipeline depth across ranks, and agree on input validity in
+	// the same collective: a non-finite coordinate (NaN disables every
+	// pruning comparison) must make EVERY rank return the error together —
+	// a rank bailing out locally while its peers enter the query collectives
+	// would deadlock the cluster.
+	invalid := int64(0)
+	if !geom.AllFinite(queries.Coords) {
+		invalid = 1
+	}
+	agg := c.AllReduceInt64([]int64{int64(nLocal), invalid}, "max")
+	if agg[1] != 0 {
+		return nil, nil, fmt.Errorf("core: non-finite query coordinate on at least one rank (NaN coordinates disable kd-tree pruning)")
+	}
+	maxN := agg[0]
 	rounds := int((maxN + int64(opts.BatchSize) - 1) / int64(opts.BatchSize))
 
 	// Overlapped communication phases (software pipelining).

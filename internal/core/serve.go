@@ -1,0 +1,33 @@
+package core
+
+// Serving entry points: the non-SPMD, per-query view of a built DistTree.
+//
+// QueryBatch (query.go) is an SPMD collective — every rank must call it in
+// lockstep, which suits benchmark harnesses but not a serving process where
+// queries arrive asynchronously at whichever rank a client happened to
+// dial. The methods here expose the same §III-B building blocks (owner
+// lookup on the replicated global tree, r'-ball rank identification)
+// without touching the communicator: they are pure reads of replicated
+// state, safe for concurrent use from any goroutine, and compose with the
+// local tree (dt.Local) searched through ordinary Searchers. The serving
+// layer (internal/server's cluster router) assembles them into the paper's
+// route → local KNN → remote exchange → merge pipeline over its own
+// connections instead of MPI-style collectives.
+
+// Rank returns this shard's rank in [0, Size).
+func (dt *DistTree) Rank() int { return dt.comm.Rank() }
+
+// Size returns the number of shards (cluster ranks).
+func (dt *DistTree) Size() int { return dt.comm.Size() }
+
+// OwnerOf returns the rank whose domain contains q (§III-B step 1),
+// without simulated-time metering. Safe for concurrent use.
+func (dt *DistTree) OwnerOf(q []float32) int { return dt.Global.Owner(q, nil) }
+
+// RemoteRanks appends to out every rank other than exclude whose domain
+// intersects the ball of squared radius r2 around q (§III-B step 3),
+// without simulated-time metering. Pass exclude = -1 to include every
+// intersecting rank. Safe for concurrent use.
+func (dt *DistTree) RemoteRanks(q []float32, r2 float32, exclude int, out []int) []int {
+	return dt.Global.RanksWithin(q, r2, exclude, nil, out)
+}

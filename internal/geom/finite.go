@@ -1,0 +1,21 @@
+package geom
+
+// Finite reports whether v is neither NaN nor ±Inf. The v-v trick compiles
+// to one subtraction and one comparison: finite values give exactly 0,
+// infinities give NaN, and NaN propagates — both fail the == 0 test.
+func Finite(v float32) bool {
+	return v-v == 0
+}
+
+// AllFinite reports whether every coordinate in s is finite. Query kernels
+// prune with < / > comparisons, which are all false for NaN, so a single
+// non-finite coordinate silently disables pruning and corrupts results;
+// callers on the query path reject such inputs up front with this check.
+func AllFinite(s []float32) bool {
+	for _, v := range s {
+		if v-v != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -12,6 +12,8 @@ func FuzzConsumeRequest(f *testing.F) {
 	f.Add(AppendKNNRequest(nil, 1, 5, []float32{1, 2, 3}, 3), 3)
 	f.Add(AppendKNNRequest(nil, 2, 8, []float32{1, 2, 3, 4, 5, 6}, 3), 3)
 	f.Add(AppendRadiusRequest(nil, 3, 0.5, []float32{1, 2}), 2)
+	f.Add(AppendRemoteKNNRequest(nil, 4, 5, 0.25, []float32{1, 2, 3}), 3)
+	f.Add(AppendRemoteRadiusRequest(nil, 5, 0.75, []float32{1, 2}), 2)
 	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, 1)
 	f.Add([]byte{}, 1)
 	f.Fuzz(func(t *testing.T, payload []byte, dims int) {
@@ -23,24 +25,38 @@ func FuzzConsumeRequest(f *testing.F) {
 			return
 		}
 		// Accepted requests must satisfy the documented invariants...
+		for _, c := range req.Coords {
+			if c-c != 0 {
+				t.Fatalf("accepted non-finite coordinate %v", c)
+			}
+		}
 		switch req.Kind {
 		case KindKNN:
 			if req.K < 1 || req.K > MaxK || req.NQ < 1 || req.NQ*dims != len(req.Coords) {
 				t.Fatalf("accepted invalid KNN request %+v (dims %d)", req, dims)
 			}
-		case KindRadius:
-			if len(req.Coords) != dims {
+		case KindRadius, KindRemoteRadius:
+			if len(req.Coords) != dims || req.R2-req.R2 != 0 {
 				t.Fatalf("accepted invalid radius request %+v (dims %d)", req, dims)
+			}
+		case KindRemoteKNN:
+			if req.K < 1 || req.K > MaxK || len(req.Coords) != dims || req.R2-req.R2 != 0 {
+				t.Fatalf("accepted invalid remote KNN request %+v (dims %d)", req, dims)
 			}
 		default:
 			t.Fatalf("accepted unknown kind %d", req.Kind)
 		}
 		// ...and re-encode to exactly the bytes that were decoded.
 		var out []byte
-		if req.Kind == KindKNN {
+		switch req.Kind {
+		case KindKNN:
 			out = AppendKNNRequest(nil, req.ID, req.K, req.Coords, dims)
-		} else {
+		case KindRadius:
 			out = AppendRadiusRequest(nil, req.ID, req.R2, req.Coords)
+		case KindRemoteKNN:
+			out = AppendRemoteKNNRequest(nil, req.ID, req.K, req.R2, req.Coords)
+		case KindRemoteRadius:
+			out = AppendRemoteRadiusRequest(nil, req.ID, req.R2, req.Coords)
 		}
 		if string(out) != string(payload) {
 			t.Fatalf("reencode mismatch:\n got %x\nwant %x", out, payload)
@@ -112,14 +128,21 @@ func FuzzRequestRoundTrip(f *testing.F) {
 		}
 
 		b = AppendRadiusRequest(nil, id, r2, coords[:dims])
-		if err := ConsumeRequest(b, dims, &req); err != nil {
-			t.Fatalf("valid radius request rejected: %v", err)
-		}
-		if req.ID != id || len(req.Coords) != dims {
-			t.Fatalf("decoded %+v", req)
-		}
-		if req.R2 != r2 && !(req.R2 != req.R2 && r2 != r2) {
-			t.Fatalf("r2 %v != %v", req.R2, r2)
+		if r2-r2 != 0 {
+			// Non-finite radii must be rejected at the decode boundary.
+			if err := ConsumeRequest(b, dims, &req); err == nil {
+				t.Fatalf("non-finite r2 %v accepted", r2)
+			}
+		} else {
+			if err := ConsumeRequest(b, dims, &req); err != nil {
+				t.Fatalf("valid radius request rejected: %v", err)
+			}
+			if req.ID != id || len(req.Coords) != dims {
+				t.Fatalf("decoded %+v", req)
+			}
+			if req.R2 != r2 {
+				t.Fatalf("r2 %v != %v", req.R2, r2)
+			}
 		}
 
 		// Response side: random-ish offsets partitioning nq*k neighbors.

@@ -20,10 +20,11 @@
 //	dims    uint32      dimensionality of the served tree
 //	points  uint64      number of indexed points
 //
-// A server that cannot speak the client's version closes the connection
-// after answering with its own version; the client surfaces a mismatch
-// error. Dims is authoritative: every query the client sends must carry
-// exactly dims coordinates.
+// A server that cannot speak the client's version answers with its own
+// version and zeroed dims/points, then closes the connection; the client
+// checks the version before anything else and surfaces a mismatch error
+// ("server speaks version X"). Dims is authoritative: every query the
+// client sends must carry exactly dims coordinates.
 //
 // # Frames
 //
@@ -56,6 +57,7 @@ import (
 	"io"
 	"math"
 
+	"panda/internal/geom"
 	"panda/internal/kdtree"
 	"panda/internal/wire"
 )
@@ -75,12 +77,17 @@ const Version = 1
 // either side allocate unboundedly.
 const MaxFrame = 64 << 20
 
-// Message kinds.
+// Message kinds. The remote kinds are the inter-rank half of cluster
+// serving (§III-B steps 3–4): they address one rank's local shard only and
+// are never routed, which is what lets the owner's remote-candidate
+// exchange and the router's radius fan-out terminate instead of cascading.
 const (
-	KindKNN       uint8 = 1 // request: k nearest neighbors for nq queries
-	KindRadius    uint8 = 2 // request: all points within squared radius r2
-	KindNeighbors uint8 = 3 // response: neighbor lists for each query
-	KindError     uint8 = 4 // response: request failed; body is the reason
+	KindKNN          uint8 = 1 // request: k nearest neighbors for nq queries
+	KindRadius       uint8 = 2 // request: all points within squared radius r2
+	KindNeighbors    uint8 = 3 // response: neighbor lists for each query
+	KindError        uint8 = 4 // response: request failed; body is the reason
+	KindRemoteKNN    uint8 = 5 // request: ≤k local-shard candidates within pruning bound r2
+	KindRemoteRadius uint8 = 6 // request: local-shard radius search (no cluster fan-out)
 )
 
 // headerLen is kind + id.
@@ -203,11 +210,11 @@ func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
 // Coords[:0]), so a steady-state reader performs no per-request allocation.
 type Request struct {
 	ID     uint64
-	Kind   uint8     // KindKNN or KindRadius
-	K      int       // KindKNN
-	NQ     int       // KindKNN: number of query points
-	R2     float32   // KindRadius
-	Coords []float32 // NQ*dims (KNN) or dims (radius) coordinates
+	Kind   uint8     // KindKNN, KindRadius, KindRemoteKNN, or KindRemoteRadius
+	K      int       // KindKNN, KindRemoteKNN
+	NQ     int       // KindKNN: number of query points (1 for the other kinds)
+	R2     float32   // KindRadius, KindRemoteRadius, KindRemoteKNN (pruning bound)
+	Coords []float32 // NQ*dims (KNN) or dims (single-point kinds) coordinates
 }
 
 // MaxK caps the requested neighbor count per query.
@@ -247,11 +254,36 @@ func AppendRadiusRequest(b []byte, id uint64, r2 float32, q []float32) []byte {
 	return b
 }
 
+// AppendRemoteKNNRequest encodes a KindRemoteKNN request: up to k local-shard
+// candidates strictly within squared radius r2 of q (the owner's pruning
+// bound r'² — kdtree.Inf2 when the owner holds fewer than k candidates).
+func AppendRemoteKNNRequest(b []byte, id uint64, k int, r2 float32, q []float32) []byte {
+	b = append(b, KindRemoteKNN)
+	b = wire.AppendUint64(b, id)
+	b = wire.AppendUint32(b, uint32(k))
+	b = wire.AppendFloat32(b, r2)
+	b = wire.AppendFloat32s(b, q)
+	return b
+}
+
+// AppendRemoteRadiusRequest encodes a KindRemoteRadius request: a radius
+// search answered from the receiving rank's local shard alone.
+func AppendRemoteRadiusRequest(b []byte, id uint64, r2 float32, q []float32) []byte {
+	b = append(b, KindRemoteRadius)
+	b = wire.AppendUint64(b, id)
+	b = wire.AppendFloat32(b, r2)
+	b = wire.AppendFloat32s(b, q)
+	return b
+}
+
 // ConsumeRequest decodes a request payload for a tree of the given
 // dimensionality into req, reusing req.Coords. It validates structure
 // (truncation, trailing bytes, length caps — failures wrap ErrMalformed)
-// and semantics (k, nq, and nq×k ranges, coords matching nq*dims — plain
-// errors; see ErrMalformed for the distinction).
+// and semantics (k, nq, and nq×k ranges, coords matching nq*dims, finite
+// coordinates and radii — plain errors; see ErrMalformed for the
+// distinction). Non-finite inputs are rejected here because a NaN
+// coordinate makes every pruning comparison in the query kernels false,
+// silently returning wrong or empty results instead of failing.
 func ConsumeRequest(payload []byte, dims int, req *Request) error {
 	d := wire.NewDecoder(payload)
 	req.Kind = d.Uint8()
@@ -275,15 +307,24 @@ func ConsumeRequest(payload []byte, dims int, req *Request) error {
 			return fmt.Errorf("proto: %d queries × k=%d exceeds the %d-neighbor response cap; split the batch",
 				req.NQ, req.K, MaxResultNeighbors)
 		}
-	case KindRadius:
+	case KindRadius, KindRemoteRadius, KindRemoteKNN:
+		if req.Kind == KindRemoteKNN {
+			req.K = int(d.Uint32())
+		}
 		req.R2 = d.Float32()
 		req.Coords = d.Float32sInto(req.Coords, MaxFrame/4)
 		if err := d.Err(); err != nil {
 			return fmt.Errorf("%w: %w", ErrMalformed, err)
 		}
 		req.NQ = 1
+		if req.Kind == KindRemoteKNN && (req.K < 1 || req.K > MaxK) {
+			return fmt.Errorf("proto: k %d out of range [1, %d]", req.K, MaxK)
+		}
 		if len(req.Coords) != dims {
-			return fmt.Errorf("proto: radius query has %d coords, want %d", len(req.Coords), dims)
+			return fmt.Errorf("proto: single-point query has %d coords, want %d", len(req.Coords), dims)
+		}
+		if !geom.Finite(req.R2) {
+			return fmt.Errorf("proto: non-finite squared radius %v", req.R2)
 		}
 	default:
 		if err := d.Err(); err != nil {
@@ -293,6 +334,9 @@ func ConsumeRequest(payload []byte, dims int, req *Request) error {
 	}
 	if d.Remaining() != 0 {
 		return fmt.Errorf("%w: %d trailing bytes after request", ErrMalformed, d.Remaining())
+	}
+	if !geom.AllFinite(req.Coords) {
+		return fmt.Errorf("proto: non-finite query coordinate")
 	}
 	return nil
 }

@@ -2,6 +2,8 @@ package proto
 
 import (
 	"bytes"
+	"errors"
+	"math"
 	"net"
 	"strings"
 	"testing"
@@ -54,10 +56,34 @@ func TestRequestRoundTrip(t *testing.T) {
 	if req.ID != 7 || req.Kind != KindRadius || req.R2 != 0.25 || len(req.Coords) != 3 {
 		t.Fatalf("decoded %+v", req)
 	}
+
+	b = AppendRemoteKNNRequest(nil, 8, 6, 0.5, coords[:3])
+	if err := ConsumeRequest(b, 3, &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.ID != 8 || req.Kind != KindRemoteKNN || req.K != 6 || req.R2 != 0.5 || len(req.Coords) != 3 {
+		t.Fatalf("decoded %+v", req)
+	}
+	// MaxFloat32 is the engine's "unbounded" pruning sentinel — it must be
+	// accepted (it is finite), unlike ±Inf/NaN.
+	b = AppendRemoteKNNRequest(nil, 9, 6, math.MaxFloat32, coords[:3])
+	if err := ConsumeRequest(b, 3, &req); err != nil {
+		t.Fatal(err)
+	}
+
+	b = AppendRemoteRadiusRequest(nil, 10, 0.75, coords[:3])
+	if err := ConsumeRequest(b, 3, &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.ID != 10 || req.Kind != KindRemoteRadius || req.R2 != 0.75 || len(req.Coords) != 3 {
+		t.Fatalf("decoded %+v", req)
+	}
 }
 
 func TestRequestValidation(t *testing.T) {
 	coords := []float32{1, 2, 3}
+	nan := float32(math.NaN())
+	inf := float32(math.Inf(1))
 	var req Request
 	cases := map[string][]byte{
 		"wrong dims":    AppendKNNRequest(nil, 1, 5, coords, 3), // consumed with dims=4 below
@@ -70,14 +96,37 @@ func TestRequestValidation(t *testing.T) {
 		"empty payload": {},
 		"oversize nq*k": AppendKNNRequest(nil, 1, MaxK,
 			make([]float32, 3*(MaxResultNeighbors/MaxK+1)), 3),
+		"NaN coord":          AppendKNNRequest(nil, 1, 5, []float32{1, nan, 3}, 3),
+		"+Inf coord":         AppendKNNRequest(nil, 1, 5, []float32{1, inf, 3}, 3),
+		"-Inf coord":         AppendKNNRequest(nil, 1, 5, []float32{1, -inf, 3}, 3),
+		"radius NaN coord":   AppendRadiusRequest(nil, 1, 0.5, []float32{nan, 2, 3}),
+		"radius NaN r2":      AppendRadiusRequest(nil, 1, nan, coords),
+		"radius Inf r2":      AppendRadiusRequest(nil, 1, inf, coords),
+		"remote KNN NaN r2":  AppendRemoteKNNRequest(nil, 1, 5, nan, coords),
+		"remote KNN zero k":  AppendRemoteKNNRequest(nil, 1, 0, 0.5, coords),
+		"remote KNN huge k":  AppendRemoteKNNRequest(nil, 1, MaxK+1, 0.5, coords),
+		"remote radius Inf":  AppendRemoteRadiusRequest(nil, 1, inf, coords),
+		"remote radius dims": AppendRemoteRadiusRequest(nil, 1, 0.5, coords[:2]),
 	}
 	for name, payload := range cases {
 		dims := 3
 		if name == "wrong dims" {
 			dims = 4
 		}
-		if err := ConsumeRequest(payload, dims, &req); err == nil {
+		err := ConsumeRequest(payload, dims, &req)
+		if err == nil {
 			t.Errorf("%s: accepted", name)
+			continue
+		}
+		// Non-finite inputs and range violations are semantic: the stream
+		// is still correctly framed, so the connection must stay usable
+		// (not ErrMalformed).
+		switch name {
+		case "truncated", "trailing", "unknown kind", "empty payload":
+		default:
+			if errors.Is(err, ErrMalformed) {
+				t.Errorf("%s: classified as malformed (would drop the connection): %v", name, err)
+			}
 		}
 	}
 }

@@ -1,0 +1,465 @@
+// Cluster serving: route external client traffic across a multi-rank
+// DistTree.
+//
+// One Server per rank. Each rank holds its DistTree shard (built over the
+// SPMD mesh, e.g. panda.JoinTCP) and accepts ordinary protocol clients on
+// its serving address; any rank answers any query. Per query the router
+// runs the paper's §III-B pipeline, but over pipelined serving connections
+// instead of SPMD collectives:
+//
+//  1. find owner — a pure read of the replicated global partition tree
+//     (identical on every rank, so ownership is computed once and the
+//     forward chain has length ≤ 1);
+//  2. local KNN at the owner — owned queries are enqueued on the regular
+//     micro-batching intake, so they coalesce with everyone else's traffic
+//     into KNNBatchFlatInto arena calls; queries owned elsewhere are
+//     forwarded to their owner as plain KindKNN batches, where they ride
+//     that rank's dispatcher the same way;
+//  3. identify remote ranks — when the kth-candidate ball r'² crosses shard
+//     boundaries, RanksWithin lists the ranks whose domains intersect it;
+//  4. remote KNN — those ranks answer KindRemoteKNN (bounded candidate
+//     search, strictly within r'²) from their local shards;
+//  5. merge — local and remote candidates merge through the same
+//     knnheap.MergeTopK the SPMD engine uses, so answers are bit-identical
+//     to a single tree built over the union of the shards, with one caveat
+//     shared with the SPMD engine: neighbor DISTANCES are always exactly
+//     the single tree's, but when several candidates tie exactly at the
+//     kth-neighbor distance, which tied id is retained is scan-order
+//     dependent in the kernel (the accept rule is strictly-closer), so the
+//     cluster and a single tree may keep different — equally correct —
+//     tied ids. Real-valued data has no such ties; integer grids do.
+//
+// Radius queries skip ownership (the ball is known up front): the router
+// fans KindRemoteRadius out to every rank whose domain intersects the ball
+// and merges by (distance, id) — the single-tree result order.
+//
+// The dispatcher never blocks on the network (router goroutines do), and a
+// forwarded query becomes owner-local on arrival, so the only cross-rank
+// waits are router → dispatcher — the dependency graph is acyclic and the
+// cluster cannot self-deadlock.
+package server
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"panda"
+	"panda/internal/knnheap"
+	"panda/internal/proto"
+)
+
+// Shard is the cluster router's view of one rank's distributed tree:
+// replicated-global-tree routing plus the rank's local shard as a
+// single-node Tree. *panda.DistTree implements it.
+type Shard interface {
+	// Rank is this shard's rank in [0, Ranks).
+	Rank() int
+	// Ranks is the cluster size.
+	Ranks() int
+	// Dims is the point dimensionality.
+	Dims() int
+	// Owner returns the rank whose domain contains q (replicated global
+	// tree; must be identical on every rank).
+	Owner(q []float32) int
+	// RanksWithin appends to out every rank other than exclude whose
+	// domain intersects the ball of squared radius r2 around q (exclude
+	// -1 for none).
+	RanksWithin(q []float32, r2 float32, exclude int, out []int) []int
+	// LocalTree is the rank's local shard with pooled searchers.
+	LocalTree() *panda.Tree
+}
+
+// ClusterConfig configures one rank's cluster server on top of the base
+// serving Config.
+type ClusterConfig struct {
+	Config
+
+	// ServeAddrs lists every rank's serving address in rank order; entry
+	// Shard.Rank() is this server's own address (informational here — the
+	// caller binds the listener), the rest are dialed as peers.
+	ServeAddrs []string
+
+	// TotalPoints, when > 0, is reported as the point count in the client
+	// welcome instead of the local shard size (set it to the cluster-wide
+	// total so clients see the logical tree they are querying).
+	TotalPoints int64
+
+	// PeerDialTimeout bounds connecting + handshaking to a peer rank
+	// (default 10s; dialing is lazy and retried on next use).
+	PeerDialTimeout time.Duration
+
+	// PeerCallTimeout bounds one inter-rank call (default 30s) so a wedged
+	// peer cannot pin router goroutines — and with them Shutdown — forever.
+	PeerCallTimeout time.Duration
+}
+
+// NewCluster returns an unstarted cluster server for this rank's shard.
+// Start it with Serve on a listener bound to ServeAddrs[shard.Rank()], stop
+// with Shutdown. Every rank of the cluster must run one.
+func NewCluster(shard Shard, cfg ClusterConfig) (*Server, error) {
+	if got, want := len(cfg.ServeAddrs), shard.Ranks(); got != want {
+		return nil, fmt.Errorf("server: %d serve addresses for %d ranks", got, want)
+	}
+	if cfg.PeerDialTimeout <= 0 {
+		cfg.PeerDialTimeout = 10 * time.Second
+	}
+	if cfg.PeerCallTimeout <= 0 {
+		cfg.PeerCallTimeout = 30 * time.Second
+	}
+	s := New(shard.LocalTree(), cfg.Config)
+	if cfg.TotalPoints > 0 {
+		s.points = cfg.TotalPoints
+	}
+	rank := shard.Rank()
+	rt := &router{s: s, shard: shard, rank: rank, peers: make([]*peer, shard.Ranks())}
+	for r := range rt.peers {
+		if r == rank {
+			continue
+		}
+		rt.peers[r] = &peer{
+			rank:        r,
+			addr:        cfg.ServeAddrs[r],
+			dims:        shard.Dims(),
+			dialTimeout: cfg.PeerDialTimeout,
+			callTimeout: cfg.PeerCallTimeout,
+		}
+	}
+	s.cluster = rt
+	return s, nil
+}
+
+// router executes the distributed query pipeline for one rank. Each routed
+// request runs in its own goroutine (tracked by Server.routes).
+type router struct {
+	s     *Server
+	shard Shard
+	rank  int
+	peers []*peer // peers[rank] == nil (self)
+}
+
+func (rt *router) closePeers() {
+	for _, p := range rt.peers {
+		if p != nil {
+			p.close()
+		}
+	}
+}
+
+// route answers one external request. It owns p and returns it to the pool.
+func (rt *router) route(p *pending) {
+	switch p.req.Kind {
+	case proto.KindKNN:
+		rt.routeKNN(p)
+	case proto.KindRadius:
+		rt.routeRadius(p)
+	}
+}
+
+// localStage runs one request through this rank's micro-batching dispatcher
+// and returns copies of the results (the dispatcher's arenas are reused).
+// Returned offsets are 0-based.
+func (rt *router) localStage(kind uint8, k, nq int, r2 float32, coords []float32) ([]panda.Neighbor, []int32, error) {
+	s := rt.s
+	lp := s.getPending()
+	lp.req.ID = 0
+	lp.req.Kind = kind
+	lp.req.K = k
+	lp.req.NQ = nq
+	lp.req.R2 = r2
+	lp.req.Coords = append(lp.req.Coords[:0], coords...)
+	type localOut struct {
+		flat []panda.Neighbor
+		offs []int32
+		err  error
+	}
+	ch := make(chan localOut, 1)
+	lp.done = func(flat []panda.Neighbor, offsets []int32, err error) {
+		out := localOut{err: err}
+		if err == nil {
+			out.flat = append([]panda.Neighbor(nil), flat...)
+			out.offs = make([]int32, len(offsets))
+			for i, o := range offsets {
+				out.offs[i] = o - offsets[0] // normalize arena-absolute offsets
+			}
+		}
+		ch <- out
+	}
+	s.intake <- lp
+	out := <-ch
+	return out.flat, out.offs, out.err
+}
+
+// routeKNN answers one KNN request (possibly a batch whose queries have
+// different owners): owned queries run the owner pipeline here, the rest
+// are forwarded per owner rank as KindKNN batches.
+func (rt *router) routeKNN(p *pending) {
+	s := rt.s
+	defer s.putPending(p)
+	c := p.c
+	id := p.req.ID
+	k := p.req.K
+	nq := p.req.NQ
+	dims := rt.shard.Dims()
+	coords := p.req.Coords
+
+	// Step 1 — find owner, grouping queries per rank.
+	groups := make([][]int, rt.shard.Ranks())
+	for i := 0; i < nq; i++ {
+		o := rt.shard.Owner(coords[i*dims : (i+1)*dims])
+		groups[o] = append(groups[o], i)
+	}
+
+	res := make([][]panda.Neighbor, nq)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+
+	for o, idx := range groups {
+		if len(idx) == 0 || o == rt.rank {
+			continue
+		}
+		wg.Add(1)
+		go func(o int, idx []int) {
+			defer wg.Done()
+			fwd := gatherCoords(coords, idx, dims)
+			flat, offs, err := rt.peers[o].forwardKNN(fwd, k, dims)
+			if err != nil {
+				fail(fmt.Errorf("forward to rank %d: %w", o, err))
+				return
+			}
+			if len(offs) != len(idx)+1 {
+				fail(fmt.Errorf("rank %d answered %d queries, want %d", o, len(offs)-1, len(idx)))
+				return
+			}
+			for j, qi := range idx {
+				res[qi] = flat[offs[j]:offs[j+1]]
+			}
+		}(o, idx)
+	}
+	if idx := groups[rt.rank]; len(idx) > 0 {
+		rt.ownedKNN(coords, idx, k, dims, res, fail)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		rt.writeError(c, id, firstErr)
+		return
+	}
+	rt.writeNeighbors(c, id, res)
+}
+
+// maxExchangeWorkers bounds how many of a batch's remote-candidate
+// exchanges run concurrently. Exchanges are network round-trips, so
+// serializing them would make a boundary-heavy batch cost queries×RTT; a
+// small pool overlaps them without letting one giant batch flood the peers.
+const maxExchangeWorkers = 16
+
+// ownedKNN is the owner-side pipeline for the queries this rank owns:
+// batched local KNN through the dispatcher (§III-B step 2), then the
+// bounded remote-candidate exchange and top-k merge (steps 3–5) per query
+// whose r'-ball crosses shard boundaries — exchanges for different queries
+// are independent round-trips and run concurrently.
+func (rt *router) ownedKNN(coords []float32, idx []int, k, dims int, res [][]panda.Neighbor, fail func(error)) {
+	lflat, loffs, err := rt.localStage(proto.KindKNN, k, len(idx), 0, gatherCoords(coords, idx, dims))
+	if err != nil {
+		fail(err)
+		return
+	}
+	workers := len(idx)
+	if workers > maxExchangeWorkers {
+		workers = maxExchangeWorkers
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var targets []int
+			for {
+				j := int(cursor.Add(1)) - 1
+				if j >= len(idx) {
+					return
+				}
+				qi := idx[j]
+				nbrs := lflat[loffs[j]:loffs[j+1]]
+				q := coords[qi*dims : (qi+1)*dims]
+				// r'² = distance to the kth local candidate; unbounded when
+				// the local shard holds fewer than k points. The exchange
+				// is strict (candidates closer than r'²), exactly like the
+				// SPMD engine: a remote candidate tying the kth local
+				// candidate's distance can never displace it (the merge's
+				// accept rule is strictly-closer too), so fetching boundary
+				// ties would be wasted traffic.
+				r2 := float32(math.MaxFloat32)
+				if len(nbrs) == k {
+					r2 = nbrs[k-1].Dist2
+				}
+				targets = rt.shard.RanksWithin(q, r2, rt.rank, targets[:0])
+				if len(targets) == 0 {
+					res[qi] = nbrs
+					continue
+				}
+				merged, err := rt.exchange(q, k, r2, nbrs, targets)
+				if err != nil {
+					fail(err)
+					return
+				}
+				res[qi] = merged
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// exchange performs §III-B steps 4–5 for one owned query: bounded remote
+// candidate searches on every target rank, then the same top-k merge the
+// SPMD engine performs.
+func (rt *router) exchange(q []float32, k int, r2 float32, local []panda.Neighbor, targets []int) ([]panda.Neighbor, error) {
+	type remoteOut struct {
+		nbrs []panda.Neighbor
+		err  error
+	}
+	outs := make([]remoteOut, len(targets))
+	var wg sync.WaitGroup
+	for ti, o := range targets {
+		wg.Add(1)
+		go func(ti, o int) {
+			defer wg.Done()
+			nbrs, err := rt.peers[o].remoteKNN(q, k, r2)
+			outs[ti] = remoteOut{nbrs: nbrs, err: err}
+		}(ti, o)
+	}
+	wg.Wait()
+	items := make([]knnheap.Item, 0, (len(targets)+1)*k)
+	for _, nb := range local {
+		items = append(items, knnheap.Item{Dist2: nb.Dist2, ID: nb.ID})
+	}
+	for ti, out := range outs {
+		if out.err != nil {
+			return nil, fmt.Errorf("remote KNN on rank %d: %w", targets[ti], out.err)
+		}
+		for _, nb := range out.nbrs {
+			items = append(items, knnheap.Item{Dist2: nb.Dist2, ID: nb.ID})
+		}
+	}
+	top := knnheap.MergeTopK(k, items)
+	merged := make([]panda.Neighbor, len(top))
+	for i, it := range top {
+		merged[i] = panda.Neighbor{ID: it.ID, Dist2: it.Dist2}
+	}
+	return merged, nil
+}
+
+// routeRadius answers one radius request: the ball is known up front, so
+// every rank whose domain intersects it contributes its local matches and
+// the router merges by (distance, id) — the single-tree result order.
+func (rt *router) routeRadius(p *pending) {
+	s := rt.s
+	defer s.putPending(p)
+	c := p.c
+	id := p.req.ID
+	q := p.req.Coords
+	r2 := p.req.R2
+
+	targets := rt.shard.RanksWithin(q, r2, -1, nil)
+	outs := make([][]panda.Neighbor, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for ti, o := range targets {
+		wg.Add(1)
+		go func(ti, o int) {
+			defer wg.Done()
+			if o == rt.rank {
+				flat, _, err := rt.localStage(proto.KindRemoteRadius, 0, 1, r2, q)
+				outs[ti], errs[ti] = flat, err
+				return
+			}
+			outs[ti], errs[ti] = rt.peers[o].remoteRadius(q, r2)
+		}(ti, o)
+	}
+	wg.Wait()
+	total := 0
+	for ti := range targets {
+		if errs[ti] != nil {
+			rt.writeError(c, id, fmt.Errorf("radius on rank %d: %w", targets[ti], errs[ti]))
+			return
+		}
+		total += len(outs[ti])
+	}
+	if total > proto.MaxResultNeighbors {
+		rt.writeError(c, id, fmt.Errorf("radius search matched %d points, exceeding the %d-neighbor response cap; shrink r2",
+			total, proto.MaxResultNeighbors))
+		return
+	}
+	flat := make([]panda.Neighbor, 0, total)
+	for _, out := range outs {
+		flat = append(flat, out...)
+	}
+	sort.Slice(flat, func(a, b int) bool {
+		if flat[a].Dist2 != flat[b].Dist2 {
+			return flat[a].Dist2 < flat[b].Dist2
+		}
+		return flat[a].ID < flat[b].ID
+	})
+	rt.writeNeighbors(c, id, [][]panda.Neighbor{flat})
+}
+
+// gatherCoords packs the selected queries' coordinates row-major.
+func gatherCoords(coords []float32, idx []int, dims int) []float32 {
+	out := make([]float32, 0, len(idx)*dims)
+	for _, qi := range idx {
+		out = append(out, coords[qi*dims:(qi+1)*dims]...)
+	}
+	return out
+}
+
+// writeNeighbors assembles and writes one KindNeighbors response covering
+// the per-query lists in order.
+func (rt *router) writeNeighbors(c *conn, id uint64, res [][]panda.Neighbor) {
+	total := 0
+	for _, r := range res {
+		total += len(r)
+	}
+	offsets := make([]int32, len(res)+1)
+	flat := make([]panda.Neighbor, 0, total)
+	for i, r := range res {
+		flat = append(flat, r...)
+		offsets[i+1] = int32(len(flat))
+	}
+	buf := proto.BeginFrame(nil)
+	buf = proto.AppendNeighborsResponse(buf, id, offsets, flat)
+	if err := proto.FinishFrame(buf, 0); err != nil {
+		rt.writeError(c, id, err)
+		return
+	}
+	rt.write(c, buf)
+}
+
+// writeError writes one KindError response.
+func (rt *router) writeError(c *conn, id uint64, err error) {
+	buf := proto.BeginFrame(nil)
+	buf = proto.AppendErrorResponse(buf, id, err.Error())
+	if proto.FinishFrame(buf, 0) == nil {
+		rt.write(c, buf)
+	}
+}
+
+// write delivers one framed response; failures close the connection, like
+// the dispatcher's write path.
+func (rt *router) write(c *conn, buf []byte) {
+	if c.writeFrame(buf, rt.s.cfg.WriteTimeout) != nil {
+		rt.s.removeConn(c)
+		c.close()
+	}
+}

@@ -1,0 +1,281 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"panda"
+	"panda/internal/proto"
+)
+
+// errPeerClosed is returned by peer calls whose connection died (the remote
+// rank went away or this server is shutting down).
+var errPeerClosed = errors.New("server: peer connection closed")
+
+// peer is this rank's client to one other rank's serving endpoint. It
+// speaks the ordinary client protocol (internal/proto) over one pipelined
+// connection: forwarded queries are plain KindKNN requests — the remote
+// rank's own router answers them, which is what makes forwarding terminate
+// at the owner — while the remote-candidate exchange uses the shard-local
+// KindRemoteKNN/KindRemoteRadius kinds. The connection is dialed lazily on
+// first use and redialed after failures, so rank start-up order does not
+// matter and a restarted rank heals without coordination.
+type peer struct {
+	rank        int
+	addr        string
+	dims        int
+	dialTimeout time.Duration
+	callTimeout time.Duration
+
+	mu       sync.Mutex
+	pc       *peerConn
+	shutdown bool // sticky: set by close(); no redials afterwards
+}
+
+// conn returns the live connection, dialing if needed. The dial happens
+// outside the peer lock so close() — and with it Shutdown — never blocks
+// behind an in-progress dial; concurrent first users may race to dial and
+// the loser's connection is discarded.
+func (p *peer) conn() (*peerConn, error) {
+	p.mu.Lock()
+	if p.shutdown {
+		p.mu.Unlock()
+		return nil, errPeerClosed
+	}
+	if p.pc != nil && !p.pc.closed() {
+		pc := p.pc
+		p.mu.Unlock()
+		return pc, nil
+	}
+	p.mu.Unlock()
+
+	pc, err := dialPeer(p.addr, p.dims, p.dialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("rank %d (%s): %w", p.rank, p.addr, err)
+	}
+	p.mu.Lock()
+	if p.shutdown {
+		p.mu.Unlock()
+		pc.fail(errPeerClosed)
+		return nil, errPeerClosed
+	}
+	if p.pc != nil && !p.pc.closed() {
+		// Lost the dial race; use the established connection.
+		won := p.pc
+		p.mu.Unlock()
+		pc.fail(errPeerClosed)
+		return won, nil
+	}
+	p.pc = pc
+	p.mu.Unlock()
+	return pc, nil
+}
+
+// close permanently tears the peer down: the current connection's in-flight
+// calls fail, and later conn() calls return errPeerClosed instead of
+// redialing (Shutdown relies on this to force stuck routes to finish).
+func (p *peer) close() {
+	p.mu.Lock()
+	p.shutdown = true
+	pc := p.pc
+	p.pc = nil
+	p.mu.Unlock()
+	if pc != nil {
+		pc.fail(errPeerClosed)
+	}
+}
+
+// forwardKNN forwards whole queries to their owner rank as one KindKNN
+// batch; the owner's router runs the full pipeline (local KNN + remote
+// exchange) and answers final per-query neighbor lists.
+func (p *peer) forwardKNN(coords []float32, k, dims int) ([]panda.Neighbor, []int32, error) {
+	pc, err := p.conn()
+	if err != nil {
+		return nil, nil, err
+	}
+	return pc.call(p.callTimeout, func(b []byte, id uint64) []byte {
+		return proto.AppendKNNRequest(b, id, k, coords, dims)
+	})
+}
+
+// remoteKNN asks the peer for its local-shard candidates strictly within r2
+// of q (§III-B step 4).
+func (p *peer) remoteKNN(q []float32, k int, r2 float32) ([]panda.Neighbor, error) {
+	pc, err := p.conn()
+	if err != nil {
+		return nil, err
+	}
+	flat, _, err := pc.call(p.callTimeout, func(b []byte, id uint64) []byte {
+		return proto.AppendRemoteKNNRequest(b, id, k, r2, q)
+	})
+	return flat, err
+}
+
+// remoteRadius asks the peer for its local-shard points within r2 of q.
+func (p *peer) remoteRadius(q []float32, r2 float32) ([]panda.Neighbor, error) {
+	pc, err := p.conn()
+	if err != nil {
+		return nil, err
+	}
+	flat, _, err := pc.call(p.callTimeout, func(b []byte, id uint64) []byte {
+		return proto.AppendRemoteRadiusRequest(b, id, r2, q)
+	})
+	return flat, err
+}
+
+// peerResult is one decoded peer response, copied out of the read loop's
+// decode scratch so the waiter owns it.
+type peerResult struct {
+	flat    []panda.Neighbor
+	offsets []int32
+	err     error
+}
+
+// peerConn is one pipelined connection to a peer rank: concurrent calls
+// share it with client-chosen request ids, exactly like panda.Client.
+type peerConn struct {
+	nc net.Conn
+
+	wmu  sync.Mutex
+	wbuf []byte
+
+	mu      sync.Mutex
+	nextID  uint64
+	waiting map[uint64]chan peerResult
+	err     error // sticky; set when the connection dies
+}
+
+// dialPeer connects and handshakes. The peer must serve a tree of the same
+// dimensionality (all shards of one cluster do).
+func dialPeer(addr string, dims int, timeout time.Duration) (*peerConn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	nc.SetDeadline(time.Now().Add(timeout))
+	if _, err := nc.Write(proto.AppendHello(nil)); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("peer handshake: %w", err)
+	}
+	gotDims, _, err := proto.ReadWelcome(nc)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("peer handshake: %w", err)
+	}
+	if gotDims != dims {
+		nc.Close()
+		return nil, fmt.Errorf("peer serves %d-dim tree, want %d", gotDims, dims)
+	}
+	nc.SetDeadline(time.Time{})
+	pc := &peerConn{nc: nc, waiting: map[uint64]chan peerResult{}}
+	go pc.readLoop()
+	return pc, nil
+}
+
+func (pc *peerConn) closed() bool {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.err != nil
+}
+
+// fail marks the connection dead and releases every waiter.
+func (pc *peerConn) fail(err error) {
+	pc.mu.Lock()
+	if pc.err == nil {
+		pc.err = err
+	}
+	for id, ch := range pc.waiting {
+		delete(pc.waiting, id)
+		ch <- peerResult{err: pc.err}
+	}
+	pc.mu.Unlock()
+	pc.nc.Close()
+}
+
+// readLoop routes responses to waiters by request id.
+func (pc *peerConn) readLoop() {
+	var buf []byte
+	var resp proto.Response
+	for {
+		payload, err := proto.ReadFrame(pc.nc, buf)
+		if err != nil {
+			pc.fail(fmt.Errorf("%w: %w", errPeerClosed, err))
+			return
+		}
+		buf = payload
+		if err := proto.ConsumeResponse(payload, &resp); err != nil {
+			pc.fail(fmt.Errorf("server: malformed peer response: %w", err))
+			return
+		}
+		pc.mu.Lock()
+		ch := pc.waiting[resp.ID]
+		delete(pc.waiting, resp.ID)
+		pc.mu.Unlock()
+		if ch == nil {
+			continue // abandoned (timed-out) id
+		}
+		res := peerResult{}
+		if resp.Kind == proto.KindError {
+			res.err = fmt.Errorf("server: peer: %s", resp.Err)
+		} else {
+			res.flat = append([]panda.Neighbor(nil), resp.Flat...)
+			res.offsets = append([]int32(nil), resp.Offsets...)
+		}
+		ch <- res
+	}
+}
+
+// call issues one request and waits for its response (bounded by timeout so
+// a wedged peer cannot pin a router goroutine forever). Returned offsets
+// are 0-based.
+func (pc *peerConn) call(timeout time.Duration, encode func(b []byte, id uint64) []byte) ([]panda.Neighbor, []int32, error) {
+	pc.mu.Lock()
+	if pc.err != nil {
+		err := pc.err
+		pc.mu.Unlock()
+		return nil, nil, err
+	}
+	id := pc.nextID
+	pc.nextID++
+	ch := make(chan peerResult, 1)
+	pc.waiting[id] = ch
+	pc.mu.Unlock()
+
+	pc.wmu.Lock()
+	pc.wbuf = proto.BeginFrame(pc.wbuf[:0])
+	pc.wbuf = encode(pc.wbuf, id)
+	err := proto.FinishFrame(pc.wbuf, 0)
+	if err == nil {
+		// Deadline the write too: a peer that stopped reading (with full
+		// TCP buffers) would otherwise block here forever while holding
+		// wmu, pinning every caller despite the post-write timeout below.
+		pc.nc.SetWriteDeadline(time.Now().Add(timeout))
+		_, err = pc.nc.Write(pc.wbuf)
+	}
+	pc.wmu.Unlock()
+	if err != nil {
+		pc.mu.Lock()
+		delete(pc.waiting, id)
+		pc.mu.Unlock()
+		pc.fail(fmt.Errorf("%w: %w", errPeerClosed, err))
+		return nil, nil, err
+	}
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		return res.flat, res.offsets, res.err
+	case <-timer.C:
+		pc.mu.Lock()
+		delete(pc.waiting, id)
+		pc.mu.Unlock()
+		return nil, nil, fmt.Errorf("server: peer call timed out after %v", timeout)
+	}
+}

@@ -1,7 +1,9 @@
 // Package server is PANDA's network serving layer: it owns a built
 // panda.Tree and answers KNN and radius-search queries over TCP, speaking
 // the versioned length-prefixed protocol of internal/proto (handshake,
-// frame layout, and message kinds are documented there).
+// frame layout, and message kinds are documented there). NewCluster extends
+// the same server into one rank of a sharded cluster — see cluster.go for
+// the distributed query pipeline.
 //
 // # Dynamic micro-batching
 //
@@ -37,8 +39,11 @@
 //
 // In brief (internal/proto is the authoritative reference): a connection
 // opens with a versioned handshake — client sends magic "PNDQ" + version,
-// server answers magic + version + tree dims + point count, and a version
-// mismatch closes the connection. After that, both directions carry
+// server answers magic + version + tree dims + point count. On a version
+// mismatch the server instead answers a welcome carrying its own version
+// with zeroed dims/len and closes, so the client can report "server speaks
+// version X" rather than seeing tree metadata followed by an unexplained
+// drop. After that, both directions carry
 // length-prefixed frames (uint32 length, capped at proto.MaxFrame) whose
 // payload is kind byte + uint64 request id + a kind-specific body: KNN
 // requests carry k, a query count, and packed float32 coordinates; radius
@@ -130,10 +135,20 @@ const (
 
 // Server serves one built tree. Create with New, start with Serve or
 // ListenAndServe, stop with Shutdown. All methods are safe for concurrent
-// use.
+// use. A Server created with NewCluster additionally routes queries across
+// the cluster (see cluster.go); the single-tree dispatch machinery below is
+// shared by both modes.
 type Server struct {
-	tree *panda.Tree
-	cfg  Config
+	tree   *panda.Tree
+	cfg    Config
+	points int64 // reported in the welcome (cluster mode: whole-cluster total)
+
+	// cluster is non-nil in cluster serving mode: externally-routable
+	// requests detour through its router instead of the local intake.
+	cluster *router
+	// routes tracks in-flight router goroutines; Shutdown drains them
+	// (they may still need the dispatcher) before closing the intake.
+	routes sync.WaitGroup
 
 	intake chan *pending
 
@@ -155,6 +170,7 @@ func New(tree *panda.Tree, cfg Config) *Server {
 	return &Server{
 		tree:           tree,
 		cfg:            cfg,
+		points:         int64(tree.Len()),
 		intake:         make(chan *pending, cfg.IntakeDepth),
 		conns:          map[*conn]struct{}{},
 		dispatcherDone: make(chan struct{}),
@@ -264,6 +280,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	drained := make(chan struct{})
 	go func() {
 		s.readers.Wait()
+		// Router goroutines may still need the dispatcher (local stages)
+		// and the peer connections (remote stages): wait for them before
+		// closing the intake.
+		s.routes.Wait()
 		close(s.intake)
 		if dispatcherUp {
 			<-s.dispatcherDone
@@ -278,6 +298,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-drained:
 	case <-ctx.Done():
 		err = ctx.Err()
+		// Force stuck router goroutines to finish: failing the peer
+		// connections errors their in-flight remote calls (a cluster-wide
+		// simultaneous shutdown can otherwise cross-wait on peers that have
+		// already stopped reading).
+		if s.cluster != nil {
+			s.cluster.closePeers()
+		}
 	}
 	s.mu.Lock()
 	s.state = stateClosed
@@ -286,6 +313,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		delete(s.conns, c)
 	}
 	s.mu.Unlock()
+	if s.cluster != nil {
+		s.cluster.closePeers()
+	}
 	return err
 }
 
@@ -308,6 +338,15 @@ type conn struct {
 	nc   net.Conn
 	wmu  sync.Mutex
 	dead atomic.Bool
+	// routeSem (cluster mode) bounds this connection's in-flight routed
+	// requests: the reader blocks acquiring a slot, so a client that
+	// pipelines without reading responses stalls itself instead of growing
+	// an unbounded goroutine/heap backlog. Single-node mode gets the same
+	// backpressure from the bounded intake channel. Per-connection (not
+	// global) so forwarded peer traffic can never be starved of slots by
+	// local clients — that independence is what keeps saturated
+	// bidirectional forwarding deadlock-free.
+	routeSem chan struct{}
 }
 
 func (c *conn) close() {
@@ -334,10 +373,15 @@ func (c *conn) writeFrame(buf []byte, timeout time.Duration) error {
 }
 
 // pending is one request waiting for dispatch. Its request struct (and the
-// coords buffer inside) is recycled through the server's pool.
+// coords buffer inside) is recycled through the server's pool. When done is
+// non-nil the request is an internal stage of the cluster router: the
+// dispatcher invokes done with the results instead of writing a response to
+// c. The slices passed to done view the dispatcher's reused arenas and are
+// valid only for the duration of the call — copy before returning.
 type pending struct {
-	c   *conn
-	req proto.Request
+	c    *conn
+	req  proto.Request
+	done func(flat []panda.Neighbor, offsets []int32, err error)
 }
 
 func (s *Server) getPending() *pending {
@@ -349,6 +393,7 @@ func (s *Server) getPending() *pending {
 
 func (s *Server) putPending(p *pending) {
 	p.c = nil
+	p.done = nil
 	s.pendingPool.Put(p)
 }
 
@@ -365,8 +410,19 @@ func (s *Server) serveConn(c *conn) {
 		c.close()
 		return
 	}
-	welcome := proto.AppendWelcome(make([]byte, 0, 20), dims, int64(s.tree.Len()))
-	if c.writeFrameless(welcome, s.cfg.WriteTimeout) != nil || version != proto.Version {
+	if version != proto.Version {
+		// Reject the mismatch explicitly, before any tree metadata: answer
+		// with a welcome carrying the server's version and zeroed dims/len,
+		// then close. The client's ReadWelcome checks the version first, so
+		// it surfaces "server speaks version X" instead of reading valid
+		// dims/len and then hitting an unexplained connection drop.
+		c.writeFrameless(proto.AppendWelcome(make([]byte, 0, 20), 0, 0), s.cfg.WriteTimeout)
+		s.removeConn(c)
+		c.close()
+		return
+	}
+	welcome := proto.AppendWelcome(make([]byte, 0, 20), dims, s.points)
+	if c.writeFrameless(welcome, s.cfg.WriteTimeout) != nil {
 		s.removeConn(c)
 		c.close()
 		return
@@ -402,6 +458,27 @@ func (s *Server) serveConn(c *conn) {
 			continue
 		}
 		p.c = c
+		// Cluster mode: externally-routable kinds go through the shard
+		// router (owner lookup, forwarding, remote-candidate exchange) in
+		// their own goroutine so the reader keeps pipelining and the
+		// dispatcher never blocks on the network. The remote kinds
+		// (RemoteKNN/RemoteRadius) address this shard alone by definition
+		// and take the ordinary intake path even in cluster mode.
+		if s.cluster != nil && (p.req.Kind == proto.KindKNN || p.req.Kind == proto.KindRadius) {
+			if c.routeSem == nil {
+				c.routeSem = make(chan struct{}, s.cfg.IntakeDepth)
+			}
+			c.routeSem <- struct{}{} // backpressure: bounds in-flight routes
+			s.routes.Add(1)
+			go func(p *pending) {
+				defer func() {
+					<-c.routeSem
+					s.routes.Done()
+				}()
+				s.cluster.route(p)
+			}(p)
+			continue
+		}
 		s.intake <- p
 	}
 	if !s.draining() {
@@ -513,7 +590,10 @@ func (d *dispatcher) process() {
 			continue
 		}
 		p := d.batch[i]
-		if p.req.Kind == proto.KindRadius {
+		if p.req.Kind == proto.KindRadius || p.req.Kind == proto.KindRemoteRadius {
+			// Both kinds answer from the local tree; they differ only in
+			// routing (a cluster router fans KindRadius out and sends
+			// KindRemoteRadius to the shards, which land here).
 			d.done[i] = true
 			d.radius = s.tree.RadiusSearchInto(p.req.Coords, p.req.R2, d.radius[:0])
 			if len(d.radius) > proto.MaxResultNeighbors {
@@ -523,6 +603,19 @@ func (d *dispatcher) process() {
 					len(d.radius), proto.MaxResultNeighbors))
 				continue
 			}
+			d.offs2[0] = 0
+			d.offs2[1] = int32(len(d.radius))
+			d.respondNeighbors(p, d.offs2, d.radius)
+			continue
+		}
+		if p.req.Kind == proto.KindRemoteKNN {
+			// Bounded remote-candidate search (§III-B step 4): up to k
+			// local-shard candidates strictly within the owner's pruning
+			// bound r'². Individual execution on a pooled searcher — the
+			// bound makes these cheap, and they cannot share an arena call
+			// with unbounded KNN requests.
+			d.done[i] = true
+			d.radius = s.tree.KNNBoundedInto(p.req.Coords, p.req.K, p.req.R2, d.radius[:0])
 			d.offs2[0] = 0
 			d.offs2[1] = int32(len(d.radius))
 			d.respondNeighbors(p, d.offs2, d.radius)
@@ -563,9 +656,15 @@ func (d *dispatcher) process() {
 	}
 }
 
-// respondNeighbors encodes and writes one KindNeighbors response. Offsets
-// may be absolute into a larger arena; only differences matter.
+// respondNeighbors encodes and writes one KindNeighbors response (or hands
+// the results to an internal stage's done hook). Offsets may be absolute
+// into a larger arena; only differences matter — flat[0] corresponds to
+// offsets[0].
 func (d *dispatcher) respondNeighbors(p *pending, offsets []int32, flat []panda.Neighbor) {
+	if p.done != nil {
+		p.done(flat, offsets, nil)
+		return
+	}
 	d.wbuf = proto.BeginFrame(d.wbuf[:0])
 	d.wbuf = proto.AppendNeighborsResponse(d.wbuf, p.req.ID, offsets, flat)
 	if err := proto.FinishFrame(d.wbuf, 0); err != nil {
@@ -575,8 +674,13 @@ func (d *dispatcher) respondNeighbors(p *pending, offsets []int32, flat []panda.
 	d.write(p, d.wbuf)
 }
 
-// respondError encodes and writes one KindError response.
+// respondError encodes and writes one KindError response (or fails the
+// internal stage's done hook).
 func (d *dispatcher) respondError(p *pending, err error) {
+	if p.done != nil {
+		p.done(nil, nil, err)
+		return
+	}
 	d.wbuf = proto.BeginFrame(d.wbuf[:0])
 	d.wbuf = proto.AppendErrorResponse(d.wbuf, p.req.ID, err.Error())
 	if proto.FinishFrame(d.wbuf, 0) == nil {

@@ -16,10 +16,16 @@ import (
 type TCP struct {
 	rank  int
 	addrs []string
-	conns []net.Conn // conns[j] is the link to rank j; nil for self
 	sendM []sync.Mutex
 	box   *mailbox
 	ln    net.Listener
+
+	// connMu guards conns and closed during setup: Close can run (on a
+	// partial join failure) while the accept/dial goroutines are still
+	// storing freshly-handshaked connections.
+	connMu sync.Mutex
+	conns  []net.Conn // conns[j] is the link to rank j; nil for self
+	closed bool
 
 	closeOnce sync.Once
 	closeErr  error
@@ -28,8 +34,10 @@ type TCP struct {
 // frame layout: src int32 | tag int32 | length uint32 | payload.
 const frameHeader = 12
 
-// DialTimeout bounds connection establishment to each peer.
-const DialTimeout = 30 * time.Second
+// DialTimeout bounds connection establishment to each peer. It is a
+// variable so tests can shorten the retry window when exercising failed
+// joins.
+var DialTimeout = 30 * time.Second
 
 // NewTCP joins a mesh of len(addrs) ranks as rank r, listening on ln
 // (which must be bound to addrs[r]). It dials every lower rank and accepts
@@ -62,15 +70,17 @@ func NewTCP(rank int, ln net.Listener, addrs []string) (*TCP, error) {
 			}
 			var hello [4]byte
 			if _, err := io.ReadFull(conn, hello[:]); err != nil {
+				conn.Close()
 				errc <- fmt.Errorf("rank %d handshake read: %w", rank, err)
 				return
 			}
 			peer := int(int32(binary.LittleEndian.Uint32(hello[:])))
 			if peer <= rank || peer >= p {
+				conn.Close()
 				errc <- fmt.Errorf("rank %d: bad hello from peer %d", rank, peer)
 				return
 			}
-			t.conns[peer] = conn
+			t.storeConn(peer, conn)
 		}
 		errc <- nil
 	}()
@@ -88,21 +98,31 @@ func NewTCP(rank int, ln net.Listener, addrs []string) (*TCP, error) {
 			var hello [4]byte
 			binary.LittleEndian.PutUint32(hello[:], uint32(rank))
 			if _, err := conn.Write(hello[:]); err != nil {
+				conn.Close()
 				errc <- fmt.Errorf("rank %d handshake write: %w", rank, err)
 				return
 			}
-			t.conns[j] = conn
+			t.storeConn(j, conn)
 		}
 		errc <- nil
 	}()
 
-	pending.Wait()
-	close(errc)
-	for err := range errc {
-		if err != nil {
+	// React to the FIRST failure by closing the endpoint (which closes ln):
+	// that unblocks the accept goroutine, which would otherwise sit in
+	// ln.Accept forever when only the dial side failed — leaving NewTCP hung
+	// and the listener's port leaked until process exit.
+	var firstErr error
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil && firstErr == nil {
+			firstErr = err
 			t.Close()
-			return nil, err
 		}
+	}
+	pending.Wait()
+	if firstErr != nil {
+		// storeConn closes any connection stored after Close ran, so
+		// nothing leaks even when a dial completed during teardown.
+		return nil, firstErr
 	}
 
 	for j, c := range t.conns {
@@ -137,6 +157,20 @@ func dialRetry(addr string) (net.Conn, error) {
 		if delay < 200*time.Millisecond {
 			delay *= 2
 		}
+	}
+}
+
+// storeConn records a freshly-handshaked peer link. If Close already ran
+// (partial join failure), the connection is closed instead of leaking.
+func (t *TCP) storeConn(peer int, conn net.Conn) {
+	t.connMu.Lock()
+	closed := t.closed
+	if !closed {
+		t.conns[peer] = conn
+	}
+	t.connMu.Unlock()
+	if closed {
+		conn.Close()
 	}
 }
 
@@ -202,7 +236,11 @@ func (t *TCP) Close() error {
 		if t.ln != nil {
 			t.closeErr = t.ln.Close()
 		}
-		for _, c := range t.conns {
+		t.connMu.Lock()
+		t.closed = true
+		conns := append([]net.Conn(nil), t.conns...)
+		t.connMu.Unlock()
+		for _, c := range conns {
 			if c != nil {
 				c.Close()
 			}

@@ -1,0 +1,99 @@
+package transport
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestNewTCPDialFailureClosesListener is the listener-leak regression: rank
+// 1 of 3 accepts from rank 2 (which never arrives) while its dial to rank 0
+// fails. NewTCP used to wait for BOTH goroutines before inspecting errors,
+// so the accept side sat in ln.Accept forever — the join hung and the bound
+// port leaked. Now the first failure closes the endpoint, unblocking the
+// accept loop; NewTCP returns promptly and the port is immediately
+// reusable.
+func TestNewTCPDialFailureClosesListener(t *testing.T) {
+	old := DialTimeout
+	DialTimeout = 200 * time.Millisecond
+	t.Cleanup(func() { DialTimeout = old })
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rank 0's address: a bound-then-closed port, so dialing it fails.
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	addrs := []string{deadAddr, ln.Addr().String(), "127.0.0.1:1"}
+	done := make(chan error, 1)
+	go func() {
+		tr, err := NewTCP(1, ln, addrs)
+		if tr != nil {
+			tr.Close()
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("NewTCP succeeded against an unreachable peer")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("NewTCP hung on a failed join (accept goroutine never unblocked)")
+	}
+	// The port must be free again.
+	relisten, err := net.Listen("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("failed join leaked the listener port: %v", err)
+	}
+	relisten.Close()
+}
+
+// TestNewTCPBadHelloClosesListener covers the accept-side failure: a bogus
+// peer hello fails the join, and the listener port is released.
+func TestNewTCPBadHelloClosesListener(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{ln.Addr().String(), "127.0.0.1:1"}
+	done := make(chan error, 1)
+	go func() {
+		tr, err := NewTCP(0, ln, addrs)
+		if tr != nil {
+			tr.Close()
+		}
+		done <- err
+	}()
+	// Connect as the expected higher rank but claim rank 0 — invalid.
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hello [4]byte
+	binary.LittleEndian.PutUint32(hello[:], 0)
+	if _, err := nc.Write(hello[:]); err != nil {
+		t.Fatal(err)
+	}
+	nc.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("NewTCP accepted an invalid peer hello")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("NewTCP hung after an invalid peer hello")
+	}
+	relisten, err := net.Listen("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("failed join leaked the listener port: %v", err)
+	}
+	relisten.Close()
+}

@@ -1,0 +1,51 @@
+package panda
+
+import (
+	"encoding/binary"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestJoinTCPListenerFailedJoinFreesPort is the satellite regression for
+// the JoinTCP listener leak: a join that fails inside transport.NewTCP must
+// release the bound listener so the port is immediately reusable.
+func TestJoinTCPListenerFailedJoinFreesPort(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{ln.Addr().String(), "127.0.0.1:1"}
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := JoinTCPListener(0, ln, addrs, 1)
+		done <- err
+	}()
+
+	// Pose as rank 1 but send an invalid hello (claiming rank 0), which
+	// fails the mesh handshake.
+	nc, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hello [4]byte
+	binary.LittleEndian.PutUint32(hello[:], 0)
+	if _, err := nc.Write(hello[:]); err != nil {
+		t.Fatal(err)
+	}
+	nc.Close()
+
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("join with an invalid peer hello succeeded")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("failed join hung instead of returning")
+	}
+	relisten, err := net.Listen("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatalf("failed join leaked the listener port: %v", err)
+	}
+	relisten.Close()
+}

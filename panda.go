@@ -223,12 +223,33 @@ func (t *Tree) Len() int { return t.t.Len() }
 func (t *Tree) Dims() int { return t.t.Points.Dims }
 
 // KNN returns the k nearest neighbors of q sorted by ascending distance
-// (exact; ties broken by id).
+// (exact; ties broken by id). Non-finite query coordinates (NaN/±Inf) make
+// every pruning comparison false inside the kernel, so they are rejected up
+// front: the result is nil, matching the error the checked entry points
+// (KNNBatch, Client.KNN) return for the same input.
 func (t *Tree) KNN(q []float32, k int) []Neighbor {
+	if !geom.AllFinite(q) {
+		return nil
+	}
 	s := t.getSearcher()
 	res, _ := s.Search(q, k, kdtree.Inf2, nil)
 	t.putSearcher(s)
 	return res
+}
+
+// KNNBoundedInto appends the up-to-k nearest neighbors of q with squared
+// distance strictly below r2 — the paper's r'-bounded remote candidate
+// search (§III-B step 4), which the cluster serving layer answers on behalf
+// of a query's owner rank. Pass kdtree.Inf2 semantics via math.MaxFloat32
+// for an unbounded search. Non-finite inputs return out unchanged.
+func (t *Tree) KNNBoundedInto(q []float32, k int, r2 float32, out []Neighbor) []Neighbor {
+	if !geom.AllFinite(q) || !geom.Finite(r2) {
+		return out
+	}
+	s := t.getSearcher()
+	out, _ = s.Search(q, k, r2, out)
+	t.putSearcher(s)
+	return out
 }
 
 // batchChunk is the unit of dynamic work assignment in KNNBatch: workers
@@ -279,6 +300,9 @@ func (t *Tree) KNNBatchFlatInto(queries []float32, k int, flat []Neighbor, offse
 	dims := t.t.Points.Dims
 	if dims == 0 || len(queries)%dims != 0 {
 		return nil, nil, fmt.Errorf("panda: query buffer not a multiple of dims %d", dims)
+	}
+	if !geom.AllFinite(queries) {
+		return nil, nil, fmt.Errorf("panda: non-finite query coordinate (NaN coordinates disable kd-tree pruning)")
 	}
 	n := len(queries) / dims
 	offsets = growInt32(offsets, n+1)
@@ -342,9 +366,9 @@ func (t *Tree) KNNBatchFlatInto(queries []float32, k int, flat []Neighbor, offse
 	// pool so a pooled scratch cannot pin a retired arena.
 	r.queries, r.flat = nil, nil
 
-	// Compact: queries can return fewer than kEff neighbors only in
-	// degenerate cases (non-finite coordinates), so this pass is normally
-	// offset bookkeeping with no copying.
+	// Compact: with non-finite inputs rejected above, every query returns
+	// exactly kEff neighbors and this pass is pure offset bookkeeping; the
+	// copy path is kept as a guard for short counts.
 	pos := int32(0)
 	offsets[0] = 0
 	for i := 0; i < n; i++ {
@@ -459,8 +483,12 @@ func (t *Tree) queryOrder(queries []float32, n, dims int, sc *batchScratch) []in
 // KNNInto appends the k nearest neighbors of q to out (which may be nil)
 // and returns the extended slice. When out has spare capacity for k
 // results, the query performs zero allocations — the serving layer's
-// dispatch loop relies on this.
+// dispatch loop relies on this. Non-finite query coordinates return out
+// unchanged (see KNN).
 func (t *Tree) KNNInto(q []float32, k int, out []Neighbor) []Neighbor {
+	if !geom.AllFinite(q) {
+		return out
+	}
 	s := t.getSearcher()
 	out, _ = s.Search(q, k, kdtree.Inf2, out)
 	t.putSearcher(s)
@@ -470,8 +498,12 @@ func (t *Tree) KNNInto(q []float32, k int, out []Neighbor) []Neighbor {
 // RadiusSearchInto appends every indexed point with squared distance < r2
 // from q to out (which may be nil) and returns the extended slice, sorted
 // by ascending distance. With spare capacity in out the query performs zero
-// allocations.
+// allocations. Non-finite inputs (coordinates or r2) return out unchanged
+// (see KNN).
 func (t *Tree) RadiusSearchInto(q []float32, r2 float32, out []Neighbor) []Neighbor {
+	if !geom.AllFinite(q) || !geom.Finite(r2) {
+		return out
+	}
 	s := t.getSearcher()
 	out, _ = s.RadiusSearch(q, r2, out)
 	t.putSearcher(s)
@@ -481,17 +513,17 @@ func (t *Tree) RadiusSearchInto(q []float32, r2 float32, out []Neighbor) []Neigh
 // RadiusSearch returns every indexed point with squared distance < r2 from
 // q, sorted by ascending distance — the fixed-radius neighborhood primitive
 // used by DBSCAN-style clustering (the BD-CATS workload the paper contrasts
-// KNN with in §I).
+// KNN with in §I). Non-finite inputs return nil (see KNN).
 func (t *Tree) RadiusSearch(q []float32, r2 float32) []Neighbor {
-	s := t.getSearcher()
-	out, _ := s.RadiusSearch(q, r2, nil)
-	t.putSearcher(s)
-	return out
+	return t.RadiusSearchInto(q, r2, nil)
 }
 
 // CountWithin returns how many indexed points lie strictly within squared
-// radius r2 of q, without materializing them.
+// radius r2 of q, without materializing them. Non-finite inputs return 0.
 func (t *Tree) CountWithin(q []float32, r2 float32) int {
+	if !geom.AllFinite(q) || !geom.Finite(r2) {
+		return 0
+	}
 	s := t.getSearcher()
 	n, _ := s.CountWithin(q, r2)
 	t.putSearcher(s)
