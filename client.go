@@ -44,7 +44,23 @@ type Client struct {
 type clientResult struct {
 	flat    []Neighbor
 	offsets []int32
+	stats   *ServerStats
 	err     error
+}
+
+// ServerStats are the serving counters reported by a panda server (see
+// internal/server.Stats; in a cluster each rank reports its own).
+type ServerStats struct {
+	// Queries answered since the server started (batch requests count each
+	// contained query).
+	Queries int64
+	// Batches is the number of coalesced dispatch rounds the server ran.
+	Batches int64
+	// MeanBatchSize is Queries/Batches — the achieved micro-batching
+	// factor (0 before the first batch).
+	MeanBatchSize float64
+	// ActiveConns is the server's current open-connection count.
+	ActiveConns int
 }
 
 // DialTimeout bounds connection establishment and the handshake in Dial.
@@ -155,9 +171,20 @@ func (c *Client) readLoop() {
 			continue // response for an abandoned id; drop
 		}
 		res := clientResult{}
-		if resp.Kind == proto.KindError {
+		switch resp.Kind {
+		case proto.KindError:
 			res.err = fmt.Errorf("panda: server: %s", resp.Err)
-		} else {
+		case proto.KindStatsResult:
+			st := &ServerStats{
+				Queries:     int64(resp.Queries),
+				Batches:     int64(resp.Batches),
+				ActiveConns: int(resp.ActiveConns),
+			}
+			if st.Batches > 0 {
+				st.MeanBatchSize = float64(st.Queries) / float64(st.Batches)
+			}
+			res.stats = st
+		default:
 			// Copy out of the decode scratch: the waiter owns its result.
 			res.flat = append([]Neighbor(nil), resp.Flat...)
 			res.offsets = append([]int32(nil), resp.Offsets...)
@@ -257,6 +284,22 @@ func (c *Client) KNNBatch(queries []float32, k int) ([][]Neighbor, error) {
 		out[i] = res.flat[res.offsets[i]:res.offsets[i+1]:res.offsets[i+1]]
 	}
 	return out, nil
+}
+
+// Stats returns the server's serving counters (queries answered, dispatch
+// batches, achieved batching factor, open connections). Against a cluster
+// rank, the counters are that rank's own.
+func (c *Client) Stats() (ServerStats, error) {
+	res, err := c.call(func(b []byte, id uint64) []byte {
+		return proto.AppendStatsRequest(b, id)
+	})
+	if err != nil {
+		return ServerStats{}, err
+	}
+	if res.stats == nil {
+		return ServerStats{}, fmt.Errorf("panda: server answered a stats request with a non-stats response")
+	}
+	return *res.stats, nil
 }
 
 // RadiusSearch returns every indexed point with squared distance < r2 from

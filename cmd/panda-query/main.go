@@ -38,9 +38,10 @@ func main() {
 		k       = flag.Int("k", 5, "neighbors per KNN query")
 		qseed   = flag.Int64("qseed", 7, "query generator seed")
 		wait    = flag.Duration("wait", 30*time.Second, "how long to retry connecting while the cluster starts")
+		stats   = flag.Bool("stats", false, "print each server's serving counters after the workload")
 	)
 	flag.Parse()
-	if err := run(splitAddrs(*addrs), *dataset, *n, *seed, *check, *queries, *k, *qseed, *wait); err != nil {
+	if err := run(splitAddrs(*addrs), *dataset, *n, *seed, *check, *queries, *k, *qseed, *wait, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "panda-query:", err)
 		os.Exit(1)
 	}
@@ -56,7 +57,7 @@ func splitAddrs(s string) []string {
 	return out
 }
 
-func run(addrs []string, dataset string, n int, seed uint64, check bool, queries, k int, qseed int64, wait time.Duration) error {
+func run(addrs []string, dataset string, n int, seed uint64, check bool, queries, k int, qseed int64, wait time.Duration, stats bool) error {
 	if len(addrs) == 0 {
 		return fmt.Errorf("-addrs needs at least one serving address")
 	}
@@ -183,6 +184,19 @@ func run(addrs []string, dataset string, n int, seed uint64, check bool, queries
 	}
 	log.Printf("%d queries in %v (%.1f µs/query%s)", total, elapsed.Round(time.Millisecond),
 		float64(elapsed.Microseconds())/float64(total), verified)
+	if stats {
+		// Per-rank serving counters: in a cluster each rank reports its own
+		// dispatcher's work (forwarded queries count at the rank that ran
+		// them), so the per-rank spread shows the shard balance.
+		for i, c := range clients {
+			st, err := c.Stats()
+			if err != nil {
+				return fmt.Errorf("stats from %s: %w", addrs[i], err)
+			}
+			log.Printf("%s: %d queries in %d batches (mean batch %.1f), %d conns",
+				addrs[i], st.Queries, st.Batches, st.MeanBatchSize, st.ActiveConns)
+		}
+	}
 	return nil
 }
 

@@ -1,7 +1,8 @@
-// Command panda-serve runs the PANDA KNN serving process: it builds a
-// kd-tree over a dataset and answers KNN and radius-search queries over TCP
-// with dynamic micro-batching (see internal/server for the protocol and
-// batching semantics). Clients connect with panda.Dial.
+// Command panda-serve runs the PANDA KNN serving process: it builds (or
+// warm-starts from a snapshot) a kd-tree over a dataset and answers KNN and
+// radius-search queries over TCP with dynamic micro-batching (see
+// internal/server for the protocol and batching semantics). Clients connect
+// with panda.Dial.
 //
 // Usage:
 //
@@ -11,7 +12,16 @@
 // Either -in (a .pnda file written by `panda gen`, see internal/ptsio) or
 // -dataset (a synthetic family generated in-process) selects the points.
 // SIGINT or SIGTERM triggers a graceful shutdown: in-flight queries are
-// answered before the process exits.
+// answered, the serving counters are logged, and the process exits.
+//
+// # Snapshots and warm start
+//
+// -save-snapshot writes the built tree to a PNDS snapshot file after
+// construction; -snapshot skips construction entirely and mmaps a snapshot
+// instead (zero-copy, O(1) warm start — no dataset flags needed):
+//
+//	panda-serve -dataset cosmo -n 2000000 -save-snapshot cosmo.pnds -addr :7077
+//	panda-serve -snapshot cosmo.pnds -addr :7077
 //
 // # Cluster mode
 //
@@ -31,6 +41,13 @@
 //	    -serve 127.0.0.1:7071,127.0.0.1:7072 -dataset uniform -n 100000
 //	panda-serve -cluster -rank 1 -mesh 127.0.0.1:9101,127.0.0.1:9102 \
 //	    -serve 127.0.0.1:7071,127.0.0.1:7072 -dataset uniform -n 100000
+//
+// In cluster mode -save-snapshot names a directory: every rank writes its
+// shard (rank 0 also writes the manifest), and a later -snapshot on that
+// directory warm-starts the rank from its file alone — no mesh, no SPMD
+// build, no dataset flags:
+//
+//	panda-serve -cluster -rank 0 -snapshot snapdir -serve 127.0.0.1:7071,127.0.0.1:7072
 package main
 
 import (
@@ -41,6 +58,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -65,18 +83,21 @@ func main() {
 		linger  = flag.Duration("linger", 200*time.Microsecond, "max time to wait filling a batch")
 		grace   = flag.Duration("grace", 10*time.Second, "graceful shutdown drain budget")
 
+		snapIn  = flag.String("snapshot", "", "warm-start from a PNDS snapshot file (cluster mode: snapshot directory) instead of building")
+		snapOut = flag.String("save-snapshot", "", "write a PNDS snapshot file after building (cluster mode: snapshot directory)")
+
 		clusterMode = flag.Bool("cluster", false, "run as one rank of a sharded cluster")
 		rank        = flag.Int("rank", 0, "this process's rank (with -cluster)")
-		mesh        = flag.String("mesh", "", "comma-separated rank mesh addresses, rank order (with -cluster)")
+		mesh        = flag.String("mesh", "", "comma-separated rank mesh addresses, rank order (with -cluster; unused with -snapshot)")
 		serveAddrs  = flag.String("serve", "", "comma-separated rank serving addresses, rank order (with -cluster)")
 	)
 	flag.Parse()
 	var err error
 	if *clusterMode {
 		err = runCluster(*in, *dataset, *n, *dims, *seed, *bucket, *threads, *batch, *linger, *grace,
-			*rank, splitAddrs(*mesh), splitAddrs(*serveAddrs))
+			*snapIn, *snapOut, *rank, splitAddrs(*mesh), splitAddrs(*serveAddrs))
 	} else {
-		err = run(*in, *dataset, *n, *dims, *seed, *bucket, *threads, *addr, *batch, *linger, *grace)
+		err = run(*in, *dataset, *n, *dims, *seed, *bucket, *threads, *addr, *batch, *linger, *grace, *snapIn, *snapOut)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "panda-serve:", err)
@@ -122,25 +143,58 @@ func loadPoints(in, dataset string, n, dims int, seed uint64) ([]float32, int, e
 		log.Printf("generated %s: %d points, %d dims", d.Name, d.Points.Len(), d.Points.Dims)
 		return d.Points.Coords, d.Points.Dims, nil
 	default:
-		return nil, 0, fmt.Errorf("one of -in or -dataset is required")
+		return nil, 0, fmt.Errorf("one of -in, -dataset, or -snapshot is required")
 	}
 }
 
-func run(in, dataset string, n, dims int, seed uint64, bucket, threads int, addr string, batch int, linger, grace time.Duration) error {
-	coords, pdims, err := loadPoints(in, dataset, n, dims, seed)
-	if err != nil {
-		return err
+// obtainTree builds the tree from the dataset flags or warm-starts it from
+// a snapshot, honoring -save-snapshot either way.
+func obtainTree(in, dataset string, n, dims int, seed uint64, bucket, threads int, snapIn, snapOut string) (*panda.Tree, error) {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
 	}
+	var tree *panda.Tree
+	if snapIn != "" {
+		start := time.Now()
+		var err error
+		tree, err = panda.OpenSnapshot(snapIn)
+		if err != nil {
+			return nil, fmt.Errorf("opening snapshot: %w", err)
+		}
+		tree.SetThreads(threads)
+		log.Printf("warm start: opened %s (%d points, %d dims) in %v",
+			snapIn, tree.Len(), tree.Dims(), time.Since(start).Round(time.Microsecond))
+	} else {
+		coords, pdims, err := loadPoints(in, dataset, n, dims, seed)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		tree, err = panda.Build(coords, pdims, nil, &panda.BuildOptions{
+			BucketSize: bucket,
+			Threads:    threads,
+		})
+		if err != nil {
+			return nil, err
+		}
+		log.Printf("built tree over %d points in %v", tree.Len(), time.Since(start).Round(time.Millisecond))
+	}
+	if snapOut != "" {
+		start := time.Now()
+		if err := tree.WriteSnapshot(snapOut); err != nil {
+			return nil, fmt.Errorf("saving snapshot: %w", err)
+		}
+		log.Printf("saved snapshot %s in %v", snapOut, time.Since(start).Round(time.Millisecond))
+	}
+	return tree, nil
+}
 
-	start := time.Now()
-	tree, err := panda.Build(coords, pdims, nil, &panda.BuildOptions{
-		BucketSize: bucket,
-		Threads:    threads,
-	})
+func run(in, dataset string, n, dims int, seed uint64, bucket, threads int, addr string, batch int, linger, grace time.Duration, snapIn, snapOut string) error {
+	tree, err := obtainTree(in, dataset, n, dims, seed, bucket, threads, snapIn, snapOut)
 	if err != nil {
 		return err
 	}
-	log.Printf("built tree over %d points in %v", tree.Len(), time.Since(start).Round(time.Millisecond))
+	defer tree.Close()
 
 	srv := server.New(tree, server.Config{MaxBatch: batch, MaxLinger: linger})
 
@@ -152,55 +206,94 @@ func run(in, dataset string, n, dims int, seed uint64, bucket, threads int, addr
 	return serveUntilSignal(srv, ln, grace)
 }
 
-// runCluster joins the rank mesh, builds this rank's DistTree shard, and
-// serves external clients on serveAddrs[rank].
+// runCluster serves one rank of the sharded cluster: either the cold path
+// (join the rank mesh, build this rank's DistTree shard) or the warm path
+// (-snapshot: restore the shard and global tree from the rank's snapshot
+// file, no mesh at all), then serve external clients on serveAddrs[rank].
 func runCluster(in, dataset string, n, dims int, seed uint64, bucket, threads, batch int, linger, grace time.Duration,
-	rank int, mesh, serveAddrs []string) error {
-	if len(mesh) == 0 || len(mesh) != len(serveAddrs) {
-		return fmt.Errorf("-cluster needs -mesh and -serve with one address per rank (got %d mesh, %d serve)", len(mesh), len(serveAddrs))
-	}
-	if rank < 0 || rank >= len(mesh) {
-		return fmt.Errorf("-rank %d out of range for %d ranks", rank, len(mesh))
-	}
-	coords, pdims, err := loadPoints(in, dataset, n, dims, seed)
-	if err != nil {
-		return err
-	}
-	total := len(coords) / pdims
-
-	// Deterministic striping: every process derives the same global view,
-	// so rank r owns points {i : i mod P == r} with their global indices as
-	// ids — answers match a single tree over the whole dataset.
-	p := len(mesh)
-	var shard []float32
-	var ids []int64
-	for i := rank; i < total; i += p {
-		shard = append(shard, coords[i*pdims:(i+1)*pdims]...)
-		ids = append(ids, int64(i))
+	snapIn, snapOut string, rank int, mesh, serveAddrs []string) error {
+	if rank < 0 || rank >= len(serveAddrs) {
+		return fmt.Errorf("-rank %d out of range for %d serve addresses", rank, len(serveAddrs))
 	}
 
-	log.Printf("rank %d/%d: joining mesh at %s", rank, p, mesh[rank])
-	node, closeMesh, err := panda.JoinTCP(rank, mesh, 1)
-	if err != nil {
-		return fmt.Errorf("joining mesh: %w", err)
-	}
-	defer closeMesh()
+	var dt *panda.DistTree
+	var total int64
+	if snapIn != "" {
+		start := time.Now()
+		var err error
+		dt, err = panda.OpenClusterSnapshot(snapIn, rank)
+		if err != nil {
+			return fmt.Errorf("opening cluster snapshot: %w", err)
+		}
+		defer dt.Close()
+		total = dt.TotalPoints()
+		if threads > 0 {
+			dt.SetServingThreads(threads)
+		}
+		log.Printf("rank %d/%d: warm start from %s (%d local of %d total points) in %v",
+			rank, dt.Ranks(), snapIn, dt.LocalLen(), total, time.Since(start).Round(time.Microsecond))
+		if snapOut != "" {
+			// Re-persisting a restored tree is purely local (the stored
+			// cluster total is reused; no mesh, no collective).
+			start := time.Now()
+			if err := dt.WriteSnapshot(snapOut); err != nil {
+				return fmt.Errorf("saving cluster snapshot: %w", err)
+			}
+			log.Printf("rank %d: saved snapshot into %s in %v", rank, snapOut, time.Since(start).Round(time.Millisecond))
+		}
+	} else {
+		if len(mesh) == 0 || len(mesh) != len(serveAddrs) {
+			return fmt.Errorf("-cluster needs -mesh and -serve with one address per rank (got %d mesh, %d serve)", len(mesh), len(serveAddrs))
+		}
+		coords, pdims, err := loadPoints(in, dataset, n, dims, seed)
+		if err != nil {
+			return err
+		}
+		nTotal := len(coords) / pdims
+		total = int64(nTotal)
 
-	start := time.Now()
-	dt, err := node.Build(shard, pdims, ids, &panda.BuildOptions{BucketSize: bucket, Threads: threads})
-	if err != nil {
-		return fmt.Errorf("distributed build: %w", err)
-	}
-	log.Printf("rank %d: built shard (%d local of %d total points) in %v",
-		rank, dt.LocalLen(), total, time.Since(start).Round(time.Millisecond))
-	if threads > 0 {
-		dt.SetServingThreads(threads)
+		// Deterministic striping: every process derives the same global view,
+		// so rank r owns points {i : i mod P == r} with their global indices as
+		// ids — answers match a single tree over the whole dataset.
+		p := len(mesh)
+		var shard []float32
+		var ids []int64
+		for i := rank; i < nTotal; i += p {
+			shard = append(shard, coords[i*pdims:(i+1)*pdims]...)
+			ids = append(ids, int64(i))
+		}
+
+		log.Printf("rank %d/%d: joining mesh at %s", rank, p, mesh[rank])
+		node, closeMesh, err := panda.JoinTCP(rank, mesh, 1)
+		if err != nil {
+			return fmt.Errorf("joining mesh: %w", err)
+		}
+		defer closeMesh()
+
+		start := time.Now()
+		dt, err = node.Build(shard, pdims, ids, &panda.BuildOptions{BucketSize: bucket, Threads: threads})
+		if err != nil {
+			return fmt.Errorf("distributed build: %w", err)
+		}
+		log.Printf("rank %d: built shard (%d local of %d total points) in %v",
+			rank, dt.LocalLen(), nTotal, time.Since(start).Round(time.Millisecond))
+		if threads > 0 {
+			dt.SetServingThreads(threads)
+		}
+		if snapOut != "" {
+			// Collective: every rank writes its shard, rank 0 the manifest.
+			start := time.Now()
+			if err := dt.WriteSnapshot(snapOut); err != nil {
+				return fmt.Errorf("saving cluster snapshot: %w", err)
+			}
+			log.Printf("rank %d: saved snapshot into %s in %v", rank, snapOut, time.Since(start).Round(time.Millisecond))
+		}
 	}
 
 	srv, err := server.NewCluster(dt, server.ClusterConfig{
 		Config:      server.Config{MaxBatch: batch, MaxLinger: linger},
 		ServeAddrs:  serveAddrs,
-		TotalPoints: int64(total),
+		TotalPoints: total,
 	})
 	if err != nil {
 		return err
@@ -213,10 +306,11 @@ func runCluster(in, dataset string, n, dims int, seed uint64, bucket, threads, b
 	return serveUntilSignal(srv, ln, grace)
 }
 
-// serveUntilSignal serves until SIGINT/SIGTERM, then drains gracefully.
-// In cluster mode the drain is best-effort across ranks: queries already
-// read off this rank's wire are answered, but a query needing a rank that
-// has already exited fails with a KindError rather than blocking shutdown.
+// serveUntilSignal serves until SIGINT/SIGTERM, then drains gracefully and
+// logs the lifetime serving counters. In cluster mode the drain is
+// best-effort across ranks: queries already read off this rank's wire are
+// answered, but a query needing a rank that has already exited fails with a
+// KindError rather than blocking shutdown.
 func serveUntilSignal(srv *server.Server, ln net.Listener, grace time.Duration) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -233,6 +327,8 @@ func serveUntilSignal(srv *server.Server, ln net.Listener, grace time.Duration) 
 		if err := srv.Shutdown(ctx); err != nil {
 			return fmt.Errorf("shutdown: %w", err)
 		}
+		st := srv.Stats()
+		log.Printf("served %d queries in %d batches (mean batch %.1f)", st.Queries, st.Batches, st.MeanBatchSize)
 		log.Printf("drained; bye")
 		return nil
 	}

@@ -38,6 +38,8 @@ func main() {
 		err = cmdQuery(os.Args[2:])
 	case "classify":
 		err = cmdClassify(os.Args[2:])
+	case "snapshot":
+		err = cmdSnapshot(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -59,6 +61,7 @@ commands:
   build     build a kd-tree and print structure statistics
   query     run k-NN queries and print timing
   classify  k-NN majority-vote classification accuracy (labeled datasets)
+  snapshot  build | inspect | verify PNDS tree snapshots (warm start)
 
 run "panda <command> -h" for flags.
 `)

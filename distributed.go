@@ -46,6 +46,11 @@ type DistTree struct {
 	localOnce    sync.Once
 	local        *Tree
 	serveThreads int
+	// restoredTotal and closeSnap are set by OpenClusterSnapshot: the
+	// cluster-wide point total recorded at save time, and the release hook
+	// for the snapshot mapping (see DistTree.Close).
+	restoredTotal int64
+	closeSnap     func() error
 }
 
 // Build constructs the distributed kd-tree over this rank's point shard

@@ -50,10 +50,33 @@ type DistTree struct {
 	comm *cluster.Comm
 	dims int
 	opts Options
+	// rank and size are cached from the communicator at build (or supplied
+	// directly by RestoreDistTree), so the serving read path never touches
+	// comm — a snapshot-restored tree has none.
+	rank, size int
 }
 
-// Comm returns the communicator the tree was built on.
+// Comm returns the communicator the tree was built on (nil for a tree
+// restored from a snapshot, which supports only the serving entry points).
 func (dt *DistTree) Comm() *cluster.Comm { return dt.comm }
+
+// RestoreDistTree assembles a DistTree from snapshot-restored parts: the
+// replicated global tree and this rank's local shard. The result has no
+// communicator — the SPMD collectives (QueryBatch) are unavailable; the
+// serving entry points (Rank, Size, OwnerOf, RemoteRanks, Local) work
+// exactly as on a built tree.
+func RestoreDistTree(global *GlobalTree, local *kdtree.Tree, rank int) (*DistTree, error) {
+	if global == nil || local == nil {
+		return nil, fmt.Errorf("core: RestoreDistTree needs a global tree and a local shard")
+	}
+	if rank < 0 || rank >= global.Ranks() {
+		return nil, fmt.Errorf("core: rank %d out of range for %d-rank global tree", rank, global.Ranks())
+	}
+	if local.Len() > 0 && local.Points.Dims != global.Dims {
+		return nil, fmt.Errorf("core: local shard has %d dims, global tree %d", local.Points.Dims, global.Dims)
+	}
+	return &DistTree{Global: global, Local: local, dims: global.Dims, rank: rank, size: global.Ranks()}, nil
+}
 
 // Dims returns the point dimensionality.
 func (dt *DistTree) Dims() int { return dt.dims }
@@ -266,7 +289,7 @@ func BuildDistributed(c *cluster.Comm, pts geom.Points, ids []int64, opts Option
 	lopts.Recorder = c.Recorder()
 	local := kdtree.Build(geom.FromCoords(coords, dims), myIDs, lopts)
 
-	return &DistTree{Global: global, Local: local, comm: c, dims: dims, opts: opts}, nil
+	return &DistTree{Global: global, Local: local, comm: c, dims: dims, opts: opts, rank: rank, size: p}, nil
 }
 
 type groupStat struct {

@@ -84,6 +84,80 @@ func buildGlobalTree(p, dims int, splits map[[2]int]split) (*GlobalTree, error) 
 // Ranks returns the number of leaf ranks.
 func (g *GlobalTree) Ranks() int { return len(g.Boxes) }
 
+// Root returns the root node index (snapshot serialization).
+func (g *GlobalTree) Root() int32 { return g.root }
+
+// NewGlobalTree reassembles a replicated global tree from its serialized
+// node array (snapshot warm start). It validates the node graph — index
+// ranges, children strictly after their parent (buildGlobalTree's append
+// order, which also proves acyclicity), each rank owning exactly one leaf —
+// and re-derives the per-rank domain boxes from the split planes, exactly
+// as buildGlobalTree does.
+func NewGlobalTree(nodes []GlobalNode, root int32, dims int) (*GlobalTree, error) {
+	if dims <= 0 {
+		return nil, fmt.Errorf("core: global tree dims %d", dims)
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("core: empty global tree")
+	}
+	if root < 0 || int(root) >= len(nodes) {
+		return nil, fmt.Errorf("core: global root %d out of range [0,%d)", root, len(nodes))
+	}
+	ranks := 0
+	for ni, n := range nodes {
+		if n.Dim < 0 {
+			ranks++
+			continue
+		}
+		if int(n.Dim) >= dims {
+			return nil, fmt.Errorf("core: global node %d split dim %d out of range", ni, n.Dim)
+		}
+		if n.Median != n.Median {
+			return nil, fmt.Errorf("core: global node %d has NaN median", ni)
+		}
+		if n.Left <= int32(ni) || int(n.Left) >= len(nodes) || n.Right <= int32(ni) || int(n.Right) >= len(nodes) {
+			return nil, fmt.Errorf("core: global node %d children (%d,%d) not strictly after it", ni, n.Left, n.Right)
+		}
+	}
+	if ranks == 0 {
+		return nil, fmt.Errorf("core: global tree has no leaves")
+	}
+	g := &GlobalTree{
+		Nodes: append([]GlobalNode(nil), nodes...),
+		Dims:  dims,
+		Boxes: make([]geom.Box, ranks),
+		root:  root,
+	}
+	seen := 0
+	var walk func(ni int32, box geom.Box) error
+	walk = func(ni int32, box geom.Box) error {
+		n := g.Nodes[ni]
+		if n.Dim < 0 {
+			if n.Rank < 0 || int(n.Rank) >= ranks {
+				return fmt.Errorf("core: global leaf rank %d out of range [0,%d)", n.Rank, ranks)
+			}
+			if g.Boxes[n.Rank].Min != nil {
+				return fmt.Errorf("core: rank %d owns two global leaves", n.Rank)
+			}
+			g.Boxes[n.Rank] = box
+			seen++
+			return nil
+		}
+		loBox, hiBox := box.Split(int(n.Dim), n.Median)
+		if err := walk(n.Left, loBox); err != nil {
+			return err
+		}
+		return walk(n.Right, hiBox)
+	}
+	if err := walk(root, geom.NewBox(dims)); err != nil {
+		return nil, err
+	}
+	if seen != ranks {
+		return nil, fmt.Errorf("core: %d of %d global leaves reachable from the root", seen, ranks)
+	}
+	return g, nil
+}
+
 // Levels returns the depth of the global tree (log2 P for power-of-two P).
 func (g *GlobalTree) Levels() int {
 	var depth func(ni int32) int

@@ -68,6 +68,9 @@ func (dt *DistTree) QueryBatch(queries geom.Points, qids []int64, opts QueryOpti
 	if opts.K < 1 {
 		return nil, nil, fmt.Errorf("core: K must be ≥ 1, got %d", opts.K)
 	}
+	if dt.comm == nil {
+		return nil, nil, fmt.Errorf("core: QueryBatch is an SPMD collective; a snapshot-restored tree has no communicator (use the serving entry points)")
+	}
 	if queries.Dims != dt.dims && queries.Len() > 0 {
 		return nil, nil, fmt.Errorf("core: query dims %d != tree dims %d", queries.Dims, dt.dims)
 	}

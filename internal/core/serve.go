@@ -15,10 +15,10 @@ package core
 // connections instead of MPI-style collectives.
 
 // Rank returns this shard's rank in [0, Size).
-func (dt *DistTree) Rank() int { return dt.comm.Rank() }
+func (dt *DistTree) Rank() int { return dt.rank }
 
 // Size returns the number of shards (cluster ranks).
-func (dt *DistTree) Size() int { return dt.comm.Size() }
+func (dt *DistTree) Size() int { return dt.size }
 
 // OwnerOf returns the rank whose domain contains q (§III-B step 1),
 // without simulated-time metering. Safe for concurrent use.

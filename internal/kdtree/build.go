@@ -47,8 +47,13 @@ func Build(pts geom.Points, ids []int64, opts Options) *Tree {
 	t.root = root
 	t.height = height
 	for _, nd := range t.nodes {
-		if nd.dim == leafDim && int(nd.end-nd.start) > t.maxBucket {
-			t.maxBucket = int(nd.end - nd.start)
+		if nd.dim == leafDim {
+			b := int(nd.end - nd.start)
+			t.leaves++
+			t.bucketSum += int64(b)
+			if b > t.maxBucket {
+				t.maxBucket = b
+			}
 		}
 	}
 

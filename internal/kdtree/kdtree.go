@@ -163,6 +163,11 @@ type Tree struct {
 	// NewSearcher can size its leaf-scan scratch buffer without the
 	// O(nodes) Stats walk the seed performed per searcher.
 	maxBucket int
+	// leaves and bucketSum cache the leaf count and total bucketed points,
+	// computed in the same Build pass as maxBucket, so Stats is O(1)
+	// instead of re-walking every node per call.
+	leaves    int
+	bucketSum int64
 	// splitBounds holds, for each internal node ni at [ni*4:(ni+1)*4],
 	// the tight point extents along its split dimension: the node's own
 	// interval [lo, hi], the left child's maximum (lowMax) and the right
@@ -186,22 +191,16 @@ type Stats struct {
 	MeanBucket float64
 }
 
-// Stats returns structural statistics.
+// Stats returns structural statistics. All fields are cached at Build (and
+// revalidated by FromRaw when a tree is restored from a snapshot), so a call
+// is O(1) rather than a walk over every node.
 func (t *Tree) Stats() Stats {
-	s := Stats{Points: t.Points.Len(), Nodes: len(t.nodes), Height: t.height}
-	var sum int
-	for _, n := range t.nodes {
-		if n.dim == leafDim {
-			s.Leaves++
-			b := int(n.end - n.start)
-			sum += b
-			if b > s.MaxBucket {
-				s.MaxBucket = b
-			}
-		}
+	s := Stats{
+		Points: t.Points.Len(), Nodes: len(t.nodes), Height: t.height,
+		Leaves: t.leaves, MaxBucket: t.maxBucket,
 	}
-	if s.Leaves > 0 {
-		s.MeanBucket = float64(sum) / float64(s.Leaves)
+	if t.leaves > 0 {
+		s.MeanBucket = float64(t.bucketSum) / float64(t.leaves)
 	}
 	return s
 }

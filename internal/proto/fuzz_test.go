@@ -14,6 +14,7 @@ func FuzzConsumeRequest(f *testing.F) {
 	f.Add(AppendRadiusRequest(nil, 3, 0.5, []float32{1, 2}), 2)
 	f.Add(AppendRemoteKNNRequest(nil, 4, 5, 0.25, []float32{1, 2, 3}), 3)
 	f.Add(AppendRemoteRadiusRequest(nil, 5, 0.75, []float32{1, 2}), 2)
+	f.Add(AppendStatsRequest(nil, 6), 2)
 	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, 1)
 	f.Add([]byte{}, 1)
 	f.Fuzz(func(t *testing.T, payload []byte, dims int) {
@@ -43,6 +44,10 @@ func FuzzConsumeRequest(f *testing.F) {
 			if req.K < 1 || req.K > MaxK || len(req.Coords) != dims || req.R2-req.R2 != 0 {
 				t.Fatalf("accepted invalid remote KNN request %+v (dims %d)", req, dims)
 			}
+		case KindStats:
+			if req.K != 0 || req.NQ != 0 || req.R2 != 0 || len(req.Coords) != 0 {
+				t.Fatalf("accepted stats request with a body: %+v", req)
+			}
 		default:
 			t.Fatalf("accepted unknown kind %d", req.Kind)
 		}
@@ -57,6 +62,8 @@ func FuzzConsumeRequest(f *testing.F) {
 			out = AppendRemoteKNNRequest(nil, req.ID, req.K, req.R2, req.Coords)
 		case KindRemoteRadius:
 			out = AppendRemoteRadiusRequest(nil, req.ID, req.R2, req.Coords)
+		case KindStats:
+			out = AppendStatsRequest(nil, req.ID)
 		}
 		if string(out) != string(payload) {
 			t.Fatalf("reencode mismatch:\n got %x\nwant %x", out, payload)
@@ -69,6 +76,7 @@ func FuzzConsumeRequest(f *testing.F) {
 func FuzzConsumeResponse(f *testing.F) {
 	f.Add(AppendNeighborsResponse(nil, 1, []int32{0, 2}, []kdtree.Neighbor{{ID: 1, Dist2: 2}, {ID: 3, Dist2: 4}}))
 	f.Add(AppendErrorResponse(nil, 2, "bad"))
+	f.Add(AppendStatsResponse(nil, 4, 100, 10, 3))
 	f.Add([]byte{3, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		var resp Response

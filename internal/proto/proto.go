@@ -88,6 +88,8 @@ const (
 	KindError        uint8 = 4 // response: request failed; body is the reason
 	KindRemoteKNN    uint8 = 5 // request: ≤k local-shard candidates within pruning bound r2
 	KindRemoteRadius uint8 = 6 // request: local-shard radius search (no cluster fan-out)
+	KindStats        uint8 = 7 // request: serving counters (no body)
+	KindStatsResult  uint8 = 8 // response: queries served, batches dispatched, active conns
 )
 
 // headerLen is kind + id.
@@ -276,6 +278,23 @@ func AppendRemoteRadiusRequest(b []byte, id uint64, r2 float32, q []float32) []b
 	return b
 }
 
+// AppendStatsRequest encodes a KindStats request (header only, no body).
+func AppendStatsRequest(b []byte, id uint64) []byte {
+	b = append(b, KindStats)
+	return wire.AppendUint64(b, id)
+}
+
+// AppendStatsResponse encodes a KindStatsResult response: lifetime queries
+// answered and dispatch batches run by the serving process, plus its
+// current open-connection count.
+func AppendStatsResponse(b []byte, id uint64, queries, batches uint64, activeConns uint32) []byte {
+	b = append(b, KindStatsResult)
+	b = wire.AppendUint64(b, id)
+	b = wire.AppendUint64(b, queries)
+	b = wire.AppendUint64(b, batches)
+	return wire.AppendUint32(b, activeConns)
+}
+
 // ConsumeRequest decodes a request payload for a tree of the given
 // dimensionality into req, reusing req.Coords. It validates structure
 // (truncation, trailing bytes, length caps — failures wrap ErrMalformed)
@@ -326,6 +345,13 @@ func ConsumeRequest(payload []byte, dims int, req *Request) error {
 		if !geom.Finite(req.R2) {
 			return fmt.Errorf("proto: non-finite squared radius %v", req.R2)
 		}
+	case KindStats:
+		// Header-only request; the stats path never reaches the dispatcher,
+		// so the batching fields stay zero.
+		req.K, req.NQ, req.R2 = 0, 0, 0
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("%w: %w", ErrMalformed, err)
+		}
 	default:
 		if err := d.Err(); err != nil {
 			return fmt.Errorf("%w: %w", ErrMalformed, err)
@@ -374,10 +400,14 @@ func AppendErrorResponse(b []byte, id uint64, msg string) []byte {
 // across decodes when the caller keeps the struct alive.
 type Response struct {
 	ID      uint64
-	Kind    uint8 // KindNeighbors or KindError
+	Kind    uint8 // KindNeighbors, KindError, or KindStatsResult
 	Err     string
 	Offsets []int32 // nq+1 arena offsets into Flat
 	Flat    []kdtree.Neighbor
+	// KindStatsResult payload.
+	Queries     uint64
+	Batches     uint64
+	ActiveConns uint32
 }
 
 // ConsumeResponse decodes a response payload into resp, reusing its slices.
@@ -388,6 +418,7 @@ func ConsumeResponse(payload []byte, resp *Response) error {
 	resp.Err = ""
 	resp.Offsets = resp.Offsets[:0]
 	resp.Flat = resp.Flat[:0]
+	resp.Queries, resp.Batches, resp.ActiveConns = 0, 0, 0
 	switch resp.Kind {
 	case KindNeighbors:
 		nq := d.Len(4, MaxFrame/4)
@@ -423,6 +454,13 @@ func ConsumeResponse(payload []byte, resp *Response) error {
 			return err
 		}
 		resp.Err = string(msg)
+	case KindStatsResult:
+		resp.Queries = d.Uint64()
+		resp.Batches = d.Uint64()
+		resp.ActiveConns = d.Uint32()
+		if err := d.Err(); err != nil {
+			return err
+		}
 	default:
 		if err := d.Err(); err != nil {
 			return err

@@ -127,7 +127,15 @@ func readAll(r io.Reader) (geom.Points, []uint8, error) {
 			return geom.Points{}, nil, fmt.Errorf("ptsio: reading coords: %w", err)
 		}
 		for i := 0; i < want; i++ {
-			pts.Coords[off+i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+			v := math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+			if !geom.Finite(v) {
+				// Reject at the I/O boundary: a NaN/±Inf data point would
+				// poison every pruning comparison of a tree built over it,
+				// the same reason the query paths reject non-finite inputs.
+				return geom.Points{}, nil, fmt.Errorf("ptsio: non-finite coordinate %v at point %d dim %d",
+					v, (off+i)/dims, (off+i)%dims)
+			}
+			pts.Coords[off+i] = v
 		}
 		off += want
 	}

@@ -2,8 +2,10 @@ package ptsio
 
 import (
 	"bytes"
+	"math"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"panda/internal/data"
@@ -91,6 +93,69 @@ func TestReadAllRejectsWrongVersion(t *testing.T) {
 	buf.Write(make([]byte, 9))
 	if _, _, err := readAll(&buf); err == nil {
 		t.Fatal("wrong version accepted")
+	}
+}
+
+func TestLoadRejectsTruncatedHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "h.bin")
+	if err := os.WriteFile(path, []byte("PNDA\x01\x00"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(path); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestReadAllRejectsInvalidShape(t *testing.T) {
+	// dims = 0: the header parses but the shape is unusable.
+	var buf bytes.Buffer
+	buf.Write([]byte("PNDA"))
+	buf.Write([]byte{1, 0, 0, 0}) // version
+	buf.Write([]byte{5, 0, 0, 0}) // n = 5
+	buf.Write([]byte{0, 0, 0, 0}) // dims = 0
+	buf.Write([]byte{0})          // unlabeled
+	if _, _, err := readAll(&buf); err == nil {
+		t.Fatal("dims=0 accepted")
+	}
+}
+
+func TestLoadRejectsNonFiniteCoords(t *testing.T) {
+	d := data.Uniform(64, 3, 7)
+	for name, bad := range map[string]float32{
+		"nan":  float32(math.NaN()),
+		"+inf": float32(math.Inf(1)),
+		"-inf": float32(math.Inf(-1)),
+	} {
+		pts := d.Points.Clone()
+		pts.Coords[50] = bad
+		path := filepath.Join(t.TempDir(), "nf.bin")
+		if err := Save(path, pts, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := Load(path); err == nil {
+			t.Fatalf("%s coordinate accepted", name)
+		} else if !strings.Contains(err.Error(), "non-finite") {
+			t.Fatalf("%s: unexpected error %v", name, err)
+		}
+	}
+}
+
+func TestLoadRejectsTruncatedLabels(t *testing.T) {
+	d := data.DayaBay(100, 6)
+	path := filepath.Join(t.TempDir(), "l.bin")
+	if err := Save(path, d.Points, d.Labels); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut into the label block (coords stay intact).
+	if err := os.WriteFile(path, raw[:len(raw)-50], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Load(path); err == nil {
+		t.Fatal("truncated labels accepted")
 	}
 }
 

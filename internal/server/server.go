@@ -162,6 +162,44 @@ type Server struct {
 	dispatcherDone chan struct{}
 
 	pendingPool sync.Pool
+
+	// Lifetime serving counters (see Stats). statQueries counts queries
+	// answered (a batch request of nq queries counts nq); statBatches
+	// counts dispatch rounds — coalesced engine passes — so their ratio is
+	// the achieved micro-batching factor.
+	statQueries atomic.Int64
+	statBatches atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the serving counters.
+type Stats struct {
+	// Queries answered since start (batch requests count their nq; routed
+	// cluster queries are counted at the rank whose dispatcher ran them).
+	Queries int64
+	// Batches is the number of coalesced dispatch rounds.
+	Batches int64
+	// MeanBatchSize is Queries/Batches — the achieved micro-batching factor.
+	MeanBatchSize float64
+	// ActiveConns is the number of currently open client connections
+	// (cluster peers included on ranks receiving forwarded traffic).
+	ActiveConns int
+}
+
+// Stats returns the serving counters. Safe for concurrent use; the
+// counters are monotone but mutually unsynchronized (a concurrent dispatch
+// round may be counted in Batches and not yet in Queries).
+func (s *Server) Stats() Stats {
+	st := Stats{
+		Queries: s.statQueries.Load(),
+		Batches: s.statBatches.Load(),
+	}
+	if st.Batches > 0 {
+		st.MeanBatchSize = float64(st.Queries) / float64(st.Batches)
+	}
+	s.mu.Lock()
+	st.ActiveConns = len(s.conns)
+	s.mu.Unlock()
+	return st
 }
 
 // New returns an unstarted server for tree.
@@ -458,6 +496,20 @@ func (s *Server) serveConn(c *conn) {
 			continue
 		}
 		p.c = c
+		// Stats requests are answered immediately from the reader (they
+		// carry no query work, so routing them through the dispatcher would
+		// only skew the batching counters they report).
+		if p.req.Kind == proto.KindStats {
+			st := s.Stats()
+			id := p.req.ID
+			s.putPending(p)
+			errBuf = proto.BeginFrame(errBuf[:0])
+			errBuf = proto.AppendStatsResponse(errBuf, id, uint64(st.Queries), uint64(st.Batches), uint32(st.ActiveConns))
+			if proto.FinishFrame(errBuf, 0) == nil {
+				c.writeFrame(errBuf, s.cfg.WriteTimeout)
+			}
+			continue
+		}
 		// Cluster mode: externally-routable kinds go through the shard
 		// router (owner lookup, forwarding, remote-candidate exchange) in
 		// their own goroutine so the reader keeps pipelining and the
@@ -577,6 +629,12 @@ func (s *Server) dispatch() {
 func (d *dispatcher) process() {
 	s := d.s
 	n := len(d.batch)
+	nq := 0
+	for _, p := range d.batch {
+		nq += p.req.NQ
+	}
+	s.statBatches.Add(1)
+	s.statQueries.Add(int64(nq))
 	if cap(d.done) < n {
 		d.done = make([]bool, n)
 	}

@@ -1,0 +1,98 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"panda/internal/core"
+	"panda/internal/geom"
+	"panda/internal/kdtree"
+)
+
+// fuzzSeedBytes builds valid snapshot files (with and without a cluster
+// section) to seed the corpus, so the fuzzer starts from deep inside the
+// accepting paths instead of bouncing off the magic check.
+func fuzzSeedBytes(n, dims int, cluster bool) []byte {
+	rng := rand.New(rand.NewSource(99))
+	coords := make([]float32, n*dims)
+	for i := range coords {
+		coords[i] = rng.Float32()
+	}
+	tree := kdtree.Build(geom.FromCoords(coords, dims), nil, kdtree.Options{})
+	var meta *ClusterMeta
+	if cluster {
+		meta = &ClusterMeta{
+			Rank: 0, Ranks: 2, TotalPoints: int64(2 * n), GlobalRoot: 0,
+			GlobalNodes: []core.GlobalNode{
+				{Dim: 0, Median: 0.5, Left: 1, Right: 2},
+				{Dim: -1, Rank: 0}, {Dim: -1, Rank: 1},
+			},
+		}
+	}
+	var buf bytes.Buffer
+	if err := write(&buf, &Data{Raw: tree.Raw(), Cluster: meta}); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzDecode drives hostile bytes through the complete snapshot pipeline —
+// structural decode (both the zero-copy and the copying mode), tree-level
+// validation, global-tree restore — and asserts it never panics and never
+// hands back a tree that panics on its first queries. This is the property
+// the mmap warm start rests on: any bytes that survive validation are safe
+// to slice.
+func FuzzDecode(f *testing.F) {
+	small := fuzzSeedBytes(64, 2, false)
+	clustered := fuzzSeedBytes(48, 3, true)
+	f.Add(small)
+	f.Add(clustered)
+	f.Add(small[:minFileSize])
+	f.Add(small[:len(small)-5])
+	f.Add(clustered[:headerSize+2*tableRow])
+	// A few targeted header mutants.
+	for _, off := range []int{4, 12, 16, 24, 32, 40, 48, 60, 64} {
+		mut := append([]byte(nil), small...)
+		binary.LittleEndian.PutUint32(mut[off:], 0xdeadbeef)
+		f.Add(mut)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, forceCopy := range []bool{true, false} {
+			s, err := Decode(data, forceCopy)
+			if err != nil {
+				continue
+			}
+			tree, err := kdtree.FromRaw(s.Raw)
+			if err != nil {
+				continue
+			}
+			// The tree validated: every query must be answerable without
+			// panicking or reading out of bounds.
+			q := make([]float32, s.Raw.Dims)
+			for i := range q {
+				q[i] = 0.25 * float32(i+1)
+			}
+			nbrs := tree.KNN(q, 3)
+			want := 3
+			if tree.Len() < want {
+				want = tree.Len()
+			}
+			if len(nbrs) != want {
+				t.Fatalf("validated tree answered %d of %d neighbors", len(nbrs), want)
+			}
+			sr := tree.NewSearcher()
+			sr.RadiusSearch(q, 0.5, nil)
+			if s.Cluster != nil {
+				// Restored cluster meta must either reject or produce a
+				// global tree whose lookups are safe.
+				if g, err := core.NewGlobalTree(s.Cluster.GlobalNodes, s.Cluster.GlobalRoot, s.Raw.Dims); err == nil {
+					g.Owner(q, nil)
+					g.RanksWithin(q, 0.5, -1, nil, nil)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package snapshot
+
+import "errors"
+
+// mmapFile is unavailable on this platform; Open falls back to the copying
+// Read path.
+func mmapFile(path string) ([]byte, func() error, error) {
+	return nil, nil, errors.ErrUnsupported
+}

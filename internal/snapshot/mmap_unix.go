@@ -1,0 +1,35 @@
+//go:build unix
+
+package snapshot
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps path read-only and returns the mapping plus its release
+// function. Files below the minimum snapshot size are rejected here (an
+// empty file cannot be mapped, and could not validate anyway).
+func mmapFile(path string) ([]byte, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	if st.Size() < minFileSize {
+		return nil, nil, fmt.Errorf("snapshot: file of %d bytes is below the %d-byte minimum", st.Size(), minFileSize)
+	}
+	if st.Size() != int64(int(st.Size())) {
+		return nil, nil, fmt.Errorf("snapshot: file of %d bytes exceeds the address space", st.Size())
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(st.Size()), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snapshot: mmap: %w", err)
+	}
+	return data, func() error { return syscall.Munmap(data) }, nil
+}

@@ -1,0 +1,185 @@
+// Package snapshot persists built PANDA trees as versioned, checksummed,
+// little-endian on-disk snapshots (magic "PNDS") that warm-start serving:
+// instead of rebuilding a kd-tree from raw points on every boot, a process
+// mmaps the snapshot and reconstructs the tree by slicing the mapping —
+// zero-copy, no per-node parsing.
+//
+// # File layout
+//
+// Everything is little-endian. The file is a fixed header, a section table,
+// 8-byte-aligned flat sections, and an 8-byte trailer:
+//
+//	header   [88]byte   magic "PNDS", version, counts, tree metadata, options
+//	table    n×24 byte  section id + offset + length, one row per section
+//	sections ...        flat arrays, each starting at an 8-byte-aligned offset
+//	trailer  [8]byte    crc32c over file[0 : size-8], then magic "PNDE"
+//
+// Sections (lengths must match the header's counts exactly):
+//
+//	1 points       pointCount×dims float32 — bucket-packed coordinates
+//	2 ids          pointCount int64        — packed position -> caller id
+//	3 nodes        nodeCount×24 byte       — kdtree node records (see kdtree.Raw)
+//	4 splitbounds  nodeCount×4 float32     — per-node pruning intervals
+//	5 box          2×dims float32          — tight bounding box (min, max)
+//	6 cluster      variable (optional)     — rank, ranks, total points, global tree
+//
+// The section table's job is alignment and optionality (the cluster
+// section); it is not a compatibility mechanism — unknown section ids are
+// an error, and format evolution bumps the version.
+//
+// # Zero-copy contract
+//
+// On little-endian hosts, Open mmaps the file and the returned kdtree.Raw
+// slices alias the mapping directly — opening a multi-gigabyte tree costs
+// validation, not parsing. Decode therefore validates *everything* before
+// any slice is produced: header sanity caps, section table bounds and
+// alignment, exact section lengths against the header counts, and the
+// whole-file CRC. Tree-level invariants (node graph, leaf partition, finite
+// coordinates) are validated one layer up by kdtree.FromRaw, which every
+// caller must run before querying. Read is the safe copying fallback for
+// platforms or callers without mmap; both paths produce bit-identical
+// trees.
+package snapshot
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"panda/internal/core"
+	"panda/internal/kdtree"
+)
+
+// Magic opens every snapshot file; TrailerMagic closes it.
+var (
+	Magic        = [4]byte{'P', 'N', 'D', 'S'}
+	TrailerMagic = [4]byte{'P', 'N', 'D', 'E'}
+)
+
+// Version is the snapshot format version this package reads and writes.
+const Version = 1
+
+const (
+	headerSize  = 88
+	tableRow    = 24
+	trailerSize = 8
+	minFileSize = headerSize + trailerSize
+)
+
+// Section ids.
+const (
+	secPoints      = 1
+	secIDs         = 2
+	secNodes       = 3
+	secSplitBounds = 4
+	secBox         = 5
+	secCluster     = 6
+)
+
+// sectionName labels section ids for inspect output.
+func sectionName(id uint32) string {
+	switch id {
+	case secPoints:
+		return "points"
+	case secIDs:
+		return "ids"
+	case secNodes:
+		return "nodes"
+	case secSplitBounds:
+		return "splitbounds"
+	case secBox:
+		return "box"
+	case secCluster:
+		return "cluster"
+	default:
+		return fmt.Sprintf("unknown(%d)", id)
+	}
+}
+
+// Header flag bits.
+const flagCluster = 1 << 0
+
+// Decode sanity caps: every count is checked against these before any
+// length arithmetic or allocation, so a hostile header cannot drive an
+// overflow or an absurd make().
+const (
+	maxSections    = 32
+	maxDims        = 1 << 16
+	maxOptionValue = 1 << 20 // bucket size, median samples, threads, switch factor
+	maxRanks       = 1 << 16
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// hostLittleEndian gates the zero-copy reinterpretation of mapped bytes as
+// typed slices; big-endian hosts always take the converting copy path.
+// Shared with the kdtree codec so the two zero-copy layers cannot disagree.
+var hostLittleEndian = kdtree.HostLittleEndian
+
+// ClusterMeta is the optional cluster section: everything a rank needs to
+// rejoin a sharded serving cluster without redoing the SPMD build — its
+// rank, the cluster shape, and the replicated global partition tree.
+type ClusterMeta struct {
+	Rank        int
+	Ranks       int
+	TotalPoints int64 // cluster-wide point total (reported in client welcomes)
+	GlobalRoot  int32
+	GlobalNodes []core.GlobalNode
+}
+
+// Data is the decoded content of a snapshot: the local tree's flat state
+// plus the optional cluster metadata.
+type Data struct {
+	Raw     kdtree.Raw
+	Cluster *ClusterMeta // nil for single-tree snapshots
+}
+
+// Snapshot is an opened snapshot. When ZeroCopy is true the Raw slices
+// alias an mmap'd file: they stay valid until Close, which releases the
+// mapping — any tree built over them (kdtree.FromRaw adopts, not copies)
+// must not be used afterwards.
+type Snapshot struct {
+	Data
+	// ZeroCopy reports whether the large sections alias the underlying
+	// file mapping (mmap path on little-endian hosts) rather than copies.
+	ZeroCopy bool
+
+	unmap func() error
+}
+
+// Close releases the file mapping (no-op for copied snapshots). The
+// snapshot's slices — and any tree adopted from them — become invalid.
+func (s *Snapshot) Close() error {
+	if s.unmap == nil {
+		return nil
+	}
+	u := s.unmap
+	s.unmap = nil
+	return u()
+}
+
+// SectionInfo describes one section-table row (inspect output).
+type SectionInfo struct {
+	ID     uint32
+	Name   string
+	Offset uint64
+	Length uint64
+}
+
+// Info is the metadata view of a snapshot file, parsed without
+// materializing the tree (panda snapshot inspect).
+type Info struct {
+	Version    uint32
+	FileSize   uint64
+	Dims       int
+	Points     uint64
+	Nodes      uint64
+	Height     int
+	MaxBucket  int
+	BucketSize int
+	CRCOK      bool
+	Sections   []SectionInfo
+	Cluster    *ClusterMeta // nil when the snapshot has no cluster section
+	// ClusterErr reports a cluster section that is present but malformed
+	// (inspect degrades gracefully instead of failing the whole parse).
+	ClusterErr error
+}

@@ -96,6 +96,9 @@ type Tree struct {
 	// scratch recycles per-batch bookkeeping (counts, Morton permutation)
 	// so repeated KNNBatchFlatInto calls allocate nothing once warm.
 	scratch sync.Pool
+	// closeSnap releases the snapshot mapping backing an OpenSnapshot tree
+	// (nil for built trees); see Tree.Close.
+	closeSnap func() error
 }
 
 // batchScratch is the per-batch bookkeeping KNNBatchFlatInto reuses across

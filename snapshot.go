@@ -1,0 +1,248 @@
+// Snapshot persistence: write a built tree to disk once, then warm-start
+// any number of processes from it in milliseconds instead of rebuilding
+// from raw points (see internal/snapshot for the PNDS file format).
+package panda
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"panda/internal/core"
+	"panda/internal/kdtree"
+	"panda/internal/snapshot"
+)
+
+// WriteSnapshot persists the built tree to path as a PNDS snapshot file: a
+// versioned, checksummed, little-endian flat layout of the packed points,
+// ids, node array, split bounds, and build options. The file can be opened
+// by OpenSnapshot (zero-copy mmap), ReadSnapshot (copying), `panda snapshot
+// inspect|verify`, and `panda-serve -snapshot`.
+func (t *Tree) WriteSnapshot(path string) error {
+	return snapshot.WriteFile(path, &snapshot.Data{Raw: t.t.Raw()})
+}
+
+// OpenSnapshot opens a snapshot written by WriteSnapshot, mmap'ing the file
+// and reconstructing the tree by slicing the mapping — zero-copy, so the
+// warm start costs validation (section bounds, CRC, node-graph and
+// finite-coordinate checks), not parsing or rebuilding. Queries answer
+// bit-identically to the tree the snapshot was written from.
+//
+// The returned tree aliases the mapping: call Close when done with it, and
+// not before. On platforms without mmap this falls back to the copying
+// ReadSnapshot path transparently.
+func OpenSnapshot(path string) (*Tree, error) {
+	snap, err := snapshot.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	t, err := treeFromSnapshot(snap)
+	if err != nil {
+		snap.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// ReadSnapshot loads a snapshot through the safe copying path: every array
+// is decoded into fresh memory and the file is released before returning.
+// Slower than OpenSnapshot and with no mmap requirement; the resulting tree
+// is bit-identical to the OpenSnapshot one.
+func ReadSnapshot(path string) (*Tree, error) {
+	snap, err := snapshot.Read(path)
+	if err != nil {
+		return nil, err
+	}
+	return treeFromSnapshot(snap)
+}
+
+// treeFromSnapshot runs the tree-level validation and wraps the result.
+func treeFromSnapshot(snap *snapshot.Snapshot) (*Tree, error) {
+	if c := snap.Cluster; c != nil {
+		// A rank file holds 1/P of the dataset; serving it as a standalone
+		// tree would answer every query with silently missing neighbors.
+		return nil, fmt.Errorf("panda: snapshot is rank %d of a %d-rank cluster (%d total points); open it with OpenClusterSnapshot or panda-serve -cluster -snapshot",
+			c.Rank, c.Ranks, c.TotalPoints)
+	}
+	kt, err := kdtree.FromRaw(snap.Raw)
+	if err != nil {
+		return nil, err
+	}
+	threads := snap.Raw.Opts.Threads
+	if threads <= 0 {
+		threads = 1
+	}
+	return &Tree{t: kt, threads: threads, closeSnap: snap.Close}, nil
+}
+
+// Close releases the snapshot mapping backing a tree returned by
+// OpenSnapshot. The tree (and every result slice aliasing its points) must
+// not be used afterwards. Close is a no-op — and returns nil — for built
+// trees and ReadSnapshot trees.
+func (t *Tree) Close() error {
+	if t.closeSnap == nil {
+		return nil
+	}
+	c := t.closeSnap
+	t.closeSnap = nil
+	return c()
+}
+
+// SetThreads sets the worker-thread cap for batched queries (KNNBatch and
+// the serving dispatch path). Snapshot-opened trees default to the thread
+// count stored at build time; call this before sharing the tree across
+// goroutines.
+func (t *Tree) SetThreads(n int) {
+	if n > 0 {
+		t.threads = n
+	}
+}
+
+// manifestName is the cluster snapshot directory's manifest file.
+const manifestName = "manifest.json"
+
+// rankFile names rank r's snapshot inside a cluster snapshot directory.
+func rankFile(dir string, rank int) string {
+	return filepath.Join(dir, fmt.Sprintf("rank-%d.pnds", rank))
+}
+
+// clusterManifest is the small JSON file describing a cluster snapshot
+// directory; every rank's PNDS file additionally embeds the cluster
+// section (rank, ranks, total points, global tree), so the manifest's job
+// is discovery and cross-checking, not data.
+type clusterManifest struct {
+	Format      string `json:"format"`
+	Version     int    `json:"version"`
+	Ranks       int    `json:"ranks"`
+	Dims        int    `json:"dims"`
+	TotalPoints int64  `json:"totalPoints"`
+}
+
+const manifestFormat = "panda-cluster-snapshot"
+
+// WriteSnapshot persists this rank's shard of the distributed tree into
+// dir: the rank's local tree plus a cluster section carrying the
+// replicated global partition tree, so OpenClusterSnapshot can warm-start
+// the rank without a mesh or any SPMD collective. Rank 0 also writes the
+// directory manifest. On a freshly built tree this is an SPMD call (every
+// rank must call it — the cluster-wide point total rides an all-reduce); on
+// a snapshot-restored tree it reuses the stored total and is purely local.
+func (t *DistTree) WriteSnapshot(dir string) error {
+	total := t.restoredTotal
+	if c := t.dt.Comm(); c != nil {
+		total = c.AllReduceInt64([]int64{int64(t.LocalLen())}, "sum")[0]
+	}
+	if err := os.MkdirAll(dir, 0o777); err != nil {
+		return err
+	}
+	rank, ranks, dims := t.Rank(), t.Ranks(), t.Dims()
+	data := &snapshot.Data{
+		Raw: t.dt.Local.Raw(),
+		Cluster: &snapshot.ClusterMeta{
+			Rank:        rank,
+			Ranks:       ranks,
+			TotalPoints: total,
+			GlobalRoot:  t.dt.Global.Root(),
+			GlobalNodes: t.dt.Global.Nodes,
+		},
+	}
+	if err := snapshot.WriteFile(rankFile(dir, rank), data); err != nil {
+		return err
+	}
+	if rank != 0 {
+		return nil
+	}
+	m, err := json.MarshalIndent(clusterManifest{
+		Format: manifestFormat, Version: snapshot.Version,
+		Ranks: ranks, Dims: dims, TotalPoints: total,
+	}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, manifestName), append(m, '\n'), 0o666)
+}
+
+// OpenClusterSnapshot warm-starts one rank of a sharded cluster from a
+// snapshot directory written by DistTree.WriteSnapshot: it opens the rank's
+// PNDS file zero-copy, revalidates the embedded global partition tree, and
+// assembles a serving DistTree — no mesh join, no redistribution, no SPMD
+// build. The result supports the serving surface (Rank, Ranks, Dims, Owner,
+// RanksWithin, LocalTree, server.NewCluster); the SPMD Query collective is
+// unavailable and returns an error. Call Close to release the mapping.
+func OpenClusterSnapshot(dir string, rank int) (*DistTree, error) {
+	mb, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m clusterManifest
+	if err := json.Unmarshal(mb, &m); err != nil {
+		return nil, fmt.Errorf("panda: cluster manifest: %w", err)
+	}
+	if m.Format != manifestFormat || m.Version != snapshot.Version {
+		return nil, fmt.Errorf("panda: cluster manifest format %q version %d not supported", m.Format, m.Version)
+	}
+	if rank < 0 || rank >= m.Ranks {
+		return nil, fmt.Errorf("panda: rank %d out of range for %d-rank snapshot", rank, m.Ranks)
+	}
+	snap, err := snapshot.Open(rankFile(dir, rank))
+	if err != nil {
+		return nil, err
+	}
+	dt, err := distTreeFromSnapshot(snap, rank, &m)
+	if err != nil {
+		snap.Close()
+		return nil, err
+	}
+	return dt, nil
+}
+
+func distTreeFromSnapshot(snap *snapshot.Snapshot, rank int, m *clusterManifest) (*DistTree, error) {
+	meta := snap.Cluster
+	if meta == nil {
+		return nil, fmt.Errorf("panda: snapshot carries no cluster section (written by Tree.WriteSnapshot, not DistTree.WriteSnapshot?)")
+	}
+	if meta.Rank != rank || meta.Ranks != m.Ranks {
+		return nil, fmt.Errorf("panda: snapshot is rank %d of %d, manifest wants rank %d of %d",
+			meta.Rank, meta.Ranks, rank, m.Ranks)
+	}
+	if snap.Raw.Dims != m.Dims {
+		return nil, fmt.Errorf("panda: snapshot has %d dims, manifest says %d", snap.Raw.Dims, m.Dims)
+	}
+	if meta.TotalPoints != m.TotalPoints {
+		return nil, fmt.Errorf("panda: snapshot total %d points, manifest says %d", meta.TotalPoints, m.TotalPoints)
+	}
+	global, err := core.NewGlobalTree(meta.GlobalNodes, meta.GlobalRoot, snap.Raw.Dims)
+	if err != nil {
+		return nil, err
+	}
+	if global.Ranks() != meta.Ranks {
+		return nil, fmt.Errorf("panda: global tree partitions %d ranks, snapshot says %d", global.Ranks(), meta.Ranks)
+	}
+	local, err := kdtree.FromRaw(snap.Raw)
+	if err != nil {
+		return nil, err
+	}
+	cdt, err := core.RestoreDistTree(global, local, rank)
+	if err != nil {
+		return nil, err
+	}
+	return &DistTree{dt: cdt, restoredTotal: meta.TotalPoints, closeSnap: snap.Close}, nil
+}
+
+// TotalPoints returns the cluster-wide point total recorded in the
+// snapshot this tree was restored from (0 for a freshly built tree — the
+// builder knows its dataset size already).
+func (t *DistTree) TotalPoints() int64 { return t.restoredTotal }
+
+// Close releases the snapshot mapping backing a tree returned by
+// OpenClusterSnapshot (no-op for built trees). The tree must not be used
+// afterwards.
+func (t *DistTree) Close() error {
+	if t.closeSnap == nil {
+		return nil
+	}
+	c := t.closeSnap
+	t.closeSnap = nil
+	return c()
+}

@@ -1,0 +1,193 @@
+package panda
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// buildSnapshotTree builds a deterministic tree for snapshot tests.
+func buildSnapshotTree(t *testing.T, n, dims int) (*Tree, []float32) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	coords := make([]float32, n*dims)
+	for i := range coords {
+		coords[i] = rng.Float32()
+	}
+	tree, err := Build(coords, dims, nil, &BuildOptions{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, coords
+}
+
+// identicalNeighbors compares two result lists bit-for-bit.
+func identicalNeighbors(a, b []Neighbor) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSnapshotBitIdentical runs the acceptance workload: a 10k-query mixed
+// KNN/radius stream answered bit-identically by the built tree, the mmap'd
+// snapshot (OpenSnapshot), and the copying fallback (ReadSnapshot).
+func TestSnapshotBitIdentical(t *testing.T) {
+	const dims = 3
+	built, _ := buildSnapshotTree(t, 30000, dims)
+	path := filepath.Join(t.TempDir(), "tree.pnds")
+	if err := built.WriteSnapshot(path); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+
+	opened, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatalf("OpenSnapshot: %v", err)
+	}
+	defer opened.Close()
+	read, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+
+	if bs, os_ := built.Stats(), opened.Stats(); bs != os_ {
+		t.Fatalf("stats differ after snapshot: %+v vs %+v", os_, bs)
+	}
+
+	rng := rand.New(rand.NewSource(77))
+	q := make([]float32, dims)
+	for i := 0; i < 10000; i++ {
+		for d := range q {
+			q[d] = rng.Float32()
+		}
+		if i%4 == 3 {
+			r2 := rng.Float32() * 0.001
+			want := built.RadiusSearch(q, r2)
+			if got := opened.RadiusSearch(q, r2); !identicalNeighbors(want, got) {
+				t.Fatalf("query %d: mmap radius results differ", i)
+			}
+			if got := read.RadiusSearch(q, r2); !identicalNeighbors(want, got) {
+				t.Fatalf("query %d: copy-path radius results differ", i)
+			}
+			continue
+		}
+		k := 1 + i%16
+		want := built.KNN(q, k)
+		if got := opened.KNN(q, k); !identicalNeighbors(want, got) {
+			t.Fatalf("query %d: mmap KNN results differ", i)
+		}
+		if got := read.KNN(q, k); !identicalNeighbors(want, got) {
+			t.Fatalf("query %d: copy-path KNN results differ", i)
+		}
+	}
+
+	// Batched engine over the snapshot tree (exercises searcher pooling,
+	// Morton ordering, arena compaction against adopted storage).
+	queries := make([]float32, 2048*dims)
+	for i := range queries {
+		queries[i] = rng.Float32()
+	}
+	wantB, err := built.KNNBatch(queries, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB, err := opened.KNNBatch(queries, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wantB {
+		if !identicalNeighbors(wantB[i], gotB[i]) {
+			t.Fatalf("batch query %d differs", i)
+		}
+	}
+}
+
+// TestSnapshotPreservesIDs checks caller ids survive the round trip.
+func TestSnapshotPreservesIDs(t *testing.T) {
+	const n, dims = 2000, 2
+	rng := rand.New(rand.NewSource(9))
+	coords := make([]float32, n*dims)
+	for i := range coords {
+		coords[i] = rng.Float32()
+	}
+	ids := make([]int64, n)
+	for i := range ids {
+		ids[i] = int64(i)*7 + 1
+	}
+	built, err := Build(coords, dims, ids, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ids.pnds")
+	if err := built.WriteSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	for i := 0; i < 100; i++ {
+		q := coords[i*dims : (i+1)*dims]
+		nb := got.KNN(q, 1)
+		if len(nb) != 1 || nb[0].ID != ids[i] || nb[0].Dist2 != 0 {
+			t.Fatalf("point %d: self-query returned %+v, want id %d at distance 0", i, nb, ids[i])
+		}
+	}
+}
+
+// TestSnapshotErrors covers the user-facing failure modes.
+func TestSnapshotErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenSnapshot(filepath.Join(dir, "missing.pnds")); err == nil {
+		t.Error("OpenSnapshot of a missing file succeeded")
+	}
+	junk := filepath.Join(dir, "junk.pnds")
+	if err := os.WriteFile(junk, []byte("not a snapshot at all"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSnapshot(junk); err == nil {
+		t.Error("OpenSnapshot of junk bytes succeeded")
+	}
+	if _, err := ReadSnapshot(junk); err == nil {
+		t.Error("ReadSnapshot of junk bytes succeeded")
+	}
+	// Truncated real snapshot.
+	tree, _ := buildSnapshotTree(t, 1000, 3)
+	path := filepath.Join(dir, "ok.pnds")
+	if err := tree.WriteSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(dir, "trunc.pnds")
+	if err := os.WriteFile(trunc, b[:len(b)/2], 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSnapshot(trunc); err == nil {
+		t.Error("OpenSnapshot of a truncated file succeeded")
+	}
+	// Close is idempotent and safe.
+	got, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := got.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if err := got.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+	// Single-tree snapshots are not cluster snapshots.
+	if _, err := OpenClusterSnapshot(dir, 0); err == nil {
+		t.Error("OpenClusterSnapshot without a manifest succeeded")
+	}
+}
