@@ -1,0 +1,69 @@
+package panda
+
+// BenchmarkBuildParallel is the A/B suite behind BENCH_build.json: tree
+// construction wall-clock at 1/2/4/8 threads on the two standing benchmark
+// workloads (cosmo3d 200k and dayabay10d 100k). Use the interleaved-median
+// methodology from PR 1: -count 3 (or more) and compare medians of the
+// alternating runs, since the shared-vCPU hosts are noisy.
+//
+// Real parallelism is min(threads, GOMAXPROCS); on a single-core host every
+// sub-benchmark measures the same sequential schedule (the differential
+// tests prove the output is byte-identical either way).
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+const buildBenchDayaBayPoints = 100_000
+
+func benchBuildWorkloads(b *testing.B) map[string]struct {
+	coords []float32
+	dims   int
+} {
+	b.Helper()
+	out := make(map[string]struct {
+		coords []float32
+		dims   int
+	})
+	for _, w := range []struct {
+		key, gen string
+		n        int
+	}{
+		{"cosmo3d-200k", "cosmo", snapshotBenchPoints},
+		{"dayabay10d-100k", "dayabay", buildBenchDayaBayPoints},
+	} {
+		coords, dims, _, err := GenerateDataset(w.gen, w.n, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out[w.key] = struct {
+			coords []float32
+			dims   int
+		}{coords, dims}
+	}
+	return out
+}
+
+func BenchmarkBuildParallel(b *testing.B) {
+	workloads := benchBuildWorkloads(b)
+	for _, key := range []string{"cosmo3d-200k", "dayabay10d-100k"} {
+		w := workloads[key]
+		n := len(w.coords) / w.dims
+		for _, threads := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/threads=%d", key, threads), func(b *testing.B) {
+				b.ReportMetric(float64(min(threads, runtime.GOMAXPROCS(0))), "real-workers")
+				for i := 0; i < b.N; i++ {
+					tree, err := Build(w.coords, w.dims, nil, &BuildOptions{Threads: threads})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if tree.Len() != n {
+						b.Fatal("short build")
+					}
+				}
+			})
+		}
+	}
+}

@@ -77,7 +77,7 @@ func main() {
 		dims    = flag.Int("dims", 3, "synthetic dimensionality (uniform/gaussian only)")
 		seed    = flag.Uint64("seed", 1, "synthetic generator seed (with -dataset)")
 		bucket  = flag.Int("bucket", 32, "kd-tree bucket size")
-		threads = flag.Int("threads", 0, "engine threads for batched queries (0 = all cores)")
+		threads = flag.Int("threads", 0, "engine threads for tree construction and batched queries (0 = all cores)")
 		addr    = flag.String("addr", ":7077", "listen address (single-node mode)")
 		batch   = flag.Int("batch", 64, "max queries coalesced into one engine call")
 		linger  = flag.Duration("linger", 200*time.Microsecond, "max time to wait filling a batch")
@@ -263,15 +263,22 @@ func runCluster(in, dataset string, n, dims int, seed uint64, bucket, threads, b
 			ids = append(ids, int64(i))
 		}
 
-		log.Printf("rank %d/%d: joining mesh at %s", rank, p, mesh[rank])
-		node, closeMesh, err := panda.JoinTCP(rank, mesh, 1)
+		// The comm's per-rank thread count drives both simulated-time
+		// charging and the real worker pool of the distributed build
+		// (BuildDistributed takes it from the comm, not BuildOptions).
+		buildThreads := threads
+		if buildThreads <= 0 {
+			buildThreads = runtime.GOMAXPROCS(0)
+		}
+		log.Printf("rank %d/%d: joining mesh at %s (%d build threads)", rank, p, mesh[rank], buildThreads)
+		node, closeMesh, err := panda.JoinTCP(rank, mesh, buildThreads)
 		if err != nil {
 			return fmt.Errorf("joining mesh: %w", err)
 		}
 		defer closeMesh()
 
 		start := time.Now()
-		dt, err = node.Build(shard, pdims, ids, &panda.BuildOptions{BucketSize: bucket, Threads: threads})
+		dt, err = node.Build(shard, pdims, ids, &panda.BuildOptions{BucketSize: bucket, Threads: buildThreads})
 		if err != nil {
 			return fmt.Errorf("distributed build: %w", err)
 		}

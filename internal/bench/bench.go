@@ -172,6 +172,7 @@ func Run(cfg Config, experiment string) error {
 		{"ablations", Ablations},
 		{"strawman", Strawman},
 		{"buffered", Buffered},
+		{"build", BuildScaling},
 	}
 	if experiment == "all" {
 		for _, e := range all {
@@ -192,5 +193,6 @@ func Run(cfg Config, experiment string) error {
 // Experiments lists the valid experiment names in paper order.
 func Experiments() []string {
 	return []string{"table1", "fig4", "fig5a", "fig5b", "fig5c", "fig6",
-		"fig7", "table2", "fig8", "science", "ablations", "strawman", "buffered"}
+		"fig7", "table2", "fig8", "science", "ablations", "strawman", "buffered",
+		"build"}
 }

@@ -1,0 +1,72 @@
+package bench
+
+import (
+	"runtime"
+	"sort"
+	"time"
+
+	"panda/internal/data"
+	"panda/internal/kdtree"
+)
+
+// BuildScaling is the parallel-construction A/B (BENCH_build.json's
+// experiment): real wall-clock kd-tree build time at 1/2/4/8 threads on the
+// two standing benchmark workloads. Unlike Fig6 — which converts metered
+// work units to time under the node model — this experiment times the real
+// worker pool, so it only shows speedup when the host actually has cores
+// (real workers = min(threads, GOMAXPROCS)).
+//
+// Rounds are interleaved: every round measures each thread count once, in
+// order, so host noise lands on all settings equally; the report takes
+// per-setting medians. The differential tests guarantee the timed builds
+// produce byte-identical trees, so the comparison is pure schedule.
+func BuildScaling(cfg Config) error {
+	cfg = cfg.withDefaults()
+	threadsList := []int{1, 2, 4, 8}
+	const rounds = 5
+	cases := []struct {
+		name  string
+		gen   string
+		baseN int
+	}{
+		{"cosmo3d", "cosmo", 200_000},
+		{"dayabay10d", "dayabay", 100_000},
+	}
+	cfg.printf("== Parallel construction: wall-clock build scaling (medians of %d interleaved rounds) ==\n", rounds)
+	cfg.printf("(real workers = min(threads, GOMAXPROCS); GOMAXPROCS here = %d)\n", runtime.GOMAXPROCS(0))
+
+	for _, cs := range cases {
+		n := cfg.n(cs.baseN)
+		d, err := data.ByName(cs.gen, n, 2016)
+		if err != nil {
+			return err
+		}
+		samples := make(map[int][]time.Duration, len(threadsList))
+		for r := 0; r < rounds; r++ {
+			for _, T := range threadsList {
+				start := time.Now()
+				kdtree.Build(d.Points, nil, kdtree.Options{Threads: T})
+				samples[T] = append(samples[T], time.Since(start))
+			}
+		}
+		median := func(ds []time.Duration) time.Duration {
+			s := append([]time.Duration(nil), ds...)
+			sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+			return s[len(s)/2]
+		}
+		base := median(samples[threadsList[0]])
+		cfg.printf("%s (%d particles, %d-D):\n", cs.name, n, d.Points.Dims)
+		cfg.printf("  %8s %12s %9s %12s\n", "threads", "median", "speedup", "real-workers")
+		for _, T := range threadsList {
+			m := median(samples[T])
+			speedup := float64(base) / float64(m)
+			w := T
+			if g := runtime.GOMAXPROCS(0); w > g {
+				w = g
+			}
+			cfg.printf("  %8d %12s %8.2fX %12d\n", T, m.Round(10*time.Microsecond), speedup, w)
+		}
+	}
+	cfg.printf("\n")
+	return nil
+}

@@ -6,6 +6,7 @@ import (
 	"panda/internal/cluster"
 	"panda/internal/geom"
 	"panda/internal/kdtree"
+	"panda/internal/par"
 	"panda/internal/sample"
 	"panda/internal/simtime"
 	"panda/internal/wire"
@@ -122,6 +123,11 @@ func BuildDistributed(c *cluster.Comm, pts geom.Points, ids []int64, opts Option
 	splits := make(map[[2]int]split)
 	lo, hi := 0, p
 	threads := c.Threads()
+	// Real worker pool for this rank's data passes (moments, histogram,
+	// partition): the per-rank thread count caps real parallelism exactly
+	// as in the local build, and every pass below is chunk-deterministic,
+	// so the distributed tree is identical for any worker count.
+	pool := par.NewPool(threads)
 
 	for level := 0; level < levels; level++ {
 		c.Phase(PhaseGlobalTree)
@@ -133,7 +139,7 @@ func BuildDistributed(c *cluster.Comm, pts geom.Points, ids []int64, opts Option
 		buf := wire.AppendInt32(nil, int32(lo))
 		buf = wire.AppendInt32(buf, int32(hi))
 		buf = wire.AppendInt64(buf, int64(n))
-		sums, sums2 := moments(coords, dims)
+		sums, sums2 := moments(coords, dims, pool)
 		for d := 0; d < dims; d++ {
 			buf = wire.AppendFloat64(buf, sums[d])
 			buf = wire.AppendFloat64(buf, sums2[d])
@@ -197,7 +203,7 @@ func BuildDistributed(c *cluster.Comm, pts geom.Points, ids []int64, opts Option
 		if dim, ok := groupDim[myKey]; ok {
 			iv := sample.NewIntervals(capBoundaries(myGroupSamples, maxGlobalIntervals))
 			idx := identityIdx(n)
-			hist := iv.Histogram(coords, dims, dim, idx, !opts.Local.UseBinaryHistogram)
+			hist := iv.HistogramPar(coords, dims, dim, idx, !opts.Local.UseBinaryHistogram, pool)
 			if opts.Local.UseBinaryHistogram {
 				chargeAll(c, simtime.KHistBinary, int64(n))
 			} else {
@@ -241,7 +247,7 @@ func BuildDistributed(c *cluster.Comm, pts geom.Points, ids []int64, opts Option
 		c.Phase(PhaseRedistribute)
 		if s, ok := splits[myKey]; ok {
 			mid := lo + (hi-lo)/2
-			keepL, idsL, sendR, idsR := partitionStrict(coords, myIDs, dims, int(s.dim), s.median)
+			keepL, idsL, sendR, idsR := partitionStrict(coords, myIDs, dims, int(s.dim), s.median, pool)
 			chargeAll(c, simtime.KPartition, int64(n))
 
 			var keep, send []float32
@@ -320,16 +326,45 @@ func (g *groupStat) bestDim(policy sample.SplitPolicy) int {
 	return best
 }
 
-func moments(coords []float32, dims int) (sum, sum2 []float64) {
+// momentChunk is the fixed row-chunk width of the parallel moment pass. The
+// chunking is always applied — even on one worker — because float64
+// addition is not associative: per-chunk partials combined in chunk order
+// give one fixed summation tree, a pure function of n, so the moments (and
+// every split decision derived from them) are identical for any worker
+// count.
+const momentChunk = 8192
+
+func moments(coords []float32, dims int, pool *par.Pool) (sum, sum2 []float64) {
+	n := len(coords) / dims
+	nc := par.Chunks(n, momentChunk)
 	sum = make([]float64, dims)
 	sum2 = make([]float64, dims)
-	n := len(coords) / dims
-	for i := 0; i < n; i++ {
-		row := coords[i*dims : (i+1)*dims]
-		for d, v := range row {
-			f := float64(v)
-			sum[d] += f
-			sum2[d] += f * f
+	if nc == 0 {
+		return sum, sum2
+	}
+	// Pad each chunk's accumulator region to a cache-line multiple (8
+	// float64s = 64 B): adjacent chunks run on different workers, and
+	// unpadded regions would false-share lines on every row's store.
+	stride := (dims*2 + 7) &^ 7
+	partial := make([]float64, nc*stride)
+	pool.ForChunks(n, momentChunk, func(c, lo, hi int) {
+		ps := partial[c*stride : c*stride+dims]
+		ps2 := partial[c*stride+dims : c*stride+2*dims]
+		for i := lo; i < hi; i++ {
+			row := coords[i*dims : (i+1)*dims]
+			for d, v := range row {
+				f := float64(v)
+				ps[d] += f
+				ps2[d] += f * f
+			}
+		}
+	})
+	for c := 0; c < nc; c++ {
+		ps := partial[c*stride : c*stride+dims]
+		ps2 := partial[c*stride+dims : c*stride+2*dims]
+		for d := 0; d < dims; d++ {
+			sum[d] += ps[d]
+			sum2[d] += ps2[d]
 		}
 	}
 	return sum, sum2
@@ -406,20 +441,67 @@ func identityIdx(n int) []int32 {
 	return idx
 }
 
-// partitionStrict splits packed points into (< v) and (≥ v) along dim.
-func partitionStrict(coords []float32, ids []int64, dims, dim int, v float32) (lc []float32, lids []int64, rc []float32, rids []int64) {
+// psChunk is the fixed row-chunk width of partitionStrict's count and
+// scatter passes.
+const psChunk = 8192
+
+// partitionStrict splits packed points into (< v) and (≥ v) along dim,
+// preserving input order on both sides. A counting pass sizes the four
+// output buffers exactly, then a scatter pass writes every row straight to
+// its final slot — the seed grew all four slices with per-row appends,
+// reallocating O(log n) times per level and copying O(n·dims) on every
+// growth. Both passes chunk over the pool with fixed boundaries; per-chunk
+// counts prefix-sum in chunk order, so the output is byte-identical to the
+// sequential append loop for any worker count.
+func partitionStrict(coords []float32, ids []int64, dims, dim int, v float32, pool *par.Pool) (lc []float32, lids []int64, rc []float32, rids []int64) {
 	n := len(coords) / dims
-	for i := 0; i < n; i++ {
-		row := coords[i*dims : (i+1)*dims]
-		if row[dim] < v {
-			lc = append(lc, row...)
-			lids = append(lids, ids[i])
-		} else {
-			rc = append(rc, row...)
-			rids = append(rids, ids[i])
-		}
+	nc := par.Chunks(n, psChunk)
+	if nc == 0 {
+		return nil, nil, nil, nil
 	}
-	return
+	counts := make([]int32, nc)
+	pool.ForChunks(n, psChunk, func(c, lo, hi int) {
+		var left int32
+		for i := lo; i < hi; i++ {
+			if coords[i*dims+dim] < v {
+				left++
+			}
+		}
+		counts[c] = left
+	})
+	// Exclusive prefix over chunk counts → each chunk's first write slot on
+	// both sides.
+	leftStart := make([]int32, nc)
+	rightStart := make([]int32, nc)
+	var nl int32
+	for c := 0; c < nc; c++ {
+		leftStart[c] = nl
+		nl += counts[c]
+	}
+	for c := 0; c < nc; c++ {
+		rightStart[c] = int32(c*psChunk) - leftStart[c]
+	}
+	nr := int32(n) - nl
+	lc = make([]float32, int(nl)*dims)
+	lids = make([]int64, nl)
+	rc = make([]float32, int(nr)*dims)
+	rids = make([]int64, nr)
+	pool.ForChunks(n, psChunk, func(c, lo, hi int) {
+		l, r := int(leftStart[c]), int(rightStart[c])
+		for i := lo; i < hi; i++ {
+			row := coords[i*dims : (i+1)*dims]
+			if row[dim] < v {
+				copy(lc[l*dims:(l+1)*dims], row)
+				lids[l] = ids[i]
+				l++
+			} else {
+				copy(rc[r*dims:(r+1)*dims], row)
+				rids[r] = ids[i]
+				r++
+			}
+		}
+	})
+	return lc, lids, rc, rids
 }
 
 // chargeAll spreads cooperative work units across all simulated threads of

@@ -18,6 +18,16 @@
 // Shuffling during construction moves only the 32-bit index array, never the
 // points — the paper's shared-memory optimization — until the final packing
 // pass.
+//
+// All three stages execute with real wall-clock parallelism on a bounded
+// worker pool (min(Options.Threads, GOMAXPROCS) workers): stage 1 runs each
+// large split's classify/histogram/partition passes cooperatively across the
+// pool, stage 2 fans whole subtrees out to it, and the packing and
+// bounding-box passes chunk over it. The build is deterministic by
+// construction — chunk boundaries are pure functions of the problem size and
+// cross-chunk reductions merge in chunk order — so the produced tree is
+// byte-identical for every thread count (see build.go and the differential
+// tests in parallel_test.go).
 package kdtree
 
 import (
@@ -103,7 +113,11 @@ type Options struct {
 	UseBinaryHistogram bool
 	// Threads is the simulated thread count (≥1); it controls the
 	// data-parallel/thread-parallel switchover and which thread meter
-	// work is charged to. 0 means 1.
+	// work is charged to. 0 means 1. It also caps construction's real
+	// worker pool: Build fans its passes out to min(Threads, GOMAXPROCS)
+	// workers, and the produced tree is byte-identical (Tree.Raw) at
+	// every setting — only wall-clock time changes. Simulated charges
+	// never depend on the real worker count.
 	Threads int
 	// ThreadSwitchFactor: switch to thread-parallel once active branches
 	// ≥ Threads×factor (paper: "typically, number of threads ×10").

@@ -18,6 +18,8 @@ package sample
 import (
 	"math"
 	"sort"
+
+	"panda/internal/par"
 )
 
 // SubIntervalStride is the paper's stride: every 32nd interval point is
@@ -244,6 +246,16 @@ func (iv Intervals) LocateScan(v float32) int {
 // entries.
 func (iv Intervals) Histogram(coords []float32, dims, dim int, idx []int32, useScan bool) []int64 {
 	counts := make([]int64, iv.Bins())
+	iv.HistogramInto(counts, coords, dims, dim, idx, useScan)
+	return counts
+}
+
+// HistogramInto accumulates idx's bin counts into counts, which must have at
+// least Bins() entries. Counts are integers, so per-chunk partial histograms
+// merged in any order equal a single sequential pass — this is the mergeable
+// form the parallel construction passes build their per-worker local
+// histograms with.
+func (iv Intervals) HistogramInto(counts []int64, coords []float32, dims, dim int, idx []int32, useScan bool) {
 	if useScan {
 		for _, i := range idx {
 			counts[iv.LocateScan(coords[int(i)*dims+dim])]++
@@ -251,6 +263,35 @@ func (iv Intervals) Histogram(coords []float32, dims, dim int, idx []int32, useS
 	} else {
 		for _, i := range idx {
 			counts[iv.LocateBinary(coords[int(i)*dims+dim])]++
+		}
+	}
+}
+
+// histChunk is the fixed chunk width of HistogramPar's location pass;
+// boundaries depend only on len(idx), never on the worker count.
+const histChunk = 8192
+
+// HistogramPar is Histogram with the bin-location pass fanned out over
+// pool's workers: each fixed chunk of idx accumulates a local histogram into
+// its own partial array (the cooperative data-parallel split of §III-A), and
+// the partials are merged in chunk order. Integer counts make the merge
+// exact, so the result is identical to Histogram for any worker count.
+func (iv Intervals) HistogramPar(coords []float32, dims, dim int, idx []int32, useScan bool, pool *par.Pool) []int64 {
+	n := len(idx)
+	if pool.Workers() <= 1 || n < 2*histChunk {
+		return iv.Histogram(coords, dims, dim, idx, useScan)
+	}
+	bins := iv.Bins()
+	nc := par.Chunks(n, histChunk)
+	partials := make([]int64, nc*bins)
+	pool.ForChunks(n, histChunk, func(c, lo, hi int) {
+		iv.HistogramInto(partials[c*bins:(c+1)*bins], coords, dims, dim, idx[lo:hi], useScan)
+	})
+	counts := make([]int64, bins)
+	for c := 0; c < nc; c++ {
+		base := c * bins
+		for b := 0; b < bins; b++ {
+			counts[b] += partials[base+b]
 		}
 	}
 	return counts

@@ -3,9 +3,12 @@ package sample
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
 	"testing"
 	"testing/quick"
+
+	"panda/internal/par"
 )
 
 // mkPoints builds packed coords and the identity index set.
@@ -286,5 +289,59 @@ func TestApproxMedianSingleValue(t *testing.T) {
 	v, _ := iv.ApproxMedian(h)
 	if v != 5 {
 		t.Fatalf("single-value median = %v, want 5", v)
+	}
+}
+
+// TestHistogramParMatchesSequential: per-chunk local histograms merged in
+// chunk order must equal the single-pass histogram exactly, for both bin
+// locators and any worker count.
+func TestHistogramParMatchesSequential(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	const n, dims, dim = 50_000, 4, 2
+	coords := make([]float32, n*dims)
+	for i := range coords {
+		coords[i] = float32((i*48271)%9973) / 131
+	}
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	boundaries := make([]float32, 700)
+	for i := range boundaries {
+		boundaries[i] = float32(i*11%9973) / 131
+	}
+	iv := NewIntervals(boundaries)
+	for _, useScan := range []bool{true, false} {
+		want := iv.Histogram(coords, dims, dim, idx, useScan)
+		for _, workers := range []int{1, 3, 8} {
+			got := iv.HistogramPar(coords, dims, dim, idx, useScan, par.NewPool(workers))
+			if len(got) != len(want) {
+				t.Fatalf("scan=%v workers=%d: %d bins, want %d", useScan, workers, len(got), len(want))
+			}
+			for b := range want {
+				if got[b] != want[b] {
+					t.Fatalf("scan=%v workers=%d bin %d: %d != %d", useScan, workers, b, got[b], want[b])
+				}
+			}
+		}
+	}
+}
+
+// TestHistogramIntoAccumulates: HistogramInto must add to, not overwrite,
+// the provided counts (the merge contract).
+func TestHistogramIntoAccumulates(t *testing.T) {
+	coords := []float32{0.1, 0.5, 0.9}
+	idx := []int32{0, 1, 2}
+	iv := NewIntervals([]float32{0.3, 0.7})
+	counts := make([]int64, iv.Bins())
+	iv.HistogramInto(counts, coords, 1, 0, idx, true)
+	iv.HistogramInto(counts, coords, 1, 0, idx, true)
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total != 6 {
+		t.Fatalf("two accumulating passes counted %d values, want 6", total)
 	}
 }

@@ -54,6 +54,11 @@ const (
 	kindCount
 )
 
+// NumKinds is the number of metered work kinds — the array size callers use
+// for per-kind accumulators that are replayed onto meters later (the
+// parallel build defers its charges this way).
+const NumKinds = int(kindCount)
+
 var kindNames = [...]string{"dist", "nodevisit", "histscan", "histbinary", "pointmove", "sample", "heap", "partition"}
 
 func (k Kind) String() string {

@@ -47,8 +47,11 @@ type Neighbor = kdtree.Neighbor
 type BuildOptions struct {
 	// BucketSize is the max leaf size (default 32, the paper's best).
 	BucketSize int
-	// Threads is the (simulated) thread count used for construction and
-	// batch queries (default 1).
+	// Threads is the thread count used for construction and batch queries
+	// (default 1). It is both the paper's simulated thread count (cost-model
+	// charging, stage switchover) and the cap on real parallelism: Build
+	// fans out to min(Threads, GOMAXPROCS) workers, and the produced tree
+	// is byte-identical at every setting — only wall-clock time changes.
 	Threads int
 	// SplitDimension is "variance" (default) or "range".
 	SplitDimension string
