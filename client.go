@@ -11,9 +11,14 @@ import (
 	"panda/internal/proto"
 )
 
-// ErrClientClosed is returned by Client calls after Close (or after the
-// connection failed).
+// ErrClientClosed is returned by Client calls after Close.
 var ErrClientClosed = errors.New("panda: client closed")
+
+// errConnLost marks transport-level failures — broken connections, failed
+// sends, malformed frames. Calls failing with it are safe to retry on a
+// fresh connection (KNN/radius/stats are pure reads); semantic server
+// errors (KindError responses) never wrap it.
+var errConnLost = errors.New("panda: connection lost")
 
 // errNonFiniteQuery rejects NaN/±Inf query inputs client-side; the server
 // enforces the same rule at its decode boundary (semantic KindError, the
@@ -26,18 +31,26 @@ var errNonFiniteQuery = errors.New("panda: non-finite query input (NaN/±Inf coo
 // per-request ids, so N goroutines sharing one Client keep N requests in
 // flight — which is exactly what the server's dynamic micro-batcher
 // coalesces into batched engine calls.
+//
+// Clients dialed with DialRetry/DialClusterRetry additionally reconnect and
+// retry idempotent calls after transport failures; see RetryPolicy.
 type Client struct {
-	nc     net.Conn
 	dims   int
 	points int64
+	addrs  []string    // redial targets, preference order
+	retry  RetryPolicy // zero value: no retries, no reconnect
 
 	wmu  sync.Mutex // serializes request writes
 	wbuf []byte
 
+	rmu sync.Mutex // serializes reconnect attempts
+
 	mu      sync.Mutex
-	nextID  uint64
+	nc      net.Conn // current connection; swapped by reconnect
+	closed  bool     // explicit Close: reconnect refuses to resurrect
+	nextID  uint64   // never reset, so ids stay unique across reconnects
 	pending map[uint64]chan clientResult
-	err     error // sticky; set once the reader dies
+	err     error // sticky per connection; cleared by a successful reconnect
 }
 
 // clientResult is one decoded response handed to a waiter.
@@ -61,17 +74,26 @@ type ServerStats struct {
 	MeanBatchSize float64
 	// ActiveConns is the server's current open-connection count.
 	ActiveConns int
+	// PeerFailures counts the rank's failed peer calls (transport level).
+	PeerFailures int64
+	// Failovers counts shard queries the rank answered via a replica
+	// because the shard's primary was unreachable.
+	Failovers int64
+	// Redials counts the rank's peer reconnect attempts.
+	Redials int64
+	// ReplicationBytes counts snapshot bytes the rank has streamed to
+	// re-replicating or joining peers.
+	ReplicationBytes int64
 }
 
 // DialTimeout bounds connection establishment and the handshake in Dial.
 const clientDialTimeout = 10 * time.Second
 
-// Dial connects to a panda server at addr and performs the protocol
-// handshake.
-func Dial(addr string) (*Client, error) {
+// dialConn establishes one connection and runs the handshake.
+func dialConn(addr string) (net.Conn, int, int64, error) {
 	nc, err := net.DialTimeout("tcp", addr, clientDialTimeout)
 	if err != nil {
-		return nil, err
+		return nil, 0, 0, err
 	}
 	if tc, ok := nc.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
@@ -79,22 +101,53 @@ func Dial(addr string) (*Client, error) {
 	nc.SetDeadline(time.Now().Add(clientDialTimeout))
 	if _, err := nc.Write(proto.AppendHello(nil)); err != nil {
 		nc.Close()
-		return nil, fmt.Errorf("panda: handshake: %w", err)
+		return nil, 0, 0, fmt.Errorf("panda: handshake: %w", err)
 	}
 	dims, points, err := proto.ReadWelcome(nc)
 	if err != nil {
 		nc.Close()
-		return nil, fmt.Errorf("panda: handshake: %w", err)
+		return nil, 0, 0, fmt.Errorf("panda: handshake: %w", err)
 	}
 	nc.SetDeadline(time.Time{})
+	return nc, dims, points, nil
+}
+
+// dialAny tries each address in order and returns the first that answers
+// the handshake.
+func dialAny(addrs []string) (net.Conn, int, int64, error) {
+	var errs []error
+	for _, addr := range addrs {
+		nc, dims, points, err := dialConn(addr)
+		if err == nil {
+			return nc, dims, points, nil
+		}
+		errs = append(errs, fmt.Errorf("%s: %w", addr, err))
+	}
+	return nil, 0, 0, errors.Join(errs...)
+}
+
+// newClient wraps an established connection.
+func newClient(nc net.Conn, dims int, points int64, addrs []string, retry RetryPolicy) *Client {
 	c := &Client{
 		nc:      nc,
 		dims:    dims,
 		points:  points,
+		addrs:   addrs,
+		retry:   retry,
 		pending: map[uint64]chan clientResult{},
 	}
-	go c.readLoop()
-	return c, nil
+	go c.readLoop(nc)
+	return c
+}
+
+// Dial connects to a panda server at addr and performs the protocol
+// handshake. The returned client does not retry; see DialRetry.
+func Dial(addr string) (*Client, error) {
+	nc, dims, points, err := dialConn(addr)
+	if err != nil {
+		return nil, err
+	}
+	return newClient(nc, dims, points, []string{addr}, RetryPolicy{}), nil
 }
 
 // DialCluster connects to a sharded panda cluster (panda-serve -cluster):
@@ -107,15 +160,11 @@ func DialCluster(addrs []string) (*Client, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("panda: DialCluster needs at least one address")
 	}
-	var errs []error
-	for _, addr := range addrs {
-		c, err := Dial(addr)
-		if err == nil {
-			return c, nil
-		}
-		errs = append(errs, fmt.Errorf("%s: %w", addr, err))
+	nc, dims, points, err := dialAny(addrs)
+	if err != nil {
+		return nil, fmt.Errorf("panda: no cluster rank reachable: %w", err)
 	}
-	return nil, fmt.Errorf("panda: no cluster rank reachable: %w", errors.Join(errs...))
+	return newClient(nc, dims, points, addrs, RetryPolicy{}), nil
 }
 
 // Dims returns the dimensionality of the served tree; every query must
@@ -125,16 +174,32 @@ func (c *Client) Dims() int { return c.dims }
 // Len returns the number of points indexed by the served tree.
 func (c *Client) Len() int64 { return c.points }
 
-// Close tears down the connection. In-flight calls return ErrClientClosed.
+// Close tears down the connection. In-flight calls return ErrClientClosed,
+// and a retrying client stops reconnecting.
 func (c *Client) Close() error {
-	err := c.nc.Close()
-	c.failAll(ErrClientClosed)
-	return err
+	c.mu.Lock()
+	c.closed = true
+	nc := c.nc
+	if c.err == nil {
+		c.err = ErrClientClosed
+	}
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- clientResult{err: ErrClientClosed}
+	}
+	c.mu.Unlock()
+	return nc.Close()
 }
 
-// failAll marks the client dead and releases every waiter.
-func (c *Client) failAll(err error) {
+// connFailed marks the connection nc dead and releases every waiter. It is
+// a no-op if nc is no longer the client's current connection (a stale
+// reader or writer reporting a failure the reconnect already replaced).
+func (c *Client) connFailed(nc net.Conn, err error) {
 	c.mu.Lock()
+	if c.nc != nc {
+		c.mu.Unlock()
+		return
+	}
 	if c.err == nil {
 		c.err = err
 	}
@@ -143,24 +208,25 @@ func (c *Client) failAll(err error) {
 		ch <- clientResult{err: c.err}
 	}
 	c.mu.Unlock()
+	nc.Close()
 }
 
-// readLoop is the single response reader: it decodes frames and routes them
-// to waiters by request id.
-func (c *Client) readLoop() {
+// readLoop is the single response reader for one connection: it decodes
+// frames and routes them to waiters by request id. A reconnect starts a
+// fresh readLoop for the new connection; this one exits on its conn's
+// first error.
+func (c *Client) readLoop(nc net.Conn) {
 	var buf []byte
 	for {
-		payload, err := proto.ReadFrame(c.nc, buf)
+		payload, err := proto.ReadFrame(nc, buf)
 		if err != nil {
-			c.failAll(fmt.Errorf("panda: connection lost: %w", err))
-			c.nc.Close()
+			c.connFailed(nc, fmt.Errorf("%w: %w", errConnLost, err))
 			return
 		}
 		buf = payload
 		var resp proto.Response
 		if err := proto.ConsumeResponse(payload, &resp); err != nil {
-			c.failAll(fmt.Errorf("panda: malformed response: %w", err))
-			c.nc.Close()
+			c.connFailed(nc, fmt.Errorf("%w: malformed response: %w", errConnLost, err))
 			return
 		}
 		c.mu.Lock()
@@ -176,9 +242,13 @@ func (c *Client) readLoop() {
 			res.err = fmt.Errorf("panda: server: %s", resp.Err)
 		case proto.KindStatsResult:
 			st := &ServerStats{
-				Queries:     int64(resp.Queries),
-				Batches:     int64(resp.Batches),
-				ActiveConns: int(resp.ActiveConns),
+				Queries:          int64(resp.Stats.Queries),
+				Batches:          int64(resp.Stats.Batches),
+				ActiveConns:      int(resp.Stats.ActiveConns),
+				PeerFailures:     int64(resp.Stats.PeerFailures),
+				Failovers:        int64(resp.Stats.Failovers),
+				Redials:          int64(resp.Stats.Redials),
+				ReplicationBytes: int64(resp.Stats.ReplicationBytes),
 			}
 			if st.Batches > 0 {
 				st.MeanBatchSize = float64(st.Queries) / float64(st.Batches)
@@ -193,22 +263,23 @@ func (c *Client) readLoop() {
 	}
 }
 
-// register allocates a request id and its result channel.
-func (c *Client) register() (uint64, chan clientResult, error) {
+// register allocates a request id and its result channel, returning the
+// connection the request must be written to.
+func (c *Client) register() (uint64, chan clientResult, net.Conn, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.err != nil {
-		return 0, nil, c.err
+		return 0, nil, nil, c.err
 	}
 	id := c.nextID
 	c.nextID++
 	ch := make(chan clientResult, 1)
 	c.pending[id] = ch
-	return id, ch, nil
+	return id, ch, c.nc, nil
 }
 
-// send frames and writes one encoded request payload.
-func (c *Client) send(encode func(b []byte) []byte) error {
+// send frames and writes one encoded request payload to nc.
+func (c *Client) send(nc net.Conn, encode func(b []byte) []byte) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
 	c.wbuf = proto.BeginFrame(c.wbuf[:0])
@@ -216,21 +287,27 @@ func (c *Client) send(encode func(b []byte) []byte) error {
 	if err := proto.FinishFrame(c.wbuf, 0); err != nil {
 		return err
 	}
-	_, err := c.nc.Write(c.wbuf)
+	_, err := nc.Write(c.wbuf)
 	return err
 }
 
-// call issues one request and waits for its response.
+// call issues one request on the current connection and waits for its
+// response (no retries; see callRetry).
 func (c *Client) call(encode func(b []byte, id uint64) []byte) (clientResult, error) {
-	id, ch, err := c.register()
+	id, ch, nc, err := c.register()
 	if err != nil {
 		return clientResult{}, err
 	}
-	if err := c.send(func(b []byte) []byte { return encode(b, id) }); err != nil {
+	if err := c.send(nc, func(b []byte) []byte { return encode(b, id) }); err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return clientResult{}, fmt.Errorf("panda: send: %w", err)
+		// The request never reached the server; flag the connection so the
+		// next attempt (and other in-flight callers) redial instead of
+		// writing into a broken pipe.
+		err = fmt.Errorf("%w: send: %w", errConnLost, err)
+		c.connFailed(nc, err)
+		return clientResult{}, err
 	}
 	res := <-ch
 	return res, res.err
@@ -247,7 +324,7 @@ func (c *Client) KNN(q []float32, k int) ([]Neighbor, error) {
 	if k < 1 || k > proto.MaxK {
 		return nil, fmt.Errorf("panda: k %d out of range [1, %d]", k, proto.MaxK)
 	}
-	res, err := c.call(func(b []byte, id uint64) []byte {
+	res, err := c.callRetry(func(b []byte, id uint64) []byte {
 		return proto.AppendKNNRequest(b, id, k, q, c.dims)
 	})
 	if err != nil {
@@ -273,7 +350,7 @@ func (c *Client) KNNBatch(queries []float32, k int) ([][]Neighbor, error) {
 		return nil, fmt.Errorf("panda: %d queries × k=%d exceeds the %d-neighbor response cap; split the batch",
 			nq, k, proto.MaxResultNeighbors)
 	}
-	res, err := c.call(func(b []byte, id uint64) []byte {
+	res, err := c.callRetry(func(b []byte, id uint64) []byte {
 		return proto.AppendKNNRequest(b, id, k, queries, c.dims)
 	})
 	if err != nil {
@@ -287,10 +364,10 @@ func (c *Client) KNNBatch(queries []float32, k int) ([][]Neighbor, error) {
 }
 
 // Stats returns the server's serving counters (queries answered, dispatch
-// batches, achieved batching factor, open connections). Against a cluster
-// rank, the counters are that rank's own.
+// batches, achieved batching factor, open connections, robustness
+// counters). Against a cluster rank, the counters are that rank's own.
 func (c *Client) Stats() (ServerStats, error) {
-	res, err := c.call(func(b []byte, id uint64) []byte {
+	res, err := c.callRetry(func(b []byte, id uint64) []byte {
 		return proto.AppendStatsRequest(b, id)
 	})
 	if err != nil {
@@ -311,7 +388,7 @@ func (c *Client) RadiusSearch(q []float32, r2 float32) ([]Neighbor, error) {
 	if !geom.AllFinite(q) || !geom.Finite(r2) {
 		return nil, errNonFiniteQuery
 	}
-	res, err := c.call(func(b []byte, id uint64) []byte {
+	res, err := c.callRetry(func(b []byte, id uint64) []byte {
 		return proto.AppendRadiusRequest(b, id, r2, q)
 	})
 	if err != nil {

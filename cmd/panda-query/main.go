@@ -74,12 +74,15 @@ func run(addrs []string, dataset string, n int, seed uint64, check bool, queries
 	}
 
 	// The cluster may still be joining its mesh and building: retry until
-	// every rank accepts the handshake.
+	// every rank accepts the handshake. DialRetry also arms each client to
+	// reconnect and re-send idempotent calls if its rank drops mid-workload
+	// — with server-side replication the answers after the reconnect are
+	// still bit-identical, which is exactly what -check verifies.
 	deadline := time.Now().Add(wait)
 	clients := make([]*panda.Client, len(addrs))
 	for i, addr := range addrs {
 		for {
-			clients[i], err = panda.Dial(addr)
+			clients[i], err = panda.DialRetry(addr, panda.DefaultRetry)
 			if err == nil {
 				break
 			}
@@ -193,8 +196,9 @@ func run(addrs []string, dataset string, n int, seed uint64, check bool, queries
 			if err != nil {
 				return fmt.Errorf("stats from %s: %w", addrs[i], err)
 			}
-			log.Printf("%s: %d queries in %d batches (mean batch %.1f), %d conns",
-				addrs[i], st.Queries, st.Batches, st.MeanBatchSize, st.ActiveConns)
+			log.Printf("%s: %d queries in %d batches (mean batch %.1f), %d conns; %d peer failures, %d failovers, %d redials, %d repl bytes",
+				addrs[i], st.Queries, st.Batches, st.MeanBatchSize, st.ActiveConns,
+				st.PeerFailures, st.Failovers, st.Redials, st.ReplicationBytes)
 		}
 	}
 	return nil

@@ -48,6 +48,26 @@
 // build, no dataset flags:
 //
 //	panda-serve -cluster -rank 0 -snapshot snapdir -serve 127.0.0.1:7071,127.0.0.1:7072
+//
+// # Replication and fault tolerance
+//
+// -replication R (default 2) records an R-way placement map in the snapshot
+// manifest: shard s is held by rank s plus its R-1 cyclic successors. A
+// warm-started rank opens every shard file the placement assigns it and the
+// serving layer fails queries over to replicas when a rank dies — answers
+// stay bit-identical as long as one copy of each shard survives, because
+// replicas are the same snapshot bytes. Ranks heartbeat each other, and a
+// surviving rank that becomes responsible for a dead rank's shard streams a
+// copy from another live holder automatically (the snapshot directory is
+// also the re-replication landing zone).
+//
+// -join brings a replacement rank into a running cluster with zero
+// downtime: before serving, the process streams the manifest and its
+// assigned shard files from the live ranks into -snapshot's directory, then
+// warm-starts from it as usual:
+//
+//	panda-serve -cluster -rank 1 -join -snapshot fresh-dir \
+//	    -serve 127.0.0.1:7071,127.0.0.1:7072
 package main
 
 import (
@@ -64,6 +84,7 @@ import (
 	"time"
 
 	"panda"
+	"panda/internal/core"
 	"panda/internal/data"
 	"panda/internal/ptsio"
 	"panda/internal/server"
@@ -90,12 +111,16 @@ func main() {
 		rank        = flag.Int("rank", 0, "this process's rank (with -cluster)")
 		mesh        = flag.String("mesh", "", "comma-separated rank mesh addresses, rank order (with -cluster; unused with -snapshot)")
 		serveAddrs  = flag.String("serve", "", "comma-separated rank serving addresses, rank order (with -cluster)")
+		replication = flag.Int("replication", panda.DefaultReplication, "shard copies recorded in the snapshot manifest (with -cluster -save-snapshot)")
+		join        = flag.Bool("join", false, "stream the snapshot from live ranks into -snapshot's directory before warm-starting (with -cluster)")
+		joinWait    = flag.Duration("join-timeout", 60*time.Second, "per-call timeout while streaming the join snapshot")
+		drain       = flag.Bool("drain", false, "on SIGTERM, wait until every held shard has another live holder before leaving (with -cluster)")
 	)
 	flag.Parse()
 	var err error
 	if *clusterMode {
 		err = runCluster(*in, *dataset, *n, *dims, *seed, *bucket, *threads, *batch, *linger, *grace,
-			*snapIn, *snapOut, *rank, splitAddrs(*mesh), splitAddrs(*serveAddrs))
+			*snapIn, *snapOut, *rank, splitAddrs(*mesh), splitAddrs(*serveAddrs), *replication, *join, *joinWait, *drain)
 	} else {
 		err = run(*in, *dataset, *n, *dims, *seed, *bucket, *threads, *addr, *batch, *linger, *grace, *snapIn, *snapOut)
 	}
@@ -203,7 +228,7 @@ func run(in, dataset string, n, dims int, seed uint64, bucket, threads int, addr
 		return err
 	}
 	log.Printf("serving on %s (batch=%d linger=%v)", ln.Addr(), batch, linger)
-	return serveUntilSignal(srv, ln, grace)
+	return serveUntilSignal(srv, ln, grace, false)
 }
 
 // runCluster serves one rank of the sharded cluster: either the cold path
@@ -211,32 +236,54 @@ func run(in, dataset string, n, dims int, seed uint64, bucket, threads int, addr
 // (-snapshot: restore the shard and global tree from the rank's snapshot
 // file, no mesh at all), then serve external clients on serveAddrs[rank].
 func runCluster(in, dataset string, n, dims int, seed uint64, bucket, threads, batch int, linger, grace time.Duration,
-	snapIn, snapOut string, rank int, mesh, serveAddrs []string) error {
+	snapIn, snapOut string, rank int, mesh, serveAddrs []string, replication int, join bool, joinWait time.Duration, drain bool) error {
 	if rank < 0 || rank >= len(serveAddrs) {
 		return fmt.Errorf("-rank %d out of range for %d serve addresses", rank, len(serveAddrs))
+	}
+	if join {
+		if snapIn == "" {
+			return fmt.Errorf("-join needs -snapshot naming the directory to stream into")
+		}
+		start := time.Now()
+		log.Printf("rank %d: joining — streaming snapshot from live ranks into %s", rank, snapIn)
+		if err := server.FetchClusterSnapshot(snapIn, rank, serveAddrs, joinWait); err != nil {
+			return fmt.Errorf("join: %w", err)
+		}
+		log.Printf("rank %d: join snapshot streamed in %v", rank, time.Since(start).Round(time.Millisecond))
 	}
 
 	var dt *panda.DistTree
 	var total int64
+	ccfg := server.ClusterConfig{
+		Config:     server.Config{MaxBatch: batch, MaxLinger: linger},
+		ServeAddrs: serveAddrs,
+	}
 	if snapIn != "" {
 		start := time.Now()
-		var err error
-		dt, err = panda.OpenClusterSnapshot(snapIn, rank)
+		cs, err := panda.OpenClusterSnapshotReplicated(snapIn, rank)
 		if err != nil {
 			return fmt.Errorf("opening cluster snapshot: %w", err)
 		}
-		defer dt.Close()
+		defer cs.Close()
+		dt = cs.Tree
 		total = dt.TotalPoints()
+		ccfg.ReplicaSets = cs.ReplicaSets
+		ccfg.Replicas = cs.Replicas
+		ccfg.SnapshotDir = snapIn
 		if threads > 0 {
 			dt.SetServingThreads(threads)
 		}
-		log.Printf("rank %d/%d: warm start from %s (%d local of %d total points) in %v",
-			rank, dt.Ranks(), snapIn, dt.LocalLen(), total, time.Since(start).Round(time.Microsecond))
-		if snapOut != "" {
+		log.Printf("rank %d/%d: warm start from %s (%d local of %d total points, %d replica shard(s), R=%d) in %v",
+			rank, dt.Ranks(), snapIn, dt.LocalLen(), total, len(cs.Replicas), cs.Replication,
+			time.Since(start).Round(time.Microsecond))
+		if len(cs.Missing) > 0 {
+			log.Printf("rank %d: held shard(s) %v not on disk yet; will stream them from live holders", rank, cs.Missing)
+		}
+		if snapOut != "" && snapOut != snapIn {
 			// Re-persisting a restored tree is purely local (the stored
 			// cluster total is reused; no mesh, no collective).
 			start := time.Now()
-			if err := dt.WriteSnapshot(snapOut); err != nil {
+			if err := dt.WriteSnapshotReplicated(snapOut, replication); err != nil {
 				return fmt.Errorf("saving cluster snapshot: %w", err)
 			}
 			log.Printf("rank %d: saved snapshot into %s in %v", rank, snapOut, time.Since(start).Round(time.Millisecond))
@@ -290,18 +337,22 @@ func runCluster(in, dataset string, n, dims int, seed uint64, bucket, threads, b
 		if snapOut != "" {
 			// Collective: every rank writes its shard, rank 0 the manifest.
 			start := time.Now()
-			if err := dt.WriteSnapshot(snapOut); err != nil {
+			if err := dt.WriteSnapshotReplicated(snapOut, replication); err != nil {
 				return fmt.Errorf("saving cluster snapshot: %w", err)
 			}
 			log.Printf("rank %d: saved snapshot into %s in %v", rank, snapOut, time.Since(start).Round(time.Millisecond))
+			// A cold-built rank has only its own shard in memory, but the
+			// manifest now assigns it replica shards too: hand the placement
+			// and the directory to the serving layer, whose repair loop
+			// streams the missing copies from their owner ranks in the
+			// background. Replicated serving converges without a restart.
+			ccfg.SnapshotDir = snapOut
+			ccfg.ReplicaSets = core.BuildReplicaSets(len(serveAddrs), replication)
 		}
 	}
 
-	srv, err := server.NewCluster(dt, server.ClusterConfig{
-		Config:      server.Config{MaxBatch: batch, MaxLinger: linger},
-		ServeAddrs:  serveAddrs,
-		TotalPoints: total,
-	})
+	ccfg.TotalPoints = total
+	srv, err := server.NewCluster(dt, ccfg)
 	if err != nil {
 		return err
 	}
@@ -310,15 +361,17 @@ func runCluster(in, dataset string, n, dims int, seed uint64, bucket, threads, b
 		return err
 	}
 	log.Printf("rank %d: serving on %s (batch=%d linger=%v)", rank, ln.Addr(), batch, linger)
-	return serveUntilSignal(srv, ln, grace)
+	return serveUntilSignal(srv, ln, grace, drain)
 }
 
 // serveUntilSignal serves until SIGINT/SIGTERM, then drains gracefully and
 // logs the lifetime serving counters. In cluster mode the drain is
 // best-effort across ranks: queries already read off this rank's wire are
 // answered, but a query needing a rank that has already exited fails with a
-// KindError rather than blocking shutdown.
-func serveUntilSignal(srv *server.Server, ln net.Listener, grace time.Duration) error {
+// KindError rather than blocking shutdown. With handoff (-drain) the rank
+// first waits — up to the grace budget — until every shard it serves has
+// another live holder, so its departure costs the cluster nothing.
+func serveUntilSignal(srv *server.Server, ln net.Listener, grace time.Duration, drain bool) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	serveErr := make(chan error, 1)
@@ -328,6 +381,22 @@ func serveUntilSignal(srv *server.Server, ln net.Listener, grace time.Duration) 
 	case err := <-serveErr:
 		return err
 	case s := <-sig:
+		if drain {
+			deadline := time.Now().Add(grace)
+			for {
+				err := srv.Drainable()
+				if err == nil {
+					log.Printf("drain: every held shard has another live holder; leaving")
+					break
+				}
+				if time.Now().After(deadline) {
+					log.Printf("drain: %v — leaving anyway after %v", err, grace)
+					break
+				}
+				log.Printf("drain: %v — waiting", err)
+				time.Sleep(time.Second)
+			}
+		}
 		log.Printf("received %v, draining in-flight queries (budget %v)", s, grace)
 		ctx, cancel := context.WithTimeout(context.Background(), grace)
 		defer cancel()
@@ -336,6 +405,10 @@ func serveUntilSignal(srv *server.Server, ln net.Listener, grace time.Duration) 
 		}
 		st := srv.Stats()
 		log.Printf("served %d queries in %d batches (mean batch %.1f)", st.Queries, st.Batches, st.MeanBatchSize)
+		if st.PeerFailures+st.Failovers+st.Redials+st.ReplicationBytes > 0 {
+			log.Printf("robustness: %d peer failures, %d failovers, %d redials, %d replication bytes served",
+				st.PeerFailures, st.Failovers, st.Redials, st.ReplicationBytes)
+		}
 		log.Printf("drained; bye")
 		return nil
 	}

@@ -1,0 +1,90 @@
+package core
+
+// Replica placement: which ranks hold a copy of each shard.
+//
+// The distributed tree's global partition tree maps a query point to exactly
+// one *shard* (historically identical to one rank). Replication separates
+// the two: shard s is stored on R ranks — its primary plus R-1 successors —
+// so the cluster keeps answering, bit-identically, while any one copy of
+// each shard survives. Placement is the deterministic round-robin successor
+// rule (shard s lives on ranks s, s+1, …, s+R-1 mod P), which every rank can
+// compute locally from (P, R) alone: no placement service, no coordination,
+// and a joining rank knows exactly which shards to pull. The serving layer
+// composes this with per-peer health to route each shard to its first live
+// holder (internal/server's failover router).
+
+import "fmt"
+
+// ReplicaRanks appends to out the ordered ranks holding shard s under R-way
+// round-robin successor placement over p ranks: s itself (the primary) then
+// its R-1 cyclic successors. R is clamped to [1, p].
+func ReplicaRanks(s, p, r int, out []int) []int {
+	if r < 1 {
+		r = 1
+	}
+	if r > p {
+		r = p
+	}
+	for i := 0; i < r; i++ {
+		out = append(out, (s+i)%p)
+	}
+	return out
+}
+
+// BuildReplicaSets returns the full placement map for p shards at
+// replication factor r: ReplicaSets[s] is the ordered holder list of shard
+// s, primary first.
+func BuildReplicaSets(p, r int) [][]int {
+	sets := make([][]int, p)
+	for s := 0; s < p; s++ {
+		sets[s] = ReplicaRanks(s, p, r, nil)
+	}
+	return sets
+}
+
+// HeldShards appends to out every shard rank holds under the placement map
+// (primary or replica), in shard order.
+func HeldShards(sets [][]int, rank int, out []int) []int {
+	for s, holders := range sets {
+		for _, h := range holders {
+			if h == rank {
+				out = append(out, s)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ValidateReplicaSets checks a placement map loaded from an external source
+// (the cluster manifest): one entry per shard, every holder list non-empty
+// with in-range distinct ranks, and holder 0 — the primary — equal to the
+// shard itself, which is what lets an un-replicated cluster treat the map as
+// the identity.
+func ValidateReplicaSets(sets [][]int, p int) error {
+	if len(sets) != p {
+		return fmt.Errorf("core: replica map covers %d shards, cluster has %d", len(sets), p)
+	}
+	for s, holders := range sets {
+		if len(holders) == 0 {
+			return fmt.Errorf("core: shard %d has no holders", s)
+		}
+		if len(holders) > p {
+			return fmt.Errorf("core: shard %d lists %d holders for %d ranks", s, len(holders), p)
+		}
+		if holders[0] != s {
+			return fmt.Errorf("core: shard %d's first holder is rank %d, want the primary %d", s, holders[0], s)
+		}
+		seen := make(map[int]bool, len(holders))
+		for _, h := range holders {
+			if h < 0 || h >= p {
+				return fmt.Errorf("core: shard %d holder rank %d out of range [0,%d)", s, h, p)
+			}
+			if seen[h] {
+				return fmt.Errorf("core: shard %d lists rank %d twice", s, h)
+			}
+			seen[h] = true
+		}
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+package core
+
+import "testing"
+
+func TestReplicaRanksPlacement(t *testing.T) {
+	cases := []struct {
+		s, p, r int
+		want    []int
+	}{
+		{0, 4, 2, []int{0, 1}},
+		{3, 4, 2, []int{3, 0}},
+		{2, 4, 1, []int{2}},
+		{1, 4, 4, []int{1, 2, 3, 0}},
+		{1, 4, 9, []int{1, 2, 3, 0}}, // R clamped to P
+		{2, 4, 0, []int{2}},          // R clamped to 1
+	}
+	for _, c := range cases {
+		got := ReplicaRanks(c.s, c.p, c.r, nil)
+		if len(got) != len(c.want) {
+			t.Fatalf("ReplicaRanks(%d,%d,%d) = %v, want %v", c.s, c.p, c.r, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("ReplicaRanks(%d,%d,%d) = %v, want %v", c.s, c.p, c.r, got, c.want)
+			}
+		}
+	}
+}
+
+func TestBuildReplicaSetsValidates(t *testing.T) {
+	for p := 1; p <= 9; p++ {
+		for r := 1; r <= p; r++ {
+			sets := BuildReplicaSets(p, r)
+			if err := ValidateReplicaSets(sets, p); err != nil {
+				t.Fatalf("p=%d r=%d: built placement rejected: %v", p, r, err)
+			}
+			// Every rank holds exactly r shards under round-robin placement.
+			for rank := 0; rank < p; rank++ {
+				if held := HeldShards(sets, rank, nil); len(held) != r {
+					t.Fatalf("p=%d r=%d: rank %d holds %v, want %d shards", p, r, rank, held, r)
+				}
+			}
+		}
+	}
+}
+
+func TestValidateReplicaSetsRejectsHostile(t *testing.T) {
+	bad := []struct {
+		name string
+		sets [][]int
+		p    int
+	}{
+		{"wrong shard count", [][]int{{0}}, 2},
+		{"empty holders", [][]int{{0, 1}, {}}, 2},
+		{"too many holders", [][]int{{0, 1, 0}, {1, 0}}, 2},
+		{"primary not first", [][]int{{1, 0}, {1, 0}}, 2},
+		{"rank out of range", [][]int{{0, 7}, {1, 0}}, 2},
+		{"negative rank", [][]int{{0, -1}, {1, 0}}, 2},
+		{"duplicate holder", [][]int{{0, 0}, {1, 0}}, 2},
+	}
+	for _, c := range bad {
+		if err := ValidateReplicaSets(c.sets, c.p); err == nil {
+			t.Fatalf("%s: accepted %v", c.name, c.sets)
+		}
+	}
+}
+
+func TestHeldShards(t *testing.T) {
+	sets := BuildReplicaSets(4, 2)
+	// Rank 1 holds its own shard 1 plus shard 0 (as 0's successor replica).
+	got := HeldShards(sets, 1, nil)
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("HeldShards(rank 1) = %v, want [0 1]", got)
+	}
+	// Rank 0 holds shard 0 and, via wraparound, shard 3.
+	got = HeldShards(sets, 0, nil)
+	if len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("HeldShards(rank 0) = %v, want [0 3]", got)
+	}
+}

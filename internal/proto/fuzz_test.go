@@ -15,6 +15,11 @@ func FuzzConsumeRequest(f *testing.F) {
 	f.Add(AppendRemoteKNNRequest(nil, 4, 5, 0.25, []float32{1, 2, 3}), 3)
 	f.Add(AppendRemoteRadiusRequest(nil, 5, 0.75, []float32{1, 2}), 2)
 	f.Add(AppendStatsRequest(nil, 6), 2)
+	f.Add(AppendPingRequest(nil, 7), 2)
+	f.Add(AppendShardKNNRequest(nil, 8, 2, 5, []float32{1, 2, 3}, 3), 3)
+	f.Add(AppendShardRemoteKNNRequest(nil, 9, 1, 5, 0.25, []float32{1, 2, 3}), 3)
+	f.Add(AppendShardRadiusRequest(nil, 10, 3, 0.5, []float32{1, 2}), 2)
+	f.Add(AppendFetchSectionRequest(nil, 11, 0, 4096, 65536), 2)
 	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, 1)
 	f.Add([]byte{}, 1)
 	f.Fuzz(func(t *testing.T, payload []byte, dims int) {
@@ -31,22 +36,29 @@ func FuzzConsumeRequest(f *testing.F) {
 				t.Fatalf("accepted non-finite coordinate %v", c)
 			}
 		}
+		if req.Shard < 0 || req.Shard >= MaxShards {
+			t.Fatalf("accepted out-of-range shard %d", req.Shard)
+		}
 		switch req.Kind {
-		case KindKNN:
+		case KindKNN, KindShardKNN:
 			if req.K < 1 || req.K > MaxK || req.NQ < 1 || req.NQ*dims != len(req.Coords) {
 				t.Fatalf("accepted invalid KNN request %+v (dims %d)", req, dims)
 			}
-		case KindRadius, KindRemoteRadius:
+		case KindRadius, KindRemoteRadius, KindShardRadius:
 			if len(req.Coords) != dims || req.R2-req.R2 != 0 {
 				t.Fatalf("accepted invalid radius request %+v (dims %d)", req, dims)
 			}
-		case KindRemoteKNN:
+		case KindRemoteKNN, KindShardRemoteKNN:
 			if req.K < 1 || req.K > MaxK || len(req.Coords) != dims || req.R2-req.R2 != 0 {
 				t.Fatalf("accepted invalid remote KNN request %+v (dims %d)", req, dims)
 			}
-		case KindStats:
+		case KindStats, KindPing:
 			if req.K != 0 || req.NQ != 0 || req.R2 != 0 || len(req.Coords) != 0 {
-				t.Fatalf("accepted stats request with a body: %+v", req)
+				t.Fatalf("accepted header-only request with a body: %+v", req)
+			}
+		case KindFetchSection:
+			if req.FetchLen < 1 || req.FetchLen > MaxSectionChunk {
+				t.Fatalf("accepted invalid fetch request %+v", req)
 			}
 		default:
 			t.Fatalf("accepted unknown kind %d", req.Kind)
@@ -64,6 +76,16 @@ func FuzzConsumeRequest(f *testing.F) {
 			out = AppendRemoteRadiusRequest(nil, req.ID, req.R2, req.Coords)
 		case KindStats:
 			out = AppendStatsRequest(nil, req.ID)
+		case KindPing:
+			out = AppendPingRequest(nil, req.ID)
+		case KindShardKNN:
+			out = AppendShardKNNRequest(nil, req.ID, req.Shard, req.K, req.Coords, dims)
+		case KindShardRemoteKNN:
+			out = AppendShardRemoteKNNRequest(nil, req.ID, req.Shard, req.K, req.R2, req.Coords)
+		case KindShardRadius:
+			out = AppendShardRadiusRequest(nil, req.ID, req.Shard, req.R2, req.Coords)
+		case KindFetchSection:
+			out = AppendFetchSectionRequest(nil, req.ID, req.Shard, req.FetchOff, req.FetchLen)
 		}
 		if string(out) != string(payload) {
 			t.Fatalf("reencode mismatch:\n got %x\nwant %x", out, payload)
@@ -76,7 +98,9 @@ func FuzzConsumeRequest(f *testing.F) {
 func FuzzConsumeResponse(f *testing.F) {
 	f.Add(AppendNeighborsResponse(nil, 1, []int32{0, 2}, []kdtree.Neighbor{{ID: 1, Dist2: 2}, {ID: 3, Dist2: 4}}))
 	f.Add(AppendErrorResponse(nil, 2, "bad"))
-	f.Add(AppendStatsResponse(nil, 4, 100, 10, 3))
+	f.Add(AppendStatsResponse(nil, 4, StatsBody{Queries: 100, Batches: 10, ActiveConns: 3, Failovers: 2}))
+	f.Add(AppendPongResponse(nil, 5))
+	f.Add(AppendSectionDataResponse(nil, 6, 1, 4096, 1<<20, 0xABCD, []byte{1, 2, 3}))
 	f.Add([]byte{3, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		var resp Response
@@ -94,6 +118,14 @@ func FuzzConsumeResponse(f *testing.F) {
 			}
 			if int(resp.Offsets[len(resp.Offsets)-1]) != len(resp.Flat) {
 				t.Fatalf("offsets end %d != %d neighbors", resp.Offsets[len(resp.Offsets)-1], len(resp.Flat))
+			}
+		}
+		if resp.Kind == KindSectionData {
+			if len(resp.Data) > MaxSectionChunk {
+				t.Fatalf("accepted %d-byte section chunk over the %d cap", len(resp.Data), MaxSectionChunk)
+			}
+			if resp.Shard < 0 || resp.Shard >= MaxShards {
+				t.Fatalf("accepted out-of-range shard %d", resp.Shard)
 			}
 		}
 	})

@@ -40,10 +40,15 @@
 //
 // followed by a kind-specific body:
 //
-//	KindKNN:       k uint32 | nq uint32 | coords nq*dims*float32
-//	KindRadius:    r2 float32 | coords dims*float32
-//	KindNeighbors: nq uint32 | counts nq*uint32 | pairs Σcounts×(id int64, d2 float32)
-//	KindError:     msg uint32-length-prefixed UTF-8
+//	KindKNN:            k uint32 | nq uint32 | coords nq*dims*float32
+//	KindRadius:         r2 float32 | coords dims*float32
+//	KindNeighbors:      nq uint32 | counts nq*uint32 | pairs Σcounts×(id int64, d2 float32)
+//	KindError:          msg uint32-length-prefixed UTF-8
+//	KindShardKNN:       shard uint32 | KindKNN body
+//	KindShardRemoteKNN: shard uint32 | k uint32 | r2 float32 | coords dims*float32
+//	KindShardRadius:    shard uint32 | r2 float32 | coords dims*float32
+//	KindFetchSection:   shard uint32 | off uint64 | maxLen uint32
+//	KindSectionData:    shard uint32 | off uint64 | fileSize uint64 | crc32c uint32 | data uint32-length-prefixed
 //
 // Request ids are client-chosen and may be pipelined: the server answers
 // every request exactly once but in any order, so a client can keep many
@@ -81,16 +86,45 @@ const MaxFrame = 64 << 20
 // serving (§III-B steps 3–4): they address one rank's local shard only and
 // are never routed, which is what lets the owner's remote-candidate
 // exchange and the router's radius fan-out terminate instead of cascading.
+// The shard-addressed kinds are their replication-aware counterparts: they
+// name the shard explicitly, so a rank holding a *replica* of a dead
+// primary's shard can answer for it — the failover path stays bit-identical
+// because the replica tree is byte-identical to the primary's. Ping and the
+// section kinds carry no query work: Ping is the peer health probe, and
+// FetchSection/SectionData stream a shard's snapshot file chunk by chunk
+// for re-replication and rank join.
 const (
-	KindKNN          uint8 = 1 // request: k nearest neighbors for nq queries
-	KindRadius       uint8 = 2 // request: all points within squared radius r2
-	KindNeighbors    uint8 = 3 // response: neighbor lists for each query
-	KindError        uint8 = 4 // response: request failed; body is the reason
-	KindRemoteKNN    uint8 = 5 // request: ≤k local-shard candidates within pruning bound r2
-	KindRemoteRadius uint8 = 6 // request: local-shard radius search (no cluster fan-out)
-	KindStats        uint8 = 7 // request: serving counters (no body)
-	KindStatsResult  uint8 = 8 // response: queries served, batches dispatched, active conns
+	KindKNN            uint8 = 1  // request: k nearest neighbors for nq queries
+	KindRadius         uint8 = 2  // request: all points within squared radius r2
+	KindNeighbors      uint8 = 3  // response: neighbor lists for each query
+	KindError          uint8 = 4  // response: request failed; body is the reason
+	KindRemoteKNN      uint8 = 5  // request: ≤k local-shard candidates within pruning bound r2
+	KindRemoteRadius   uint8 = 6  // request: local-shard radius search (no cluster fan-out)
+	KindStats          uint8 = 7  // request: serving counters (no body)
+	KindStatsResult    uint8 = 8  // response: queries served, batches dispatched, active conns
+	KindPing           uint8 = 9  // request: peer liveness probe (no body)
+	KindPong           uint8 = 10 // response: liveness ack (no body)
+	KindShardKNN       uint8 = 11 // request: owner-pipeline KNN for an explicit shard (failover forwarding)
+	KindShardRemoteKNN uint8 = 12 // request: bounded candidates from an explicit shard's replica
+	KindShardRadius    uint8 = 13 // request: radius search on an explicit shard's replica
+	KindFetchSection   uint8 = 14 // request: one chunk of a shard's snapshot file
+	KindSectionData    uint8 = 15 // response: chunk bytes + file size + chunk crc32c
 )
+
+// MaxShards caps a shard id on the wire (matches the snapshot format's rank
+// cap).
+const MaxShards = 1 << 16
+
+// ManifestShard is the reserved shard id a FetchSection request uses to
+// stream the cluster manifest file instead of a shard snapshot (rank joins
+// need the manifest before they know any topology). Real shard ids stay
+// below it: the manifest parser caps a cluster at MaxShards-1 ranks.
+const ManifestShard = MaxShards - 1
+
+// MaxSectionChunk caps one FetchSection request/response chunk (1 MiB):
+// small enough to interleave with query traffic on the shared peer
+// connection, large enough that a shard snapshot streams in few round trips.
+const MaxSectionChunk = 1 << 20
 
 // headerLen is kind + id.
 const headerLen = 1 + 8
@@ -212,11 +246,15 @@ func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
 // Coords[:0]), so a steady-state reader performs no per-request allocation.
 type Request struct {
 	ID     uint64
-	Kind   uint8     // KindKNN, KindRadius, KindRemoteKNN, or KindRemoteRadius
-	K      int       // KindKNN, KindRemoteKNN
-	NQ     int       // KindKNN: number of query points (1 for the other kinds)
-	R2     float32   // KindRadius, KindRemoteRadius, KindRemoteKNN (pruning bound)
+	Kind   uint8     // any request kind
+	K      int       // KindKNN, KindRemoteKNN, and their shard-addressed forms
+	NQ     int       // Kind(Shard)KNN: number of query points (1 for the other kinds)
+	R2     float32   // radius kinds and remote-KNN kinds (pruning bound)
 	Coords []float32 // NQ*dims (KNN) or dims (single-point kinds) coordinates
+	// Shard-addressed and section-streaming fields.
+	Shard    int    // shard kinds, KindFetchSection: which shard's tree/file
+	FetchOff uint64 // KindFetchSection: byte offset into the shard's snapshot file
+	FetchLen int    // KindFetchSection: max chunk bytes to return (≤ MaxSectionChunk)
 }
 
 // MaxK caps the requested neighbor count per query.
@@ -284,15 +322,111 @@ func AppendStatsRequest(b []byte, id uint64) []byte {
 	return wire.AppendUint64(b, id)
 }
 
-// AppendStatsResponse encodes a KindStatsResult response: lifetime queries
-// answered and dispatch batches run by the serving process, plus its
-// current open-connection count.
-func AppendStatsResponse(b []byte, id uint64, queries, batches uint64, activeConns uint32) []byte {
+// StatsBody is the KindStatsResult payload: lifetime serving counters plus
+// the robustness counters the replication layer maintains.
+type StatsBody struct {
+	Queries     uint64 // queries answered
+	Batches     uint64 // dispatch batches run
+	ActiveConns uint32 // currently open client connections
+	// Robustness counters (zero on an un-replicated server).
+	PeerFailures     uint64 // peer calls that failed at the transport level
+	Failovers        uint64 // shard queries answered by a replica after its primary failed
+	Redials          uint64 // peer reconnect attempts after a broken link
+	ReplicationBytes uint64 // snapshot bytes served to re-replicating/joining ranks
+}
+
+// AppendStatsResponse encodes a KindStatsResult response.
+func AppendStatsResponse(b []byte, id uint64, s StatsBody) []byte {
 	b = append(b, KindStatsResult)
 	b = wire.AppendUint64(b, id)
-	b = wire.AppendUint64(b, queries)
-	b = wire.AppendUint64(b, batches)
-	return wire.AppendUint32(b, activeConns)
+	b = wire.AppendUint64(b, s.Queries)
+	b = wire.AppendUint64(b, s.Batches)
+	b = wire.AppendUint32(b, s.ActiveConns)
+	b = wire.AppendUint64(b, s.PeerFailures)
+	b = wire.AppendUint64(b, s.Failovers)
+	b = wire.AppendUint64(b, s.Redials)
+	return wire.AppendUint64(b, s.ReplicationBytes)
+}
+
+// AppendPingRequest encodes a KindPing health probe (header only). Pings
+// share the peer connection with query traffic, so answering one proves the
+// whole serving loop — conn, reader, responder — is live, not just the port.
+func AppendPingRequest(b []byte, id uint64) []byte {
+	b = append(b, KindPing)
+	return wire.AppendUint64(b, id)
+}
+
+// AppendPongResponse encodes a KindPong ack (header only).
+func AppendPongResponse(b []byte, id uint64) []byte {
+	b = append(b, KindPong)
+	return wire.AppendUint64(b, id)
+}
+
+// AppendShardKNNRequest encodes a KindShardKNN request: run the full owner
+// pipeline for these queries against the named shard's tree, whichever copy
+// the receiver holds. This is the failover form of KindKNN forwarding — a
+// plain forwarded KindKNN would make the receiver recompute the owner and
+// try to forward to the dead primary again.
+func AppendShardKNNRequest(b []byte, id uint64, shard, k int, coords []float32, dims int) []byte {
+	b = append(b, KindShardKNN)
+	b = wire.AppendUint64(b, id)
+	b = wire.AppendUint32(b, uint32(shard))
+	b = wire.AppendUint32(b, uint32(k))
+	b = wire.AppendUint32(b, uint32(len(coords)/dims))
+	b = wire.AppendFloat32s(b, coords)
+	return b
+}
+
+// AppendShardRemoteKNNRequest encodes a KindShardRemoteKNN request: the
+// replica-aware KindRemoteKNN — ≤k candidates strictly within r2 from the
+// named shard's tree.
+func AppendShardRemoteKNNRequest(b []byte, id uint64, shard, k int, r2 float32, q []float32) []byte {
+	b = append(b, KindShardRemoteKNN)
+	b = wire.AppendUint64(b, id)
+	b = wire.AppendUint32(b, uint32(shard))
+	b = wire.AppendUint32(b, uint32(k))
+	b = wire.AppendFloat32(b, r2)
+	b = wire.AppendFloat32s(b, q)
+	return b
+}
+
+// AppendShardRadiusRequest encodes a KindShardRadius request: the
+// replica-aware KindRemoteRadius against the named shard's tree.
+func AppendShardRadiusRequest(b []byte, id uint64, shard int, r2 float32, q []float32) []byte {
+	b = append(b, KindShardRadius)
+	b = wire.AppendUint64(b, id)
+	b = wire.AppendUint32(b, uint32(shard))
+	b = wire.AppendFloat32(b, r2)
+	b = wire.AppendFloat32s(b, q)
+	return b
+}
+
+// AppendFetchSectionRequest encodes a KindFetchSection request: up to
+// maxLen bytes of the named shard's snapshot file starting at off. The
+// receiver answers with KindSectionData (or KindError if it doesn't hold
+// the shard); the fetcher walks off forward until it has fileSize bytes.
+func AppendFetchSectionRequest(b []byte, id uint64, shard int, off uint64, maxLen int) []byte {
+	b = append(b, KindFetchSection)
+	b = wire.AppendUint64(b, id)
+	b = wire.AppendUint32(b, uint32(shard))
+	b = wire.AppendUint64(b, off)
+	return wire.AppendUint32(b, uint32(maxLen))
+}
+
+// AppendSectionDataResponse encodes a KindSectionData response: one chunk of
+// the shard's snapshot file plus the file's total size (so the fetcher can
+// size its buffer on the first chunk) and the chunk's crc32c. The per-chunk
+// CRC catches transport corruption early; the assembled file is additionally
+// validated by the PNDS trailer CRC before anything trusts it.
+func AppendSectionDataResponse(b []byte, id uint64, shard int, off, fileSize uint64, crc uint32, data []byte) []byte {
+	b = append(b, KindSectionData)
+	b = wire.AppendUint64(b, id)
+	b = wire.AppendUint32(b, uint32(shard))
+	b = wire.AppendUint64(b, off)
+	b = wire.AppendUint64(b, fileSize)
+	b = wire.AppendUint32(b, crc)
+	b = wire.AppendUint32(b, uint32(len(data)))
+	return append(b, data...)
 }
 
 // ConsumeRequest decodes a request payload for a tree of the given
@@ -308,13 +442,20 @@ func ConsumeRequest(payload []byte, dims int, req *Request) error {
 	req.Kind = d.Uint8()
 	req.ID = d.Uint64()
 	req.Coords = req.Coords[:0]
+	req.Shard, req.FetchOff, req.FetchLen = 0, 0, 0
 	switch req.Kind {
-	case KindKNN:
+	case KindKNN, KindShardKNN:
+		if req.Kind == KindShardKNN {
+			req.Shard = int(d.Uint32())
+		}
 		req.K = int(d.Uint32())
 		req.NQ = int(d.Uint32())
 		req.Coords = d.Float32sInto(req.Coords, MaxFrame/4)
 		if err := d.Err(); err != nil {
 			return fmt.Errorf("%w: %w", ErrMalformed, err)
+		}
+		if req.Shard < 0 || req.Shard >= MaxShards {
+			return fmt.Errorf("proto: shard %d out of range [0, %d)", req.Shard, MaxShards)
 		}
 		if req.K < 1 || req.K > MaxK {
 			return fmt.Errorf("proto: k %d out of range [1, %d]", req.K, MaxK)
@@ -326,8 +467,11 @@ func ConsumeRequest(payload []byte, dims int, req *Request) error {
 			return fmt.Errorf("proto: %d queries × k=%d exceeds the %d-neighbor response cap; split the batch",
 				req.NQ, req.K, MaxResultNeighbors)
 		}
-	case KindRadius, KindRemoteRadius, KindRemoteKNN:
-		if req.Kind == KindRemoteKNN {
+	case KindRadius, KindRemoteRadius, KindRemoteKNN, KindShardRadius, KindShardRemoteKNN:
+		if req.Kind == KindShardRadius || req.Kind == KindShardRemoteKNN {
+			req.Shard = int(d.Uint32())
+		}
+		if req.Kind == KindRemoteKNN || req.Kind == KindShardRemoteKNN {
 			req.K = int(d.Uint32())
 		}
 		req.R2 = d.Float32()
@@ -336,7 +480,10 @@ func ConsumeRequest(payload []byte, dims int, req *Request) error {
 			return fmt.Errorf("%w: %w", ErrMalformed, err)
 		}
 		req.NQ = 1
-		if req.Kind == KindRemoteKNN && (req.K < 1 || req.K > MaxK) {
+		if req.Shard < 0 || req.Shard >= MaxShards {
+			return fmt.Errorf("proto: shard %d out of range [0, %d)", req.Shard, MaxShards)
+		}
+		if (req.Kind == KindRemoteKNN || req.Kind == KindShardRemoteKNN) && (req.K < 1 || req.K > MaxK) {
 			return fmt.Errorf("proto: k %d out of range [1, %d]", req.K, MaxK)
 		}
 		if len(req.Coords) != dims {
@@ -345,12 +492,26 @@ func ConsumeRequest(payload []byte, dims int, req *Request) error {
 		if !geom.Finite(req.R2) {
 			return fmt.Errorf("proto: non-finite squared radius %v", req.R2)
 		}
-	case KindStats:
-		// Header-only request; the stats path never reaches the dispatcher,
-		// so the batching fields stay zero.
+	case KindStats, KindPing:
+		// Header-only requests; neither reaches the dispatcher, so the
+		// batching fields stay zero.
 		req.K, req.NQ, req.R2 = 0, 0, 0
 		if err := d.Err(); err != nil {
 			return fmt.Errorf("%w: %w", ErrMalformed, err)
+		}
+	case KindFetchSection:
+		req.Shard = int(d.Uint32())
+		req.FetchOff = d.Uint64()
+		req.FetchLen = int(d.Uint32())
+		req.K, req.NQ, req.R2 = 0, 0, 0
+		if err := d.Err(); err != nil {
+			return fmt.Errorf("%w: %w", ErrMalformed, err)
+		}
+		if req.Shard < 0 || req.Shard >= MaxShards {
+			return fmt.Errorf("proto: shard %d out of range [0, %d)", req.Shard, MaxShards)
+		}
+		if req.FetchLen < 1 || req.FetchLen > MaxSectionChunk {
+			return fmt.Errorf("proto: fetch chunk %d bytes out of range [1, %d]", req.FetchLen, MaxSectionChunk)
 		}
 	default:
 		if err := d.Err(); err != nil {
@@ -397,17 +558,22 @@ func AppendErrorResponse(b []byte, id uint64, msg string) []byte {
 }
 
 // Response is a decoded server response. Offsets and Flat are reused
-// across decodes when the caller keeps the struct alive.
+// across decodes when the caller keeps the struct alive; Data aliases the
+// decoded payload buffer and must be copied before the buffer is reused.
 type Response struct {
 	ID      uint64
-	Kind    uint8 // KindNeighbors, KindError, or KindStatsResult
+	Kind    uint8 // KindNeighbors, KindError, KindStatsResult, KindPong, or KindSectionData
 	Err     string
 	Offsets []int32 // nq+1 arena offsets into Flat
 	Flat    []kdtree.Neighbor
 	// KindStatsResult payload.
-	Queries     uint64
-	Batches     uint64
-	ActiveConns uint32
+	Stats StatsBody
+	// KindSectionData payload.
+	Shard    int
+	FetchOff uint64
+	FileSize uint64 // total snapshot file size, repeated on every chunk
+	ChunkCRC uint32 // crc32c of Data
+	Data     []byte // chunk bytes — a view into the payload, not a copy
 }
 
 // ConsumeResponse decodes a response payload into resp, reusing its slices.
@@ -418,7 +584,8 @@ func ConsumeResponse(payload []byte, resp *Response) error {
 	resp.Err = ""
 	resp.Offsets = resp.Offsets[:0]
 	resp.Flat = resp.Flat[:0]
-	resp.Queries, resp.Batches, resp.ActiveConns = 0, 0, 0
+	resp.Stats = StatsBody{}
+	resp.Shard, resp.FetchOff, resp.FileSize, resp.ChunkCRC, resp.Data = 0, 0, 0, 0, nil
 	switch resp.Kind {
 	case KindNeighbors:
 		nq := d.Len(4, MaxFrame/4)
@@ -455,11 +622,33 @@ func ConsumeResponse(payload []byte, resp *Response) error {
 		}
 		resp.Err = string(msg)
 	case KindStatsResult:
-		resp.Queries = d.Uint64()
-		resp.Batches = d.Uint64()
-		resp.ActiveConns = d.Uint32()
+		resp.Stats.Queries = d.Uint64()
+		resp.Stats.Batches = d.Uint64()
+		resp.Stats.ActiveConns = d.Uint32()
+		resp.Stats.PeerFailures = d.Uint64()
+		resp.Stats.Failovers = d.Uint64()
+		resp.Stats.Redials = d.Uint64()
+		resp.Stats.ReplicationBytes = d.Uint64()
 		if err := d.Err(); err != nil {
 			return err
+		}
+	case KindPong:
+		// Header-only ack.
+		if err := d.Err(); err != nil {
+			return err
+		}
+	case KindSectionData:
+		resp.Shard = int(d.Uint32())
+		resp.FetchOff = d.Uint64()
+		resp.FileSize = d.Uint64()
+		resp.ChunkCRC = d.Uint32()
+		n := d.Len(1, MaxSectionChunk)
+		resp.Data = d.Bytes(n)
+		if err := d.Err(); err != nil {
+			return err
+		}
+		if resp.Shard < 0 || resp.Shard >= MaxShards {
+			return fmt.Errorf("proto: shard %d out of range [0, %d)", resp.Shard, MaxShards)
 		}
 	default:
 		if err := d.Err(); err != nil {

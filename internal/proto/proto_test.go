@@ -78,6 +78,55 @@ func TestRequestRoundTrip(t *testing.T) {
 	if req.ID != 10 || req.Kind != KindRemoteRadius || req.R2 != 0.75 || len(req.Coords) != 3 {
 		t.Fatalf("decoded %+v", req)
 	}
+
+	// Shard-addressed kinds carry the explicit shard through the decode.
+	b = AppendShardKNNRequest(nil, 11, 3, 5, coords, 3)
+	if err := ConsumeRequest(b, 3, &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Kind != KindShardKNN || req.Shard != 3 || req.K != 5 || req.NQ != 2 {
+		t.Fatalf("decoded %+v", req)
+	}
+
+	b = AppendShardRemoteKNNRequest(nil, 12, 2, 6, 0.5, coords[:3])
+	if err := ConsumeRequest(b, 3, &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Kind != KindShardRemoteKNN || req.Shard != 2 || req.K != 6 || req.R2 != 0.5 {
+		t.Fatalf("decoded %+v", req)
+	}
+
+	b = AppendShardRadiusRequest(nil, 13, 1, 0.75, coords[:3])
+	if err := ConsumeRequest(b, 3, &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Kind != KindShardRadius || req.Shard != 1 || req.R2 != 0.75 {
+		t.Fatalf("decoded %+v", req)
+	}
+	// Decoding a shard kind must not leak the shard into a later plain kind.
+	b = AppendRadiusRequest(nil, 14, 0.25, coords[:3])
+	if err := ConsumeRequest(b, 3, &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Shard != 0 {
+		t.Fatalf("stale shard %d after plain radius decode", req.Shard)
+	}
+
+	b = AppendFetchSectionRequest(nil, 15, 2, 4096, 65536)
+	if err := ConsumeRequest(b, 3, &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Kind != KindFetchSection || req.Shard != 2 || req.FetchOff != 4096 || req.FetchLen != 65536 {
+		t.Fatalf("decoded %+v", req)
+	}
+
+	b = AppendPingRequest(nil, 16)
+	if err := ConsumeRequest(b, 3, &req); err != nil {
+		t.Fatal(err)
+	}
+	if req.Kind != KindPing || req.ID != 16 {
+		t.Fatalf("decoded %+v", req)
+	}
 }
 
 func TestRequestValidation(t *testing.T) {
@@ -107,6 +156,15 @@ func TestRequestValidation(t *testing.T) {
 		"remote KNN huge k":  AppendRemoteKNNRequest(nil, 1, MaxK+1, 0.5, coords),
 		"remote radius Inf":  AppendRemoteRadiusRequest(nil, 1, inf, coords),
 		"remote radius dims": AppendRemoteRadiusRequest(nil, 1, 0.5, coords[:2]),
+		"shard KNN huge shard":    AppendShardKNNRequest(nil, 1, MaxShards, 5, coords, 3),
+		"shard KNN zero k":        AppendShardKNNRequest(nil, 1, 0, 0, coords, 3),
+		"shard radius huge shard": AppendShardRadiusRequest(nil, 1, MaxShards+7, 0.5, coords),
+		"shard radius NaN r2":     AppendShardRadiusRequest(nil, 1, 0, nan, coords),
+		"shard remote zero k":     AppendShardRemoteKNNRequest(nil, 1, 0, 0, 0.5, coords),
+		"fetch zero len":          AppendFetchSectionRequest(nil, 1, 0, 0, 0),
+		"fetch oversize len":      AppendFetchSectionRequest(nil, 1, 0, 0, MaxSectionChunk+1),
+		"fetch huge shard":        AppendFetchSectionRequest(nil, 1, MaxShards, 0, 4096),
+		"ping with body":          append(AppendPingRequest(nil, 1), 0x01),
 	}
 	for name, payload := range cases {
 		dims := 3
@@ -122,7 +180,7 @@ func TestRequestValidation(t *testing.T) {
 		// is still correctly framed, so the connection must stay usable
 		// (not ErrMalformed).
 		switch name {
-		case "truncated", "trailing", "unknown kind", "empty payload":
+		case "truncated", "trailing", "unknown kind", "empty payload", "ping with body":
 		default:
 			if errors.Is(err, ErrMalformed) {
 				t.Errorf("%s: classified as malformed (would drop the connection): %v", name, err)
@@ -171,6 +229,49 @@ func TestResponseRoundTrip(t *testing.T) {
 	}
 	if resp.Kind != KindError || resp.ID != 13 || resp.Err != "boom" {
 		t.Fatalf("decoded %+v", resp)
+	}
+
+	stats := StatsBody{
+		Queries: 100, Batches: 10, ActiveConns: 3,
+		PeerFailures: 4, Failovers: 2, Redials: 7, ReplicationBytes: 1 << 20,
+	}
+	b = AppendStatsResponse(nil, 14, stats)
+	if err := ConsumeResponse(b, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != KindStatsResult || resp.Stats != stats {
+		t.Fatalf("decoded %+v, want stats %+v", resp, stats)
+	}
+
+	b = AppendPongResponse(nil, 15)
+	if err := ConsumeResponse(b, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != KindPong || resp.ID != 15 {
+		t.Fatalf("decoded %+v", resp)
+	}
+	if resp.Stats != (StatsBody{}) {
+		t.Fatalf("stale stats after pong decode: %+v", resp.Stats)
+	}
+
+	chunk := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	b = AppendSectionDataResponse(nil, 16, 3, 8192, 1<<20, 0x1234, chunk)
+	if err := ConsumeResponse(b, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != KindSectionData || resp.Shard != 3 || resp.FetchOff != 8192 ||
+		resp.FileSize != 1<<20 || resp.ChunkCRC != 0x1234 || !bytes.Equal(resp.Data, chunk) {
+		t.Fatalf("decoded %+v", resp)
+	}
+
+	// A section-data chunk above the cap must be rejected before allocation.
+	big := AppendSectionDataResponse(nil, 17, 0, 0, 8, 0, nil)
+	big[len(big)-4] = 0xFF
+	big[len(big)-3] = 0xFF
+	big[len(big)-2] = 0xFF
+	big[len(big)-1] = 0x7F
+	if err := ConsumeResponse(big, &resp); err == nil {
+		t.Fatal("oversize section chunk accepted")
 	}
 }
 

@@ -33,6 +33,21 @@
 // fans KindRemoteRadius out to every rank whose domain intersects the ball
 // and merges by (distance, id) — the single-tree result order.
 //
+// # Replication and failover
+//
+// With an R-way replica placement (ClusterConfig.ReplicaSets, from the
+// snapshot manifest) every shard step above gains a fallback chain: a
+// shard's work runs at the shard's first LIVE holder, primary first. A
+// replica holder answers from its copy of the shard's snapshot bytes — the
+// same bytes the primary serves — so failover answers stay bit-identical
+// while any one copy of each shard survives. Owner-pipeline work lands on a
+// replica via KindShardKNN (a plain KindKNN would make the replica
+// recompute ownership and re-forward to the dead primary); exchange and
+// radius legs use KindShardRemoteKNN/KindShardRadius. Liveness comes from
+// transport failures and a background heartbeat (health.go); a dead rank's
+// shards are re-pulled by the next ranks in the chain over the
+// section-streaming protocol (replica.go).
+//
 // The dispatcher never blocks on the network (router goroutines do), and a
 // forwarded query becomes owner-local on arrival, so the only cross-rank
 // waits are router → dispatcher — the dependency graph is acyclic and the
@@ -48,6 +63,7 @@ import (
 	"time"
 
 	"panda"
+	"panda/internal/core"
 	"panda/internal/knnheap"
 	"panda/internal/proto"
 )
@@ -85,16 +101,46 @@ type ClusterConfig struct {
 
 	// TotalPoints, when > 0, is reported as the point count in the client
 	// welcome instead of the local shard size (set it to the cluster-wide
-	// total so clients see the logical tree they are querying).
+	// total so clients see the logical tree they are querying). Replicated
+	// serving requires it: replica shard files are cross-checked against it.
 	TotalPoints int64
 
 	// PeerDialTimeout bounds connecting + handshaking to a peer rank
-	// (default 10s; dialing is lazy and retried on next use).
+	// (default 10s; dialing is lazy and retried on next use, with jittered
+	// exponential backoff after failures).
 	PeerDialTimeout time.Duration
 
 	// PeerCallTimeout bounds one inter-rank call (default 30s) so a wedged
 	// peer cannot pin router goroutines — and with them Shutdown — forever.
 	PeerCallTimeout time.Duration
+
+	// ReplicaSets is the shard → ordered holder-ranks placement (primary
+	// first), normally the manifest's (panda.ClusterSnapshot.ReplicaSets).
+	// Nil means the identity placement: every shard only on its own rank,
+	// no failover.
+	ReplicaSets [][]int
+
+	// Replicas maps shard → opened replica tree for every shard this rank
+	// holds beyond its own (panda.ClusterSnapshot.Replicas). Queries for
+	// those shards are answered locally when their primaries are dead.
+	Replicas map[int]*panda.Tree
+
+	// SnapshotDir, when set, enables section streaming: this rank serves
+	// chunks of its snapshot files to re-replicating and joining peers, and
+	// pulls missing or under-replicated shards into the directory itself.
+	SnapshotDir string
+
+	// HeartbeatInterval is how often the health loop pings each peer
+	// (default 1s). Heartbeats both detect silent rank death and recover
+	// ranks previously marked dead.
+	HeartbeatInterval time.Duration
+
+	// PingTimeout bounds one heartbeat ping (default 2s).
+	PingTimeout time.Duration
+
+	// FailThreshold is how many consecutive transport failures mark a rank
+	// dead (default 3). One success marks it live again.
+	FailThreshold int
 }
 
 // NewCluster returns an unstarted cluster server for this rank's shard.
@@ -110,12 +156,51 @@ func NewCluster(shard Shard, cfg ClusterConfig) (*Server, error) {
 	if cfg.PeerCallTimeout <= 0 {
 		cfg.PeerCallTimeout = 30 * time.Second
 	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = time.Second
+	}
+	if cfg.PingTimeout <= 0 {
+		cfg.PingTimeout = 2 * time.Second
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 3
+	}
+	sets := cfg.ReplicaSets
+	if sets == nil {
+		sets = core.BuildReplicaSets(shard.Ranks(), 1)
+	}
+	if err := core.ValidateReplicaSets(sets, shard.Ranks()); err != nil {
+		return nil, fmt.Errorf("server: replica sets: %w", err)
+	}
+	repl := 1
+	for _, holders := range sets {
+		if len(holders) > repl {
+			repl = len(holders)
+		}
+	}
 	s := New(shard.LocalTree(), cfg.Config)
 	if cfg.TotalPoints > 0 {
 		s.points = cfg.TotalPoints
 	}
 	rank := shard.Rank()
-	rt := &router{s: s, shard: shard, rank: rank, peers: make([]*peer, shard.Ranks())}
+	rt := &router{
+		s:           s,
+		shard:       shard,
+		rank:        rank,
+		peers:       make([]*peer, shard.Ranks()),
+		sets:        sets,
+		repl:        repl,
+		replicas:    newReplicaRegistry(cfg.Replicas),
+		health:      newHealthTracker(shard.Ranks(), rank, cfg.FailThreshold),
+		snapDir:     cfg.SnapshotDir,
+		totalPoints: cfg.TotalPoints,
+		hbInterval:  cfg.HeartbeatInterval,
+		pingTimeout: cfg.PingTimeout,
+		hbStop:      make(chan struct{}),
+	}
+	if cfg.SnapshotDir != "" {
+		rt.sections = newSectionServer(cfg.SnapshotDir)
+	}
 	for r := range rt.peers {
 		if r == rank {
 			continue
@@ -126,6 +211,7 @@ func NewCluster(shard Shard, cfg ClusterConfig) (*Server, error) {
 			dims:        shard.Dims(),
 			dialTimeout: cfg.PeerDialTimeout,
 			callTimeout: cfg.PeerCallTimeout,
+			redials:     &s.statRedials,
 		}
 	}
 	s.cluster = rt
@@ -139,14 +225,66 @@ type router struct {
 	shard Shard
 	rank  int
 	peers []*peer // peers[rank] == nil (self)
+
+	sets        [][]int // shard → holder ranks, primary first
+	repl        int     // placement replication factor
+	replicas    *replicaRegistry
+	health      *healthTracker
+	sections    *sectionServer // nil: section streaming disabled
+	snapDir     string
+	totalPoints int64
+
+	hbInterval  time.Duration
+	pingTimeout time.Duration
+	hbStop      chan struct{}
+	stopOnce    sync.Once
+	replicating atomic.Bool // one repair pass at a time
 }
 
 func (rt *router) closePeers() {
+	rt.stopOnce.Do(func() { close(rt.hbStop) })
 	for _, p := range rt.peers {
 		if p != nil {
 			p.close()
 		}
 	}
+	if rt.sections != nil {
+		rt.sections.close()
+	}
+}
+
+// shardTree returns this rank's copy of shard s (own tree or replica), nil
+// if not held.
+func (rt *router) shardTree(s int) *panda.Tree {
+	if s == rt.rank {
+		return rt.shard.LocalTree()
+	}
+	return rt.replicas.get(s)
+}
+
+// liveHolders appends shard s's currently-routable holders in preference
+// order: the static set (primary first) filtered by health, self included
+// only when it actually holds a copy. A rank that re-replicated s beyond
+// the static set adds itself last — better a detour than no answer.
+func (rt *router) liveHolders(s int, out []int) []int {
+	inSet := false
+	held := rt.shardTree(s) != nil
+	for _, h := range rt.sets[s] {
+		if h == rt.rank {
+			inSet = true
+			if held {
+				out = append(out, h)
+			}
+			continue
+		}
+		if rt.health.live(h) {
+			out = append(out, h)
+		}
+	}
+	if held && !inSet {
+		out = append(out, rt.rank)
+	}
+	return out
 }
 
 // route answers one external request. It owns p and returns it to the pool.
@@ -156,6 +294,12 @@ func (rt *router) route(p *pending) {
 		rt.routeKNN(p)
 	case proto.KindRadius:
 		rt.routeRadius(p)
+	case proto.KindShardKNN:
+		rt.routeShardKNN(p)
+	case proto.KindShardRemoteKNN, proto.KindShardRadius:
+		rt.routeShardLocal(p)
+	case proto.KindFetchSection:
+		rt.routeFetchSection(p)
 	}
 }
 
@@ -194,8 +338,9 @@ func (rt *router) localStage(kind uint8, k, nq int, r2 float32, coords []float32
 }
 
 // routeKNN answers one KNN request (possibly a batch whose queries have
-// different owners): owned queries run the owner pipeline here, the rest
-// are forwarded per owner rank as KindKNN batches.
+// different owners): each owner shard's queries run at that shard's first
+// live holder — here when this rank holds a copy, forwarded down the holder
+// chain otherwise.
 func (rt *router) routeKNN(p *pending) {
 	s := rt.s
 	defer s.putPending(p)
@@ -206,7 +351,7 @@ func (rt *router) routeKNN(p *pending) {
 	dims := rt.shard.Dims()
 	coords := p.req.Coords
 
-	// Step 1 — find owner, grouping queries per rank.
+	// Step 1 — find the owner shard, grouping queries per shard.
 	groups := make([][]int, rt.shard.Ranks())
 	for i := 0; i < nq; i++ {
 		o := rt.shard.Owner(coords[i*dims : (i+1)*dims])
@@ -226,29 +371,14 @@ func (rt *router) routeKNN(p *pending) {
 	}
 
 	for o, idx := range groups {
-		if len(idx) == 0 || o == rt.rank {
+		if len(idx) == 0 {
 			continue
 		}
 		wg.Add(1)
 		go func(o int, idx []int) {
 			defer wg.Done()
-			fwd := gatherCoords(coords, idx, dims)
-			flat, offs, err := rt.peers[o].forwardKNN(fwd, k, dims)
-			if err != nil {
-				fail(fmt.Errorf("forward to rank %d: %w", o, err))
-				return
-			}
-			if len(offs) != len(idx)+1 {
-				fail(fmt.Errorf("rank %d answered %d queries, want %d", o, len(offs)-1, len(idx)))
-				return
-			}
-			for j, qi := range idx {
-				res[qi] = flat[offs[j]:offs[j+1]]
-			}
+			rt.serveShardGroup(o, coords, idx, k, dims, res, fail)
 		}(o, idx)
-	}
-	if idx := groups[rt.rank]; len(idx) > 0 {
-		rt.ownedKNN(coords, idx, k, dims, res, fail)
 	}
 	wg.Wait()
 	if firstErr != nil {
@@ -258,27 +388,109 @@ func (rt *router) routeKNN(p *pending) {
 	rt.writeNeighbors(c, id, res)
 }
 
+// serveShardGroup answers one owner shard's queries at the shard's first
+// live holder, walking the replica chain on failures. A non-primary answer
+// counts as a failover; answers are bit-identical either way (replicas open
+// the same snapshot bytes).
+func (rt *router) serveShardGroup(o int, coords []float32, idx []int, k, dims int, res [][]panda.Neighbor, fail func(error)) {
+	holders := rt.liveHolders(o, nil)
+	if len(holders) == 0 {
+		fail(fmt.Errorf("shard %d: no live holder", o))
+		return
+	}
+	primary := rt.sets[o][0]
+	var fwd []float32
+	var lastErr error
+	for _, h := range holders {
+		if h == rt.rank {
+			// Serve here, from the owner tree or this rank's replica copy.
+			if rt.ownedShardKNN(o, coords, idx, k, dims, res, fail) && rt.rank != primary {
+				rt.s.statFailovers.Add(1)
+			}
+			return
+		}
+		if fwd == nil {
+			fwd = gatherCoords(coords, idx, dims)
+		}
+		var flat []panda.Neighbor
+		var offs []int32
+		var err error
+		if h == o {
+			flat, offs, err = rt.peers[h].forwardKNN(fwd, k, dims)
+		} else {
+			flat, offs, err = rt.peers[h].forwardShardKNN(o, fwd, k, dims)
+		}
+		if err != nil {
+			lastErr = fmt.Errorf("forward shard %d to rank %d: %w", o, h, err)
+			if isTransportErr(err) {
+				rt.health.fail(h)
+				rt.s.statPeerFailures.Add(1)
+			}
+			// Semantic refusals (e.g. a replica not yet fetched) also walk
+			// on: the peer is alive, just not holding the shard.
+			continue
+		}
+		rt.health.ok(h)
+		if len(offs) != len(idx)+1 {
+			fail(fmt.Errorf("rank %d answered %d queries, want %d", h, len(offs)-1, len(idx)))
+			return
+		}
+		for j, qi := range idx {
+			res[qi] = flat[offs[j]:offs[j+1]]
+		}
+		if h != primary {
+			rt.s.statFailovers.Add(1)
+		}
+		return
+	}
+	fail(lastErr)
+}
+
 // maxExchangeWorkers bounds how many of a batch's remote-candidate
 // exchanges run concurrently. Exchanges are network round-trips, so
 // serializing them would make a boundary-heavy batch cost queries×RTT; a
 // small pool overlaps them without letting one giant batch flood the peers.
 const maxExchangeWorkers = 16
 
-// ownedKNN is the owner-side pipeline for the queries this rank owns:
-// batched local KNN through the dispatcher (§III-B step 2), then the
-// bounded remote-candidate exchange and top-k merge (steps 3–5) per query
-// whose r'-ball crosses shard boundaries — exchanges for different queries
-// are independent round-trips and run concurrently.
-func (rt *router) ownedKNN(coords []float32, idx []int, k, dims int, res [][]panda.Neighbor, fail func(error)) {
-	lflat, loffs, err := rt.localStage(proto.KindKNN, k, len(idx), 0, gatherCoords(coords, idx, dims))
+// ownedShardKNN is the owner-side pipeline for queries owned by shard o,
+// run on this rank's copy of o (its own tree when o is this rank, a replica
+/// tree otherwise): local KNN (§III-B step 2 — through the micro-batching
+// dispatcher for the rank's own shard, a direct pooled engine call for a
+// replica), then the bounded remote-candidate exchange and top-k merge
+// (steps 3–5) per query whose r'-ball crosses shard boundaries — exchanges
+// for different queries are independent round-trips and run concurrently.
+// Reports whether every query was answered (false after a fail call).
+func (rt *router) ownedShardKNN(o int, coords []float32, idx []int, k, dims int, res [][]panda.Neighbor, fail func(error)) bool {
+	packed := gatherCoords(coords, idx, dims)
+	var lflat []panda.Neighbor
+	var loffs []int32
+	var err error
+	if o == rt.rank {
+		lflat, loffs, err = rt.localStage(proto.KindKNN, k, len(idx), 0, packed)
+	} else {
+		tree := rt.replicas.get(o)
+		if tree == nil {
+			fail(fmt.Errorf("shard %d not held on rank %d", o, rt.rank))
+			return false
+		}
+		lflat, loffs, err = tree.KNNBatchFlatInto(packed, k, nil, nil)
+		if err == nil && len(loffs) > 0 && loffs[0] != 0 {
+			base := loffs[0]
+			for i := range loffs {
+				loffs[i] -= base
+			}
+		}
+	}
 	if err != nil {
 		fail(err)
-		return
+		return false
 	}
 	workers := len(idx)
 	if workers > maxExchangeWorkers {
 		workers = maxExchangeWorkers
 	}
+	var answered atomic.Bool
+	answered.Store(true)
 	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -305,7 +517,10 @@ func (rt *router) ownedKNN(coords []float32, idx []int, k, dims int, res [][]pan
 				if len(nbrs) == k {
 					r2 = nbrs[k-1].Dist2
 				}
-				targets = rt.shard.RanksWithin(q, r2, rt.rank, targets[:0])
+				// Exclude the owner SHARD, not this rank: on the failover
+				// path they differ, and shard o's candidates are already in
+				// hand locally.
+				targets = rt.shard.RanksWithin(q, r2, o, targets[:0])
 				if len(targets) == 0 {
 					res[qi] = nbrs
 					continue
@@ -313,6 +528,7 @@ func (rt *router) ownedKNN(coords []float32, idx []int, k, dims int, res [][]pan
 				merged, err := rt.exchange(q, k, r2, nbrs, targets)
 				if err != nil {
 					fail(err)
+					answered.Store(false)
 					return
 				}
 				res[qi] = merged
@@ -320,11 +536,12 @@ func (rt *router) ownedKNN(coords []float32, idx []int, k, dims int, res [][]pan
 		}()
 	}
 	wg.Wait()
+	return answered.Load()
 }
 
 // exchange performs §III-B steps 4–5 for one owned query: bounded remote
-// candidate searches on every target rank, then the same top-k merge the
-// SPMD engine performs.
+// candidate searches on every target shard (each at its first live holder),
+// then the same top-k merge the SPMD engine performs.
 func (rt *router) exchange(q []float32, k int, r2 float32, local []panda.Neighbor, targets []int) ([]panda.Neighbor, error) {
 	type remoteOut struct {
 		nbrs []panda.Neighbor
@@ -332,13 +549,13 @@ func (rt *router) exchange(q []float32, k int, r2 float32, local []panda.Neighbo
 	}
 	outs := make([]remoteOut, len(targets))
 	var wg sync.WaitGroup
-	for ti, o := range targets {
+	for ti, t := range targets {
 		wg.Add(1)
-		go func(ti, o int) {
+		go func(ti, t int) {
 			defer wg.Done()
-			nbrs, err := rt.peers[o].remoteKNN(q, k, r2)
+			nbrs, err := rt.shardCandidates(t, q, k, r2)
 			outs[ti] = remoteOut{nbrs: nbrs, err: err}
-		}(ti, o)
+		}(ti, t)
 	}
 	wg.Wait()
 	items := make([]knnheap.Item, 0, (len(targets)+1)*k)
@@ -347,7 +564,7 @@ func (rt *router) exchange(q []float32, k int, r2 float32, local []panda.Neighbo
 	}
 	for ti, out := range outs {
 		if out.err != nil {
-			return nil, fmt.Errorf("remote KNN on rank %d: %w", targets[ti], out.err)
+			return nil, fmt.Errorf("remote KNN on shard %d: %w", targets[ti], out.err)
 		}
 		for _, nb := range out.nbrs {
 			items = append(items, knnheap.Item{Dist2: nb.Dist2, ID: nb.ID})
@@ -361,9 +578,93 @@ func (rt *router) exchange(q []float32, k int, r2 float32, local []panda.Neighbo
 	return merged, nil
 }
 
+// shardCandidates fetches shard t's bounded candidates (strictly within r2
+// of q) from its first live holder: a local copy when this rank holds one,
+// the shard's own rank via KindRemoteKNN, a replica holder via
+// KindShardRemoteKNN.
+func (rt *router) shardCandidates(t int, q []float32, k int, r2 float32) ([]panda.Neighbor, error) {
+	holders := rt.liveHolders(t, nil)
+	if len(holders) == 0 {
+		return nil, fmt.Errorf("no live holder")
+	}
+	primary := rt.sets[t][0]
+	var lastErr error
+	for _, h := range holders {
+		var nbrs []panda.Neighbor
+		var err error
+		switch {
+		case h == rt.rank:
+			nbrs = rt.shardTree(t).KNNBoundedInto(q, k, r2, nil)
+		case h == t:
+			nbrs, err = rt.peers[h].remoteKNN(q, k, r2)
+		default:
+			nbrs, err = rt.peers[h].shardRemoteKNN(t, q, k, r2)
+		}
+		if err != nil {
+			lastErr = err
+			if isTransportErr(err) {
+				rt.health.fail(h)
+				rt.s.statPeerFailures.Add(1)
+			}
+			continue
+		}
+		if h != rt.rank {
+			rt.health.ok(h)
+		}
+		if h != primary {
+			rt.s.statFailovers.Add(1)
+		}
+		return nbrs, nil
+	}
+	return nil, lastErr
+}
+
+// shardRadiusAt fetches shard t's points within r2 of q from its first live
+// holder, mirroring shardCandidates.
+func (rt *router) shardRadiusAt(t int, q []float32, r2 float32) ([]panda.Neighbor, error) {
+	holders := rt.liveHolders(t, nil)
+	if len(holders) == 0 {
+		return nil, fmt.Errorf("no live holder")
+	}
+	primary := rt.sets[t][0]
+	var lastErr error
+	for _, h := range holders {
+		var nbrs []panda.Neighbor
+		var err error
+		switch {
+		case h == rt.rank && t == rt.rank:
+			// Own shard: through the dispatcher like any local radius work.
+			nbrs, _, err = rt.localStage(proto.KindRemoteRadius, 0, 1, r2, q)
+		case h == rt.rank:
+			nbrs = rt.shardTree(t).RadiusSearchInto(q, r2, nil)
+		case h == t:
+			nbrs, err = rt.peers[h].remoteRadius(q, r2)
+		default:
+			nbrs, err = rt.peers[h].shardRadius(t, q, r2)
+		}
+		if err != nil {
+			lastErr = err
+			if isTransportErr(err) {
+				rt.health.fail(h)
+				rt.s.statPeerFailures.Add(1)
+			}
+			continue
+		}
+		if h != rt.rank {
+			rt.health.ok(h)
+		}
+		if h != primary {
+			rt.s.statFailovers.Add(1)
+		}
+		return nbrs, nil
+	}
+	return nil, lastErr
+}
+
 // routeRadius answers one radius request: the ball is known up front, so
-// every rank whose domain intersects it contributes its local matches and
-// the router merges by (distance, id) — the single-tree result order.
+// every shard whose domain intersects it contributes its matches (each from
+// its first live holder) and the router merges by (distance, id) — the
+// single-tree result order.
 func (rt *router) routeRadius(p *pending) {
 	s := rt.s
 	defer s.putPending(p)
@@ -376,23 +677,18 @@ func (rt *router) routeRadius(p *pending) {
 	outs := make([][]panda.Neighbor, len(targets))
 	errs := make([]error, len(targets))
 	var wg sync.WaitGroup
-	for ti, o := range targets {
+	for ti, t := range targets {
 		wg.Add(1)
-		go func(ti, o int) {
+		go func(ti, t int) {
 			defer wg.Done()
-			if o == rt.rank {
-				flat, _, err := rt.localStage(proto.KindRemoteRadius, 0, 1, r2, q)
-				outs[ti], errs[ti] = flat, err
-				return
-			}
-			outs[ti], errs[ti] = rt.peers[o].remoteRadius(q, r2)
-		}(ti, o)
+			outs[ti], errs[ti] = rt.shardRadiusAt(t, q, r2)
+		}(ti, t)
 	}
 	wg.Wait()
 	total := 0
 	for ti := range targets {
 		if errs[ti] != nil {
-			rt.writeError(c, id, fmt.Errorf("radius on rank %d: %w", targets[ti], errs[ti]))
+			rt.writeError(c, id, fmt.Errorf("radius on shard %d: %w", targets[ti], errs[ti]))
 			return
 		}
 		total += len(outs[ti])
@@ -413,6 +709,106 @@ func (rt *router) routeRadius(p *pending) {
 		return flat[a].ID < flat[b].ID
 	})
 	rt.writeNeighbors(c, id, [][]panda.Neighbor{flat})
+}
+
+// routeShardKNN answers a forwarded KindShardKNN batch: the owner pipeline
+// for the addressed shard, on this rank's copy. Refusing (shard not held)
+// is a semantic error — the forwarder walks on to the next holder.
+func (rt *router) routeShardKNN(p *pending) {
+	s := rt.s
+	defer s.putPending(p)
+	c := p.c
+	id := p.req.ID
+	o := p.req.Shard
+	if o >= rt.shard.Ranks() {
+		rt.writeError(c, id, fmt.Errorf("shard %d out of range for %d ranks", o, rt.shard.Ranks()))
+		return
+	}
+	if rt.shardTree(o) == nil {
+		rt.writeError(c, id, fmt.Errorf("shard %d not held on rank %d", o, rt.rank))
+		return
+	}
+	nq := p.req.NQ
+	idx := make([]int, nq)
+	for i := range idx {
+		idx[i] = i
+	}
+	res := make([][]panda.Neighbor, nq)
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+	}
+	rt.ownedShardKNN(o, p.req.Coords, idx, p.req.K, rt.shard.Dims(), res, fail)
+	if firstErr != nil {
+		rt.writeError(c, id, firstErr)
+		return
+	}
+	rt.writeNeighbors(c, id, res)
+}
+
+// routeShardLocal answers the shard-addressed single-shard kinds
+// (KindShardRemoteKNN, KindShardRadius) directly from this rank's copy of
+// the shard — the failover analogues of KindRemoteKNN/KindRemoteRadius,
+// which by definition mean "your own shard".
+func (rt *router) routeShardLocal(p *pending) {
+	s := rt.s
+	defer s.putPending(p)
+	c := p.c
+	id := p.req.ID
+	t := p.req.Shard
+	if t >= rt.shard.Ranks() {
+		rt.writeError(c, id, fmt.Errorf("shard %d out of range for %d ranks", t, rt.shard.Ranks()))
+		return
+	}
+	tree := rt.shardTree(t)
+	if tree == nil {
+		rt.writeError(c, id, fmt.Errorf("shard %d not held on rank %d", t, rt.rank))
+		return
+	}
+	var nbrs []panda.Neighbor
+	if p.req.Kind == proto.KindShardRemoteKNN {
+		nbrs = tree.KNNBoundedInto(p.req.Coords, p.req.K, p.req.R2, nil)
+	} else {
+		nbrs = tree.RadiusSearchInto(p.req.Coords, p.req.R2, nil)
+		if len(nbrs) > proto.MaxResultNeighbors {
+			rt.writeError(c, id, fmt.Errorf("radius search matched %d points, exceeding the %d-neighbor response cap; shrink r2",
+				len(nbrs), proto.MaxResultNeighbors))
+			return
+		}
+	}
+	rt.writeNeighbors(c, id, [][]panda.Neighbor{nbrs})
+}
+
+// routeFetchSection serves one chunk of a held shard's snapshot file (or
+// the manifest, via proto.ManifestShard) to a re-replicating or joining
+// peer, counting the bytes in Stats.ReplicationBytes.
+func (rt *router) routeFetchSection(p *pending) {
+	s := rt.s
+	defer s.putPending(p)
+	c := p.c
+	id := p.req.ID
+	if rt.sections == nil {
+		rt.writeError(c, id, fmt.Errorf("section streaming disabled: server has no snapshot directory"))
+		return
+	}
+	data, fileSize, crc, err := rt.sections.read(p.req.Shard, p.req.FetchOff, p.req.FetchLen, nil)
+	if err != nil {
+		rt.writeError(c, id, err)
+		return
+	}
+	s.statReplBytes.Add(int64(len(data)))
+	buf := proto.BeginFrame(nil)
+	buf = proto.AppendSectionDataResponse(buf, id, p.req.Shard, p.req.FetchOff, fileSize, crc, data)
+	if err := proto.FinishFrame(buf, 0); err != nil {
+		rt.writeError(c, id, err)
+		return
+	}
+	rt.write(c, buf)
 }
 
 // gatherCoords packs the selected queries' coordinates row-major.

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// healthTracker is the router's per-rank liveness view, driven by two
+// signals: every peer call reports transport success or failure, and a
+// background heartbeat loop pings each peer so a rank that receives no
+// query traffic is still detected (and, symmetrically, a dead rank is
+// noticed for recovery once it comes back). A rank is considered dead after
+// FailThreshold consecutive transport failures and live again after one
+// success — the asymmetry is deliberate: a false "dead" only costs routing
+// through a replica (answers stay bit-identical), while a false "live"
+// costs a query a failed call before it falls over, so recovery can be
+// eager.
+type healthTracker struct {
+	self   int
+	thresh int32
+	fails  []atomic.Int32 // consecutive transport failures per rank
+	lastOK []atomic.Int64 // unix nanos of the last success (observability)
+}
+
+func newHealthTracker(ranks, self, thresh int) *healthTracker {
+	if thresh < 1 {
+		thresh = 1
+	}
+	return &healthTracker{
+		self:   self,
+		thresh: int32(thresh),
+		fails:  make([]atomic.Int32, ranks),
+		lastOK: make([]atomic.Int64, ranks),
+	}
+}
+
+// live reports whether rank should be routed to. Self is always live.
+func (h *healthTracker) live(rank int) bool {
+	return rank == h.self || h.fails[rank].Load() < h.thresh
+}
+
+// ok records a successful contact with rank.
+func (h *healthTracker) ok(rank int) {
+	if rank == h.self {
+		return
+	}
+	h.fails[rank].Store(0)
+	h.lastOK[rank].Store(time.Now().UnixNano())
+}
+
+// fail records a transport failure contacting rank.
+func (h *healthTracker) fail(rank int) {
+	if rank == h.self {
+		return
+	}
+	// Saturate well above the threshold instead of growing forever.
+	if f := h.fails[rank].Add(1); f > 1<<20 {
+		h.fails[rank].Store(h.thresh)
+	}
+}
+
+// deadRanks appends every rank currently considered dead to out.
+func (h *healthTracker) deadRanks(out []int) []int {
+	for r := range h.fails {
+		if !h.live(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// heartbeatLoop pings every peer each interval until stop closes. Ping
+// successes recover marked-dead ranks (their queries move back to the
+// primary path); failures push silent ranks over the death threshold even
+// when no query traffic would have noticed. After each sweep, if the
+// cluster is degraded and re-replication is enabled, a repair pass runs.
+func (rt *router) heartbeatLoop(stop <-chan struct{}) {
+	ticker := time.NewTicker(rt.hbInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		for r, p := range rt.peers {
+			if p == nil {
+				continue
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := p.ping(rt.pingTimeout); err != nil {
+				if isTransportErr(err) {
+					rt.health.fail(r)
+					rt.s.statPeerFailures.Add(1)
+				}
+				continue
+			}
+			rt.health.ok(r)
+		}
+		rt.maybeRereplicate()
+	}
+}

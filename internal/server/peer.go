@@ -3,8 +3,10 @@ package server
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"panda"
@@ -15,14 +17,37 @@ import (
 // rank went away or this server is shutting down).
 var errPeerClosed = errors.New("server: peer connection closed")
 
+// errPeerTimeout is returned by peer calls that ran out of time waiting for
+// the response (a wedged or overloaded peer).
+var errPeerTimeout = errors.New("server: peer call timed out")
+
+// isTransportErr reports whether a peer-call error means the peer itself is
+// unreachable or broken — the class of failure that should count against its
+// health and trigger failover — as opposed to a semantic KindError answer,
+// which proves the peer is alive and talking.
+func isTransportErr(err error) bool {
+	return errors.Is(err, errPeerClosed) || errors.Is(err, errPeerTimeout)
+}
+
+// Redial backoff bounds: after a dial failure the peer refuses further dial
+// attempts for a jittered exponential delay, so a dead rank costs each query
+// one cached error instead of one dial timeout, and a rank rejoining does
+// not face a thundering herd of reconnects.
+const (
+	peerRedialBase = 100 * time.Millisecond
+	peerRedialMax  = 5 * time.Second
+)
+
 // peer is this rank's client to one other rank's serving endpoint. It
 // speaks the ordinary client protocol (internal/proto) over one pipelined
 // connection: forwarded queries are plain KindKNN requests — the remote
 // rank's own router answers them, which is what makes forwarding terminate
 // at the owner — while the remote-candidate exchange uses the shard-local
-// KindRemoteKNN/KindRemoteRadius kinds. The connection is dialed lazily on
-// first use and redialed after failures, so rank start-up order does not
-// matter and a restarted rank heals without coordination.
+// KindRemoteKNN/KindRemoteRadius kinds (and their shard-addressed variants
+// when the target holds the shard as a replica). The connection is dialed
+// lazily on first use and redialed with jittered exponential backoff after
+// failures, so rank start-up order does not matter and a restarted rank
+// heals without coordination.
 type peer struct {
 	rank        int
 	addr        string
@@ -30,15 +55,23 @@ type peer struct {
 	dialTimeout time.Duration
 	callTimeout time.Duration
 
-	mu       sync.Mutex
-	pc       *peerConn
-	shutdown bool // sticky: set by close(); no redials afterwards
+	// redials counts reconnect attempts after a broken link; nil disables.
+	redials *atomic.Int64
+
+	mu        sync.Mutex
+	pc        *peerConn
+	shutdown  bool // sticky: set by close(); no redials afterwards
+	dialFails int  // consecutive dial failures (resets on success)
+	nextDial  time.Time
+	dialErr   error // cached dial error served while backing off
 }
 
 // conn returns the live connection, dialing if needed. The dial happens
 // outside the peer lock so close() — and with it Shutdown — never blocks
 // behind an in-progress dial; concurrent first users may race to dial and
-// the loser's connection is discarded.
+// the loser's connection is discarded. While the redial backoff window is
+// open the cached dial error is returned immediately: queries to a dead
+// peer fail over in microseconds instead of serializing behind dials.
 func (p *peer) conn() (*peerConn, error) {
 	p.mu.Lock()
 	if p.shutdown {
@@ -50,11 +83,31 @@ func (p *peer) conn() (*peerConn, error) {
 		p.mu.Unlock()
 		return pc, nil
 	}
+	if p.dialFails > 0 && time.Now().Before(p.nextDial) {
+		err := p.dialErr
+		p.mu.Unlock()
+		return nil, fmt.Errorf("rank %d (%s) backing off: %w: %w", p.rank, p.addr, errPeerClosed, err)
+	}
+	redial := p.pc != nil || p.dialFails > 0 // not the first-ever dial
 	p.mu.Unlock()
 
+	if redial && p.redials != nil {
+		p.redials.Add(1)
+	}
 	pc, err := dialPeer(p.addr, p.dims, p.dialTimeout)
 	if err != nil {
-		return nil, fmt.Errorf("rank %d (%s): %w", p.rank, p.addr, err)
+		p.mu.Lock()
+		d := peerRedialBase << p.dialFails
+		if d > peerRedialMax || d <= 0 {
+			d = peerRedialMax
+		}
+		// Jitter: uniform in [d/2, 3d/2) so a cluster's redials decorrelate.
+		d = d/2 + time.Duration(rand.Int63n(int64(d)))
+		p.dialFails++
+		p.nextDial = time.Now().Add(d)
+		p.dialErr = err
+		p.mu.Unlock()
+		return nil, fmt.Errorf("rank %d (%s): %w: %w", p.rank, p.addr, errPeerClosed, err)
 	}
 	p.mu.Lock()
 	if p.shutdown {
@@ -62,6 +115,8 @@ func (p *peer) conn() (*peerConn, error) {
 		pc.fail(errPeerClosed)
 		return nil, errPeerClosed
 	}
+	p.dialFails = 0
+	p.dialErr = nil
 	if p.pc != nil && !p.pc.closed() {
 		// Lost the dial race; use the established connection.
 		won := p.pc
@@ -96,9 +151,25 @@ func (p *peer) forwardKNN(coords []float32, k, dims int) ([]panda.Neighbor, []in
 	if err != nil {
 		return nil, nil, err
 	}
-	return pc.call(p.callTimeout, func(b []byte, id uint64) []byte {
+	res := pc.call(p.callTimeout, func(b []byte, id uint64) []byte {
 		return proto.AppendKNNRequest(b, id, k, coords, dims)
 	})
+	return res.flat, res.offsets, res.err
+}
+
+// forwardShardKNN forwards whole queries to a replica holder of shard, which
+// runs the owner pipeline on its copy of that shard (the failover analogue
+// of forwardKNN — a plain KindKNN would make the holder recompute ownership
+// and re-forward to the dead primary).
+func (p *peer) forwardShardKNN(shard int, coords []float32, k, dims int) ([]panda.Neighbor, []int32, error) {
+	pc, err := p.conn()
+	if err != nil {
+		return nil, nil, err
+	}
+	res := pc.call(p.callTimeout, func(b []byte, id uint64) []byte {
+		return proto.AppendShardKNNRequest(b, id, shard, k, coords, dims)
+	})
+	return res.flat, res.offsets, res.err
 }
 
 // remoteKNN asks the peer for its local-shard candidates strictly within r2
@@ -108,10 +179,23 @@ func (p *peer) remoteKNN(q []float32, k int, r2 float32) ([]panda.Neighbor, erro
 	if err != nil {
 		return nil, err
 	}
-	flat, _, err := pc.call(p.callTimeout, func(b []byte, id uint64) []byte {
+	res := pc.call(p.callTimeout, func(b []byte, id uint64) []byte {
 		return proto.AppendRemoteKNNRequest(b, id, k, r2, q)
 	})
-	return flat, err
+	return res.flat, res.err
+}
+
+// shardRemoteKNN asks the peer for shard's candidates strictly within r2 of
+// q, answered from the peer's replica copy of that shard.
+func (p *peer) shardRemoteKNN(shard int, q []float32, k int, r2 float32) ([]panda.Neighbor, error) {
+	pc, err := p.conn()
+	if err != nil {
+		return nil, err
+	}
+	res := pc.call(p.callTimeout, func(b []byte, id uint64) []byte {
+		return proto.AppendShardRemoteKNNRequest(b, id, shard, k, r2, q)
+	})
+	return res.flat, res.err
 }
 
 // remoteRadius asks the peer for its local-shard points within r2 of q.
@@ -120,24 +204,80 @@ func (p *peer) remoteRadius(q []float32, r2 float32) ([]panda.Neighbor, error) {
 	if err != nil {
 		return nil, err
 	}
-	flat, _, err := pc.call(p.callTimeout, func(b []byte, id uint64) []byte {
+	res := pc.call(p.callTimeout, func(b []byte, id uint64) []byte {
 		return proto.AppendRemoteRadiusRequest(b, id, r2, q)
 	})
-	return flat, err
+	return res.flat, res.err
+}
+
+// shardRadius asks the peer for shard's points within r2 of q, answered
+// from the peer's replica copy of that shard.
+func (p *peer) shardRadius(shard int, q []float32, r2 float32) ([]panda.Neighbor, error) {
+	pc, err := p.conn()
+	if err != nil {
+		return nil, err
+	}
+	res := pc.call(p.callTimeout, func(b []byte, id uint64) []byte {
+		return proto.AppendShardRadiusRequest(b, id, shard, r2, q)
+	})
+	return res.flat, res.err
+}
+
+// ping round-trips a KindPing through the peer's reader (the health loop's
+// probe). timeout bounds the whole call.
+func (p *peer) ping(timeout time.Duration) error {
+	pc, err := p.conn()
+	if err != nil {
+		return err
+	}
+	res := pc.call(timeout, func(b []byte, id uint64) []byte {
+		return proto.AppendPingRequest(b, id)
+	})
+	return res.err
+}
+
+// fetchSection asks the peer for one chunk of shard's snapshot file
+// starting at off (the re-replication transport). The returned data is
+// owned by the caller; crc is the peer-computed crc32c the Assembler
+// re-verifies.
+func (p *peer) fetchSection(shard int, off uint64, maxLen int) (data []byte, fileSize uint64, crc uint32, err error) {
+	pc, err := p.conn()
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	res := pc.call(p.callTimeout, func(b []byte, id uint64) []byte {
+		return proto.AppendFetchSectionRequest(b, id, shard, off, maxLen)
+	})
+	if res.err != nil {
+		return nil, 0, 0, res.err
+	}
+	if res.shard != shard {
+		return nil, 0, 0, fmt.Errorf("server: peer answered section of shard %d, asked for %d", res.shard, shard)
+	}
+	return res.data, res.fileSize, res.chunkCRC, nil
 }
 
 // peerResult is one decoded peer response, copied out of the read loop's
-// decode scratch so the waiter owns it.
+// decode scratch so the waiter owns it. Which fields are set depends on the
+// response kind: neighbors fill flat/offsets, section data fills
+// data/fileSize/chunkCRC/shard, a pong fills nothing.
 type peerResult struct {
 	flat    []panda.Neighbor
 	offsets []int32
-	err     error
+
+	shard    int
+	fileSize uint64
+	chunkCRC uint32
+	data     []byte
+
+	err error
 }
 
 // peerConn is one pipelined connection to a peer rank: concurrent calls
 // share it with client-chosen request ids, exactly like panda.Client.
 type peerConn struct {
-	nc net.Conn
+	nc   net.Conn
+	dims int // from the peer's welcome
 
 	wmu  sync.Mutex
 	wbuf []byte
@@ -148,8 +288,10 @@ type peerConn struct {
 	err     error // sticky; set when the connection dies
 }
 
-// dialPeer connects and handshakes. The peer must serve a tree of the same
-// dimensionality (all shards of one cluster do).
+// dialPeer connects and handshakes. With dims >= 0 the peer must serve a
+// tree of that dimensionality (all shards of one cluster do); dims < 0
+// skips the check — used by the join fetcher, which learns the cluster's
+// dimensionality from the welcome.
 func dialPeer(addr string, dims int, timeout time.Duration) (*peerConn, error) {
 	nc, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
@@ -168,12 +310,12 @@ func dialPeer(addr string, dims int, timeout time.Duration) (*peerConn, error) {
 		nc.Close()
 		return nil, fmt.Errorf("peer handshake: %w", err)
 	}
-	if gotDims != dims {
+	if dims >= 0 && gotDims != dims {
 		nc.Close()
 		return nil, fmt.Errorf("peer serves %d-dim tree, want %d", gotDims, dims)
 	}
 	nc.SetDeadline(time.Time{})
-	pc := &peerConn{nc: nc, waiting: map[uint64]chan peerResult{}}
+	pc := &peerConn{nc: nc, dims: gotDims, waiting: map[uint64]chan peerResult{}}
 	go pc.readLoop()
 	return pc, nil
 }
@@ -221,9 +363,17 @@ func (pc *peerConn) readLoop() {
 			continue // abandoned (timed-out) id
 		}
 		res := peerResult{}
-		if resp.Kind == proto.KindError {
+		switch resp.Kind {
+		case proto.KindError:
 			res.err = fmt.Errorf("server: peer: %s", resp.Err)
-		} else {
+		case proto.KindPong:
+			// Liveness proven; nothing to carry.
+		case proto.KindSectionData:
+			res.shard = resp.Shard
+			res.fileSize = resp.FileSize
+			res.chunkCRC = resp.ChunkCRC
+			res.data = append([]byte(nil), resp.Data...)
+		default:
 			res.flat = append([]panda.Neighbor(nil), resp.Flat...)
 			res.offsets = append([]int32(nil), resp.Offsets...)
 		}
@@ -234,12 +384,12 @@ func (pc *peerConn) readLoop() {
 // call issues one request and waits for its response (bounded by timeout so
 // a wedged peer cannot pin a router goroutine forever). Returned offsets
 // are 0-based.
-func (pc *peerConn) call(timeout time.Duration, encode func(b []byte, id uint64) []byte) ([]panda.Neighbor, []int32, error) {
+func (pc *peerConn) call(timeout time.Duration, encode func(b []byte, id uint64) []byte) peerResult {
 	pc.mu.Lock()
 	if pc.err != nil {
 		err := pc.err
 		pc.mu.Unlock()
-		return nil, nil, err
+		return peerResult{err: err}
 	}
 	id := pc.nextID
 	pc.nextID++
@@ -263,19 +413,20 @@ func (pc *peerConn) call(timeout time.Duration, encode func(b []byte, id uint64)
 		pc.mu.Lock()
 		delete(pc.waiting, id)
 		pc.mu.Unlock()
-		pc.fail(fmt.Errorf("%w: %w", errPeerClosed, err))
-		return nil, nil, err
+		err = fmt.Errorf("%w: %w", errPeerClosed, err)
+		pc.fail(err)
+		return peerResult{err: err}
 	}
 
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
 	case res := <-ch:
-		return res.flat, res.offsets, res.err
+		return res
 	case <-timer.C:
 		pc.mu.Lock()
 		delete(pc.waiting, id)
 		pc.mu.Unlock()
-		return nil, nil, fmt.Errorf("server: peer call timed out after %v", timeout)
+		return peerResult{err: fmt.Errorf("%w after %v", errPeerTimeout, timeout)}
 	}
 }

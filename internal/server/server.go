@@ -169,6 +169,13 @@ type Server struct {
 	// the achieved micro-batching factor.
 	statQueries atomic.Int64
 	statBatches atomic.Int64
+
+	// Robustness counters (zero on an un-replicated server): incremented by
+	// the peer layer and failover router, read by Stats.
+	statPeerFailures atomic.Int64
+	statFailovers    atomic.Int64
+	statRedials      atomic.Int64
+	statReplBytes    atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of the serving counters.
@@ -183,6 +190,17 @@ type Stats struct {
 	// ActiveConns is the number of currently open client connections
 	// (cluster peers included on ranks receiving forwarded traffic).
 	ActiveConns int
+	// PeerFailures counts peer calls that failed at the transport level
+	// (dial errors, broken connections, call timeouts).
+	PeerFailures int64
+	// Failovers counts shard queries answered by a replica because the
+	// shard's primary was unreachable or marked dead.
+	Failovers int64
+	// Redials counts peer reconnect attempts after a broken link.
+	Redials int64
+	// ReplicationBytes counts snapshot bytes this rank has served to
+	// re-replicating or joining peers over the section-streaming protocol.
+	ReplicationBytes int64
 }
 
 // Stats returns the serving counters. Safe for concurrent use; the
@@ -190,8 +208,12 @@ type Stats struct {
 // round may be counted in Batches and not yet in Queries).
 func (s *Server) Stats() Stats {
 	st := Stats{
-		Queries: s.statQueries.Load(),
-		Batches: s.statBatches.Load(),
+		Queries:          s.statQueries.Load(),
+		Batches:          s.statBatches.Load(),
+		PeerFailures:     s.statPeerFailures.Load(),
+		Failovers:        s.statFailovers.Load(),
+		Redials:          s.statRedials.Load(),
+		ReplicationBytes: s.statReplBytes.Load(),
 	}
 	if st.Batches > 0 {
 		st.MeanBatchSize = float64(st.Queries) / float64(st.Batches)
@@ -240,7 +262,14 @@ func (s *Server) ListenAndServe(addr string) error {
 func (s *Server) Serve(ln net.Listener) error {
 	s.mu.Lock()
 	if s.state != stateIdle {
+		drained := s.state >= stateDraining
 		s.mu.Unlock()
+		if drained {
+			// Shutdown won the race with Serve: it could not have seen this
+			// listener, so close it here instead of leaking the port.
+			ln.Close()
+			return ErrServerClosed
+		}
 		return fmt.Errorf("server: Serve called twice")
 	}
 	s.state = stateServing
@@ -248,6 +277,9 @@ func (s *Server) Serve(ln net.Listener) error {
 	s.dispatcherUp = true
 	s.mu.Unlock()
 	go s.dispatch()
+	if s.cluster != nil {
+		go s.cluster.heartbeatLoop(s.cluster.hbStop)
+	}
 
 	for {
 		nc, err := ln.Accept()
@@ -496,27 +528,63 @@ func (s *Server) serveConn(c *conn) {
 			continue
 		}
 		p.c = c
-		// Stats requests are answered immediately from the reader (they
-		// carry no query work, so routing them through the dispatcher would
-		// only skew the batching counters they report).
+		// Stats and ping requests are answered immediately from the reader
+		// (they carry no query work, so routing them through the dispatcher
+		// would only skew the batching counters they report — and a ping
+		// must measure reader liveness, not dispatcher queue depth).
 		if p.req.Kind == proto.KindStats {
 			st := s.Stats()
 			id := p.req.ID
 			s.putPending(p)
 			errBuf = proto.BeginFrame(errBuf[:0])
-			errBuf = proto.AppendStatsResponse(errBuf, id, uint64(st.Queries), uint64(st.Batches), uint32(st.ActiveConns))
+			errBuf = proto.AppendStatsResponse(errBuf, id, proto.StatsBody{
+				Queries:          uint64(st.Queries),
+				Batches:          uint64(st.Batches),
+				ActiveConns:      uint32(st.ActiveConns),
+				PeerFailures:     uint64(st.PeerFailures),
+				Failovers:        uint64(st.Failovers),
+				Redials:          uint64(st.Redials),
+				ReplicationBytes: uint64(st.ReplicationBytes),
+			})
+			if proto.FinishFrame(errBuf, 0) == nil {
+				c.writeFrame(errBuf, s.cfg.WriteTimeout)
+			}
+			continue
+		}
+		if p.req.Kind == proto.KindPing {
+			id := p.req.ID
+			s.putPending(p)
+			errBuf = proto.BeginFrame(errBuf[:0])
+			errBuf = proto.AppendPongResponse(errBuf, id)
+			if proto.FinishFrame(errBuf, 0) == nil {
+				c.writeFrame(errBuf, s.cfg.WriteTimeout)
+			}
+			continue
+		}
+		// Shard-addressed and section-streaming kinds only make sense on a
+		// cluster rank; a single-node server refuses them without feeding
+		// them to the dispatcher (which would misread them as plain KNN).
+		if s.cluster == nil && clusterOnlyKind(p.req.Kind) {
+			id := p.req.ID
+			s.putPending(p)
+			errBuf = proto.BeginFrame(errBuf[:0])
+			errBuf = proto.AppendErrorResponse(errBuf, id, "server: request kind requires cluster mode")
 			if proto.FinishFrame(errBuf, 0) == nil {
 				c.writeFrame(errBuf, s.cfg.WriteTimeout)
 			}
 			continue
 		}
 		// Cluster mode: externally-routable kinds go through the shard
-		// router (owner lookup, forwarding, remote-candidate exchange) in
-		// their own goroutine so the reader keeps pipelining and the
-		// dispatcher never blocks on the network. The remote kinds
+		// router (owner lookup, forwarding, remote-candidate exchange,
+		// failover) in their own goroutine so the reader keeps pipelining
+		// and the dispatcher never blocks on the network. The remote kinds
 		// (RemoteKNN/RemoteRadius) address this shard alone by definition
-		// and take the ordinary intake path even in cluster mode.
-		if s.cluster != nil && (p.req.Kind == proto.KindKNN || p.req.Kind == proto.KindRadius) {
+		// and take the ordinary intake path even in cluster mode; the
+		// shard-addressed kinds answer from replica trees outside the
+		// dispatcher (it only batches for the rank's own tree), and
+		// section fetches are disk reads the dispatcher should never wait
+		// behind.
+		if s.cluster != nil && (p.req.Kind == proto.KindKNN || p.req.Kind == proto.KindRadius || clusterOnlyKind(p.req.Kind)) {
 			if c.routeSem == nil {
 				c.routeSem = make(chan struct{}, s.cfg.IntakeDepth)
 			}
@@ -542,6 +610,17 @@ func (s *Server) serveConn(c *conn) {
 // writeFrameless writes raw bytes (the handshake, which is not framed).
 func (c *conn) writeFrameless(buf []byte, timeout time.Duration) error {
 	return c.writeFrame(buf, timeout)
+}
+
+// clusterOnlyKind reports whether kind is meaningful only on a cluster
+// rank: shard-addressed queries (failover routing) and snapshot section
+// streaming (re-replication and joins).
+func clusterOnlyKind(kind byte) bool {
+	switch kind {
+	case proto.KindShardKNN, proto.KindShardRemoteKNN, proto.KindShardRadius, proto.KindFetchSection:
+		return true
+	}
+	return false
 }
 
 // dispatcher holds the dispatch loop's recycled buffers.

@@ -1,0 +1,171 @@
+package snapshot
+
+import (
+	"bytes"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"panda/internal/core"
+	"panda/internal/kdtree"
+)
+
+// streamFile pipes a snapshot file through ChunkSource → Assembler with the
+// given chunk size and commits it to dst, returning the decoded result.
+func streamFile(t *testing.T, src, dst string, chunk int) *Snapshot {
+	t.Helper()
+	cs, err := OpenChunkSource(src)
+	if err != nil {
+		t.Fatalf("OpenChunkSource: %v", err)
+	}
+	defer cs.Close()
+	asm := NewAssembler()
+	var buf []byte
+	for !asm.Complete() {
+		data, crc, err := cs.ReadChunk(asm.Next(), chunk, buf)
+		if err != nil {
+			t.Fatalf("ReadChunk at %d: %v", asm.Next(), err)
+		}
+		buf = data
+		if err := asm.Add(asm.Next(), uint64(cs.Size()), crc, data); err != nil {
+			t.Fatalf("Add at %d: %v", asm.Next(), err)
+		}
+	}
+	snap, err := asm.Commit(dst)
+	if err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	return snap
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	tree := buildTestTree(2000, 3)
+	src := writeTestSnapshot(t, tree, &ClusterMeta{
+		Rank: 1, Ranks: 4, TotalPoints: 8000, GlobalRoot: 0,
+		GlobalNodes: []core.GlobalNode{
+			{Dim: 0, Median: 0.5, Left: 1, Right: 2},
+			{Dim: 1, Median: 0.25, Left: 3, Right: 4},
+			{Dim: 1, Median: 0.75, Left: 5, Right: 6},
+			{Dim: -1, Rank: 0}, {Dim: -1, Rank: 1}, {Dim: -1, Rank: 2}, {Dim: -1, Rank: 3},
+		},
+	})
+	dst := filepath.Join(t.TempDir(), "copy.pnds")
+	// An awkward chunk size that doesn't divide the file exercises the
+	// short final chunk.
+	snap := streamFile(t, src, dst, 1013)
+	if snap.Cluster == nil || snap.Cluster.Rank != 1 || snap.Cluster.Ranks != 4 {
+		t.Fatalf("streamed cluster meta %+v", snap.Cluster)
+	}
+	want, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("streamed file differs from the source")
+	}
+	// The committed file warm-starts like any snapshot.
+	reread, err := Open(dst)
+	if err != nil {
+		t.Fatalf("Open(streamed): %v", err)
+	}
+	defer reread.Close()
+	rt, err := kdtree.FromRaw(reread.Raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkIdentical(t, tree, rt, 50)
+}
+
+func TestStreamRejectsCorruptChunk(t *testing.T) {
+	tree := buildTestTree(500, 2)
+	src := writeTestSnapshot(t, tree, nil)
+	cs, err := OpenChunkSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	data, crc, err := cs.ReadChunk(0, 4096, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/2] ^= 0x40
+	asm := NewAssembler()
+	if err := asm.Add(0, uint64(cs.Size()), crc, flipped); err == nil {
+		t.Fatal("corrupt chunk accepted")
+	}
+	// A chunk whose own CRC was recomputed to match still fails at Commit:
+	// the assembled file no longer passes the PNDS trailer CRC.
+	asm = NewAssembler()
+	off := uint64(0)
+	for off < uint64(cs.Size()) {
+		d, c, err := cs.ReadChunk(off, 4096, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if off == 0 {
+			d = append([]byte(nil), d...)
+			d[100] ^= 0x01
+			c = crc32.Checksum(d, castagnoli)
+		}
+		if err := asm.Add(off, uint64(cs.Size()), c, d); err != nil {
+			t.Fatal(err)
+		}
+		off += uint64(len(d))
+	}
+	if _, err := asm.Commit(filepath.Join(t.TempDir(), "bad.pnds")); err == nil {
+		t.Fatal("corrupt assembled file committed")
+	}
+}
+
+func TestStreamProtocolErrors(t *testing.T) {
+	tree := buildTestTree(300, 2)
+	src := writeTestSnapshot(t, tree, nil)
+	cs, err := OpenChunkSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cs.Close()
+	if _, _, err := cs.ReadChunk(uint64(cs.Size()), 64, nil); err == nil {
+		t.Error("read past EOF succeeded")
+	}
+	if _, _, err := cs.ReadChunk(0, 0, nil); err == nil {
+		t.Error("zero-length chunk succeeded")
+	}
+	data, crc, err := cs.ReadChunk(0, 1024, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := uint64(cs.Size())
+	asm := NewAssembler()
+	if err := asm.Add(0, 0, crc, data); err == nil {
+		t.Error("zero file size accepted")
+	}
+	asm = NewAssembler()
+	if err := asm.Add(1024, size, crc, data); err == nil {
+		t.Error("out-of-order first chunk accepted")
+	}
+	asm = NewAssembler()
+	if err := asm.Add(0, size, crc, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := asm.Add(0, size, crc, data); err == nil {
+		t.Error("repeated chunk accepted")
+	}
+	if err := asm.Add(uint64(len(data)), size+1, crc, data); err == nil {
+		t.Error("size change mid-stream accepted")
+	}
+	if _, err := asm.Commit(filepath.Join(t.TempDir(), "x.pnds")); err == nil {
+		t.Error("incomplete stream committed")
+	}
+	// Oversized claimed file is rejected before allocating anything.
+	asm = NewAssembler()
+	if err := asm.Add(0, maxStreamFile+1, crc, data); err == nil {
+		t.Error("absurd file size accepted")
+	}
+}

@@ -1,0 +1,156 @@
+// Client-side fault tolerance: retrying dials and transparent
+// reconnect-and-retry for idempotent calls. KNN, radius, and stats requests
+// are pure reads, so replaying one after a transport failure cannot
+// double-apply anything — the only care needed is distinguishing transport
+// failures (retry) from semantic server errors (return immediately).
+package panda
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy controls dial retries and idempotent-call retries for clients
+// created by DialRetry/DialClusterRetry. The zero value disables retrying
+// entirely (one attempt, no reconnect).
+type RetryPolicy struct {
+	// Attempts is the total number of tries per operation (the first try
+	// included). Values below 1 mean 1.
+	Attempts int
+	// BaseDelay is the backoff before the first retry; it doubles each
+	// retry with ±50% jitter. Defaults to 50ms when Attempts > 1.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. Defaults to 2s when Attempts > 1.
+	MaxDelay time.Duration
+}
+
+// DefaultRetry suits most serving clients: a handful of attempts spread
+// over a few seconds, long enough to ride out a cluster failover window.
+var DefaultRetry = RetryPolicy{Attempts: 6, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts < 1 {
+		p.Attempts = 1
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// backoff returns the jittered exponential delay before retry number
+// attempt (0-based): BaseDelay·2^attempt, capped at MaxDelay, ±50% jitter.
+// The jitter keeps a fleet of clients that lost the same rank from
+// redialing in lockstep.
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.BaseDelay << uint(attempt)
+	if d <= 0 || d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// DialRetry is Dial with retries: up to policy.Attempts dial attempts with
+// jittered exponential backoff, and the returned client reconnects and
+// retries idempotent calls (KNN, KNNBatch, RadiusSearch, Stats) after
+// transport failures under the same policy.
+func DialRetry(addr string, policy RetryPolicy) (*Client, error) {
+	return dialRetry([]string{addr}, policy)
+}
+
+// DialClusterRetry is DialCluster with retries. Reconnects may land on any
+// listed rank, so a client survives the loss of the rank it was talking to
+// as long as one rank keeps serving — with shard replication on the server
+// side, answers stay bit-identical across the switch.
+func DialClusterRetry(addrs []string, policy RetryPolicy) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("panda: DialClusterRetry needs at least one address")
+	}
+	return dialRetry(addrs, policy)
+}
+
+func dialRetry(addrs []string, policy RetryPolicy) (*Client, error) {
+	policy = policy.withDefaults()
+	var last error
+	for attempt := 0; attempt < policy.Attempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(policy.backoff(attempt - 1))
+		}
+		nc, dims, points, err := dialAny(addrs)
+		if err == nil {
+			return newClient(nc, dims, points, addrs, policy), nil
+		}
+		last = err
+	}
+	return nil, fmt.Errorf("panda: dial failed after %d attempts: %w", policy.Attempts, last)
+}
+
+// callRetry issues an idempotent request, reconnecting and retrying on
+// transport failures per the client's policy. Semantic errors (the server
+// answered KindError) and explicit Close return immediately; exhausted
+// retries surface the attempt count and the last failure.
+func (c *Client) callRetry(encode func(b []byte, id uint64) []byte) (clientResult, error) {
+	res, err := c.call(encode)
+	if err == nil || c.retry.Attempts <= 1 || !errors.Is(err, errConnLost) {
+		return res, err
+	}
+	last := err
+	for attempt := 1; attempt < c.retry.Attempts; attempt++ {
+		time.Sleep(c.retry.backoff(attempt - 1))
+		if rerr := c.reconnect(); rerr != nil {
+			if errors.Is(rerr, ErrClientClosed) {
+				return clientResult{}, rerr
+			}
+			last = rerr
+			continue // the next backoff may find a revived rank
+		}
+		res, err = c.call(encode)
+		if err == nil || !errors.Is(err, errConnLost) {
+			return res, err
+		}
+		last = err
+	}
+	return clientResult{}, fmt.Errorf("panda: giving up after %d attempts: %w", c.retry.Attempts, last)
+}
+
+// reconnect replaces a failed connection, trying every known address. It is
+// a no-op when another goroutine already reconnected (many callers hit the
+// same dead connection at once; only one redial should happen).
+func (c *Client) reconnect() error {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClientClosed
+	}
+	if c.err == nil {
+		c.mu.Unlock()
+		return nil // already healthy again
+	}
+	c.mu.Unlock()
+	nc, dims, _, err := dialAny(c.addrs)
+	if err != nil {
+		return fmt.Errorf("%w: redial: %w", errConnLost, err)
+	}
+	if dims != c.dims {
+		nc.Close()
+		return fmt.Errorf("panda: reconnected to a server with %d dims, want %d", dims, c.dims)
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		nc.Close()
+		return ErrClientClosed
+	}
+	c.nc = nc
+	c.err = nil
+	c.mu.Unlock()
+	go c.readLoop(nc)
+	return nil
+}

@@ -11,6 +11,7 @@ import (
 
 	"panda/internal/core"
 	"panda/internal/kdtree"
+	"panda/internal/proto"
 	"panda/internal/snapshot"
 )
 
@@ -110,25 +111,86 @@ func rankFile(dir string, rank int) string {
 // clusterManifest is the small JSON file describing a cluster snapshot
 // directory; every rank's PNDS file additionally embeds the cluster
 // section (rank, ranks, total points, global tree), so the manifest's job
-// is discovery and cross-checking, not data.
+// is discovery and cross-checking, not data. Replication and Replicas were
+// added with R-way shard replication: Replicas[s] lists the ranks holding a
+// copy of shard s, primary first. Both are optional — a manifest written
+// before replication (or with replication 1) reads as the identity
+// placement, every shard held only by its own rank.
 type clusterManifest struct {
-	Format      string `json:"format"`
-	Version     int    `json:"version"`
-	Ranks       int    `json:"ranks"`
-	Dims        int    `json:"dims"`
-	TotalPoints int64  `json:"totalPoints"`
+	Format      string  `json:"format"`
+	Version     int     `json:"version"`
+	Ranks       int     `json:"ranks"`
+	Dims        int     `json:"dims"`
+	TotalPoints int64   `json:"totalPoints"`
+	Replication int     `json:"replication,omitempty"`
+	Replicas    [][]int `json:"replicas,omitempty"`
 }
 
 const manifestFormat = "panda-cluster-snapshot"
+
+// DefaultReplication is the replication factor DistTree.WriteSnapshot
+// records when not told otherwise (clamped to the rank count): every shard
+// on its own rank plus one cyclic successor, the cheapest placement that
+// survives any single rank failure.
+const DefaultReplication = 2
+
+// parseClusterManifest unmarshals and validates a manifest, resolving the
+// replica placement: an explicit Replicas map is validated against the rank
+// count; otherwise one is derived from the Replication factor (absent → 1,
+// the pre-replication identity placement).
+func parseClusterManifest(data []byte) (*clusterManifest, error) {
+	var m clusterManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("panda: cluster manifest: %w", err)
+	}
+	if m.Format != manifestFormat || m.Version != snapshot.Version {
+		return nil, fmt.Errorf("panda: cluster manifest format %q version %d not supported", m.Format, m.Version)
+	}
+	if m.Ranks < 1 || m.Ranks >= proto.ManifestShard {
+		return nil, fmt.Errorf("panda: cluster manifest claims %d ranks", m.Ranks)
+	}
+	if m.Dims < 1 {
+		return nil, fmt.Errorf("panda: cluster manifest claims %d dims", m.Dims)
+	}
+	if m.TotalPoints < 0 {
+		return nil, fmt.Errorf("panda: cluster manifest claims %d total points", m.TotalPoints)
+	}
+	if m.Replication < 0 || m.Replication > m.Ranks {
+		return nil, fmt.Errorf("panda: replication factor %d out of range for %d ranks", m.Replication, m.Ranks)
+	}
+	if m.Replication == 0 {
+		m.Replication = 1
+	}
+	if m.Replicas == nil {
+		m.Replicas = core.BuildReplicaSets(m.Ranks, m.Replication)
+	}
+	if err := core.ValidateReplicaSets(m.Replicas, m.Ranks); err != nil {
+		return nil, fmt.Errorf("panda: cluster manifest: %w", err)
+	}
+	return &m, nil
+}
 
 // WriteSnapshot persists this rank's shard of the distributed tree into
 // dir: the rank's local tree plus a cluster section carrying the
 // replicated global partition tree, so OpenClusterSnapshot can warm-start
 // the rank without a mesh or any SPMD collective. Rank 0 also writes the
-// directory manifest. On a freshly built tree this is an SPMD call (every
-// rank must call it — the cluster-wide point total rides an all-reduce); on
-// a snapshot-restored tree it reuses the stored total and is purely local.
+// directory manifest, recording the DefaultReplication placement (each
+// shard on its own rank plus one successor). On a freshly built tree this
+// is an SPMD call (every rank must call it — the cluster-wide point total
+// rides an all-reduce); on a snapshot-restored tree it reuses the stored
+// total and is purely local.
 func (t *DistTree) WriteSnapshot(dir string) error {
+	return t.WriteSnapshotReplicated(dir, DefaultReplication)
+}
+
+// WriteSnapshotReplicated is WriteSnapshot with an explicit replication
+// factor (clamped to [1, ranks]): the manifest records each shard as held
+// by its own rank plus replication-1 cyclic successors. The snapshot files
+// themselves are identical for any factor — replication is a property of
+// the placement map (and of which ranks keep a copy of which file), not of
+// the file contents, so a directory can be re-manifested at a different
+// factor without rewriting a byte of tree data.
+func (t *DistTree) WriteSnapshotReplicated(dir string, replication int) error {
 	total := t.restoredTotal
 	if c := t.dt.Comm(); c != nil {
 		total = c.AllReduceInt64([]int64{int64(t.LocalLen())}, "sum")[0]
@@ -153,9 +215,17 @@ func (t *DistTree) WriteSnapshot(dir string) error {
 	if rank != 0 {
 		return nil
 	}
+	if replication < 1 {
+		replication = 1
+	}
+	if replication > ranks {
+		replication = ranks
+	}
 	m, err := json.MarshalIndent(clusterManifest{
 		Format: manifestFormat, Version: snapshot.Version,
 		Ranks: ranks, Dims: dims, TotalPoints: total,
+		Replication: replication,
+		Replicas:    core.BuildReplicaSets(ranks, replication),
 	}, "", "  ")
 	if err != nil {
 		return err
@@ -175,12 +245,9 @@ func OpenClusterSnapshot(dir string, rank int) (*DistTree, error) {
 	if err != nil {
 		return nil, err
 	}
-	var m clusterManifest
-	if err := json.Unmarshal(mb, &m); err != nil {
-		return nil, fmt.Errorf("panda: cluster manifest: %w", err)
-	}
-	if m.Format != manifestFormat || m.Version != snapshot.Version {
-		return nil, fmt.Errorf("panda: cluster manifest format %q version %d not supported", m.Format, m.Version)
+	m, err := parseClusterManifest(mb)
+	if err != nil {
+		return nil, err
 	}
 	if rank < 0 || rank >= m.Ranks {
 		return nil, fmt.Errorf("panda: rank %d out of range for %d-rank snapshot", rank, m.Ranks)
@@ -189,12 +256,137 @@ func OpenClusterSnapshot(dir string, rank int) (*DistTree, error) {
 	if err != nil {
 		return nil, err
 	}
-	dt, err := distTreeFromSnapshot(snap, rank, &m)
+	dt, err := distTreeFromSnapshot(snap, rank, m)
 	if err != nil {
 		snap.Close()
 		return nil, err
 	}
 	return dt, nil
+}
+
+// ClusterSnapshot is a rank's replication-aware view of a cluster snapshot
+// directory: its own shard as a DistTree plus zero-copy trees for every
+// other shard the placement map assigns it. Held shards whose files are not
+// present locally are listed in Missing — the serving layer pulls those
+// from live holders over the section-streaming protocol.
+type ClusterSnapshot struct {
+	Tree        *DistTree     // this rank's own shard + the global partition tree
+	Replicas    map[int]*Tree // shard → opened replica tree (own shard excluded)
+	ReplicaSets [][]int       // shard → ordered holder ranks, primary first
+	Replication int           // the manifest's replication factor
+	Missing     []int         // held shards with no local file yet
+	Dir         string        // the snapshot directory
+}
+
+// OpenClusterSnapshotReplicated warm-starts one rank of a replicated
+// cluster: the rank's own shard (exactly OpenClusterSnapshot) plus a
+// zero-copy open of every replica shard the manifest assigns this rank.
+// Replica trees are byte-identical to their primaries' — both open the same
+// snapshot bytes — which is what keeps failover answers bit-identical. A
+// missing replica file is not an error; it is reported in Missing for the
+// server to fetch.
+func OpenClusterSnapshotReplicated(dir string, rank int) (*ClusterSnapshot, error) {
+	mb, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	m, err := parseClusterManifest(mb)
+	if err != nil {
+		return nil, err
+	}
+	if rank < 0 || rank >= m.Ranks {
+		return nil, fmt.Errorf("panda: rank %d out of range for %d-rank snapshot", rank, m.Ranks)
+	}
+	snap, err := snapshot.Open(rankFile(dir, rank))
+	if err != nil {
+		return nil, err
+	}
+	dt, err := distTreeFromSnapshot(snap, rank, m)
+	if err != nil {
+		snap.Close()
+		return nil, err
+	}
+	cs := &ClusterSnapshot{
+		Tree:        dt,
+		Replicas:    map[int]*Tree{},
+		ReplicaSets: m.Replicas,
+		Replication: m.Replication,
+		Dir:         dir,
+	}
+	for _, s := range core.HeldShards(m.Replicas, rank, nil) {
+		if s == rank {
+			continue // the primary copy is cs.Tree
+		}
+		rt, err := OpenReplicaShard(dir, s, m.Ranks, m.Dims, m.TotalPoints)
+		if os.IsNotExist(err) {
+			cs.Missing = append(cs.Missing, s)
+			continue
+		}
+		if err != nil {
+			cs.Close()
+			return nil, fmt.Errorf("panda: replica shard %d: %w", s, err)
+		}
+		cs.Replicas[s] = rt
+	}
+	return cs, nil
+}
+
+// OpenReplicaShard opens shard s's snapshot file from dir as a standalone
+// query tree, cross-checking the embedded cluster section against the
+// expected topology. The returned tree answers local-shard calls (the
+// failover router's direct path) bit-identically to shard s's own rank.
+func OpenReplicaShard(dir string, s, ranks, dims int, totalPoints int64) (*Tree, error) {
+	snap, err := snapshot.Open(rankFile(dir, s))
+	if err != nil {
+		return nil, err
+	}
+	t, err := replicaTreeFromSnapshot(snap, s, ranks, dims, totalPoints)
+	if err != nil {
+		snap.Close()
+		return nil, err
+	}
+	return t, nil
+}
+
+// replicaTreeFromSnapshot validates a replica shard file and wraps its tree.
+func replicaTreeFromSnapshot(snap *snapshot.Snapshot, s, ranks, dims int, totalPoints int64) (*Tree, error) {
+	meta := snap.Cluster
+	if meta == nil {
+		return nil, fmt.Errorf("panda: shard file carries no cluster section")
+	}
+	if meta.Rank != s || meta.Ranks != ranks {
+		return nil, fmt.Errorf("panda: file is shard %d of %d, want shard %d of %d", meta.Rank, meta.Ranks, s, ranks)
+	}
+	if snap.Raw.Dims != dims {
+		return nil, fmt.Errorf("panda: shard file has %d dims, cluster has %d", snap.Raw.Dims, dims)
+	}
+	if meta.TotalPoints != totalPoints {
+		return nil, fmt.Errorf("panda: shard file records %d total points, cluster has %d", meta.TotalPoints, totalPoints)
+	}
+	kt, err := kdtree.FromRaw(snap.Raw)
+	if err != nil {
+		return nil, err
+	}
+	threads := snap.Raw.Opts.Threads
+	if threads <= 0 {
+		threads = 1
+	}
+	return &Tree{t: kt, threads: threads, closeSnap: snap.Close}, nil
+}
+
+// Close releases the rank's own tree and every opened replica.
+func (cs *ClusterSnapshot) Close() error {
+	var first error
+	if cs.Tree != nil {
+		first = cs.Tree.Close()
+	}
+	for s, rt := range cs.Replicas {
+		if err := rt.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(cs.Replicas, s)
+	}
+	return first
 }
 
 func distTreeFromSnapshot(snap *snapshot.Snapshot, rank int, m *clusterManifest) (*DistTree, error) {
