@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"time"
 
@@ -19,6 +20,17 @@ var ErrClientClosed = errors.New("panda: client closed")
 // fresh connection (KNN/radius/stats are pure reads); semantic server
 // errors (KindError responses) never wrap it.
 var errConnLost = errors.New("panda: connection lost")
+
+// ErrOverloaded marks a query the server refused at its admission limit
+// (Config.MaxInFlight) instead of queueing it. The connection stays healthy
+// and the dataset unchanged — the right reaction is to back off and retry,
+// which retrying clients do when RetryPolicy.RetryOverloaded is set. Test
+// with errors.Is or IsOverloaded.
+var ErrOverloaded = errors.New("panda: server overloaded")
+
+// IsOverloaded reports whether err means the server shed the request at its
+// admission limit rather than failing it.
+func IsOverloaded(err error) bool { return errors.Is(err, ErrOverloaded) }
 
 // errNonFiniteQuery rejects NaN/±Inf query inputs client-side; the server
 // enforces the same rule at its decode boundary (semantic KindError, the
@@ -84,6 +96,9 @@ type ServerStats struct {
 	// ReplicationBytes counts snapshot bytes the rank has streamed to
 	// re-replicating or joining peers.
 	ReplicationBytes int64
+	// Shed counts requests the rank refused with an overload error at its
+	// admission limit (server Config.MaxInFlight).
+	Shed int64
 }
 
 // DialTimeout bounds connection establishment and the handshake in Dial.
@@ -239,7 +254,15 @@ func (c *Client) readLoop(nc net.Conn) {
 		res := clientResult{}
 		switch resp.Kind {
 		case proto.KindError:
-			res.err = fmt.Errorf("panda: server: %s", resp.Err)
+			// Overload refusals keep their sentinel across cluster
+			// forwarding: a non-owner rank wraps the owner's message
+			// ("forward shard N...: peer: overloaded, retry"), so match by
+			// substring, not equality.
+			if strings.Contains(resp.Err, proto.OverloadedMsg) {
+				res.err = fmt.Errorf("%w: server: %s", ErrOverloaded, resp.Err)
+			} else {
+				res.err = fmt.Errorf("panda: server: %s", resp.Err)
+			}
 		case proto.KindStatsResult:
 			st := &ServerStats{
 				Queries:          int64(resp.Stats.Queries),
@@ -249,6 +272,7 @@ func (c *Client) readLoop(nc net.Conn) {
 				Failovers:        int64(resp.Stats.Failovers),
 				Redials:          int64(resp.Stats.Redials),
 				ReplicationBytes: int64(resp.Stats.ReplicationBytes),
+				Shed:             int64(resp.Stats.Shed),
 			}
 			if st.Batches > 0 {
 				st.MeanBatchSize = float64(st.Queries) / float64(st.Batches)

@@ -196,9 +196,9 @@ func run(addrs []string, dataset string, n int, seed uint64, check bool, queries
 			if err != nil {
 				return fmt.Errorf("stats from %s: %w", addrs[i], err)
 			}
-			log.Printf("%s: %d queries in %d batches (mean batch %.1f), %d conns; %d peer failures, %d failovers, %d redials, %d repl bytes",
+			log.Printf("%s: %d queries in %d batches (mean batch %.1f), %d conns; %d peer failures, %d failovers, %d redials, %d repl bytes, %d shed",
 				addrs[i], st.Queries, st.Batches, st.MeanBatchSize, st.ActiveConns,
-				st.PeerFailures, st.Failovers, st.Redials, st.ReplicationBytes)
+				st.PeerFailures, st.Failovers, st.Redials, st.ReplicationBytes, st.Shed)
 		}
 	}
 	return nil

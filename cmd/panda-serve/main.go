@@ -76,6 +76,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -104,6 +105,9 @@ func main() {
 		linger  = flag.Duration("linger", 200*time.Microsecond, "max time to wait filling a batch")
 		grace   = flag.Duration("grace", 10*time.Second, "graceful shutdown drain budget")
 
+		maxInflight = flag.Int("max-inflight", 0, "admission limit: max queries admitted but unanswered before new requests are shed with an overload error (0 = unbounded)")
+		metricsAddr = flag.String("metrics", "", "HTTP listen address for the Prometheus /metrics endpoint (empty = disabled)")
+
 		snapIn  = flag.String("snapshot", "", "warm-start from a PNDS snapshot file (cluster mode: snapshot directory) instead of building")
 		snapOut = flag.String("save-snapshot", "", "write a PNDS snapshot file after building (cluster mode: snapshot directory)")
 
@@ -120,9 +124,11 @@ func main() {
 	var err error
 	if *clusterMode {
 		err = runCluster(*in, *dataset, *n, *dims, *seed, *bucket, *threads, *batch, *linger, *grace,
-			*snapIn, *snapOut, *rank, splitAddrs(*mesh), splitAddrs(*serveAddrs), *replication, *join, *joinWait, *drain)
+			*snapIn, *snapOut, *rank, splitAddrs(*mesh), splitAddrs(*serveAddrs), *replication, *join, *joinWait, *drain,
+			*maxInflight, *metricsAddr)
 	} else {
-		err = run(*in, *dataset, *n, *dims, *seed, *bucket, *threads, *addr, *batch, *linger, *grace, *snapIn, *snapOut)
+		err = run(*in, *dataset, *n, *dims, *seed, *bucket, *threads, *addr, *batch, *linger, *grace, *snapIn, *snapOut,
+			*maxInflight, *metricsAddr)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "panda-serve:", err)
@@ -214,21 +220,43 @@ func obtainTree(in, dataset string, n, dims int, seed uint64, bucket, threads in
 	return tree, nil
 }
 
-func run(in, dataset string, n, dims int, seed uint64, bucket, threads int, addr string, batch int, linger, grace time.Duration, snapIn, snapOut string) error {
+func run(in, dataset string, n, dims int, seed uint64, bucket, threads int, addr string, batch int, linger, grace time.Duration, snapIn, snapOut string, maxInflight int, metricsAddr string) error {
 	tree, err := obtainTree(in, dataset, n, dims, seed, bucket, threads, snapIn, snapOut)
 	if err != nil {
 		return err
 	}
 	defer tree.Close()
 
-	srv := server.New(tree, server.Config{MaxBatch: batch, MaxLinger: linger})
+	srv := server.New(tree, server.Config{MaxBatch: batch, MaxLinger: linger, MaxInFlight: maxInflight})
 
+	if err := startMetrics(srv, metricsAddr); err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
-	log.Printf("serving on %s (batch=%d linger=%v)", ln.Addr(), batch, linger)
+	log.Printf("serving on %s (batch=%d linger=%v max-inflight=%d)", ln.Addr(), batch, linger, maxInflight)
 	return serveUntilSignal(srv, ln, grace, false)
+}
+
+// startMetrics exposes srv's Prometheus endpoint at /metrics on its own
+// HTTP listener (kept off the query port: the query protocol is not HTTP,
+// and scrapes must not compete with the intake for accepts). Disabled when
+// addr is empty.
+func startMetrics(srv *server.Server, addr string) error {
+	if addr == "" {
+		return nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("metrics listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", srv.MetricsHandler())
+	go http.Serve(ln, mux)
+	log.Printf("metrics on http://%s/metrics", ln.Addr())
+	return nil
 }
 
 // runCluster serves one rank of the sharded cluster: either the cold path
@@ -236,7 +264,8 @@ func run(in, dataset string, n, dims int, seed uint64, bucket, threads int, addr
 // (-snapshot: restore the shard and global tree from the rank's snapshot
 // file, no mesh at all), then serve external clients on serveAddrs[rank].
 func runCluster(in, dataset string, n, dims int, seed uint64, bucket, threads, batch int, linger, grace time.Duration,
-	snapIn, snapOut string, rank int, mesh, serveAddrs []string, replication int, join bool, joinWait time.Duration, drain bool) error {
+	snapIn, snapOut string, rank int, mesh, serveAddrs []string, replication int, join bool, joinWait time.Duration, drain bool,
+	maxInflight int, metricsAddr string) error {
 	if rank < 0 || rank >= len(serveAddrs) {
 		return fmt.Errorf("-rank %d out of range for %d serve addresses", rank, len(serveAddrs))
 	}
@@ -255,7 +284,7 @@ func runCluster(in, dataset string, n, dims int, seed uint64, bucket, threads, b
 	var dt *panda.DistTree
 	var total int64
 	ccfg := server.ClusterConfig{
-		Config:     server.Config{MaxBatch: batch, MaxLinger: linger},
+		Config:     server.Config{MaxBatch: batch, MaxLinger: linger, MaxInFlight: maxInflight},
 		ServeAddrs: serveAddrs,
 	}
 	if snapIn != "" {
@@ -356,11 +385,14 @@ func runCluster(in, dataset string, n, dims int, seed uint64, bucket, threads, b
 	if err != nil {
 		return err
 	}
+	if err := startMetrics(srv, metricsAddr); err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", serveAddrs[rank])
 	if err != nil {
 		return err
 	}
-	log.Printf("rank %d: serving on %s (batch=%d linger=%v)", rank, ln.Addr(), batch, linger)
+	log.Printf("rank %d: serving on %s (batch=%d linger=%v max-inflight=%d)", rank, ln.Addr(), batch, linger, maxInflight)
 	return serveUntilSignal(srv, ln, grace, drain)
 }
 
@@ -405,9 +437,9 @@ func serveUntilSignal(srv *server.Server, ln net.Listener, grace time.Duration, 
 		}
 		st := srv.Stats()
 		log.Printf("served %d queries in %d batches (mean batch %.1f)", st.Queries, st.Batches, st.MeanBatchSize)
-		if st.PeerFailures+st.Failovers+st.Redials+st.ReplicationBytes > 0 {
-			log.Printf("robustness: %d peer failures, %d failovers, %d redials, %d replication bytes served",
-				st.PeerFailures, st.Failovers, st.Redials, st.ReplicationBytes)
+		if st.PeerFailures+st.Failovers+st.Redials+st.ReplicationBytes+st.Shed > 0 {
+			log.Printf("robustness: %d peer failures, %d failovers, %d redials, %d replication bytes served, %d requests shed",
+				st.PeerFailures, st.Failovers, st.Redials, st.ReplicationBytes, st.Shed)
 		}
 		log.Printf("drained; bye")
 		return nil

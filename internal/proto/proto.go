@@ -129,6 +129,19 @@ const MaxSectionChunk = 1 << 20
 // headerLen is kind + id.
 const headerLen = 1 + 8
 
+// OverloadedMsg is the well-known KindError body a server answers when
+// admission control sheds a request: the server is healthy but its in-flight
+// limit is reached, so the client should back off and retry rather than
+// treat the connection as broken. Clients detect it by substring (forwarded
+// cluster errors wrap it in routing context), so it must stay distinctive.
+const OverloadedMsg = "overloaded, retry"
+
+// AppendOverloadedResponse encodes the KindError response for a shed
+// request.
+func AppendOverloadedResponse(b []byte, id uint64) []byte {
+	return AppendErrorResponse(b, id, OverloadedMsg)
+}
+
 // maxErrorLen caps an error-message body.
 const maxErrorLen = 4096
 
@@ -333,6 +346,8 @@ type StatsBody struct {
 	Failovers        uint64 // shard queries answered by a replica after its primary failed
 	Redials          uint64 // peer reconnect attempts after a broken link
 	ReplicationBytes uint64 // snapshot bytes served to re-replicating/joining ranks
+	// Admission-control counter (zero with admission control disabled).
+	Shed uint64 // requests refused with OverloadedMsg at the in-flight limit
 }
 
 // AppendStatsResponse encodes a KindStatsResult response.
@@ -345,7 +360,8 @@ func AppendStatsResponse(b []byte, id uint64, s StatsBody) []byte {
 	b = wire.AppendUint64(b, s.PeerFailures)
 	b = wire.AppendUint64(b, s.Failovers)
 	b = wire.AppendUint64(b, s.Redials)
-	return wire.AppendUint64(b, s.ReplicationBytes)
+	b = wire.AppendUint64(b, s.ReplicationBytes)
+	return wire.AppendUint64(b, s.Shed)
 }
 
 // AppendPingRequest encodes a KindPing health probe (header only). Pings
@@ -629,6 +645,7 @@ func ConsumeResponse(payload []byte, resp *Response) error {
 		resp.Stats.Failovers = d.Uint64()
 		resp.Stats.Redials = d.Uint64()
 		resp.Stats.ReplicationBytes = d.Uint64()
+		resp.Stats.Shed = d.Uint64()
 		if err := d.Err(); err != nil {
 			return err
 		}

@@ -234,6 +234,7 @@ func TestResponseRoundTrip(t *testing.T) {
 	stats := StatsBody{
 		Queries: 100, Batches: 10, ActiveConns: 3,
 		PeerFailures: 4, Failovers: 2, Redials: 7, ReplicationBytes: 1 << 20,
+		Shed: 9,
 	}
 	b = AppendStatsResponse(nil, 14, stats)
 	if err := ConsumeResponse(b, &resp); err != nil {

@@ -289,6 +289,13 @@ func (rt *router) liveHolders(s int, out []int) []int {
 
 // route answers one external request. It owns p and returns it to the pool.
 func (rt *router) route(p *pending) {
+	if !p.arrived.IsZero() {
+		// Observe after the handler has written its response (p itself is
+		// back in the pool by then, so capture what the histogram needs).
+		defer func(kind uint8, arrived time.Time) {
+			rt.s.metrics.observe(kind, time.Since(arrived))
+		}(p.req.Kind, p.arrived)
+	}
 	switch p.req.Kind {
 	case proto.KindKNN:
 		rt.routeKNN(p)

@@ -192,7 +192,27 @@ func TestReplicaFailoverKillRankE2E(t *testing.T) {
 	}
 
 	// Kill one rank without draining, mid-lifetime.
+	killedAt := time.Now()
 	kill(servers[victim])
+
+	// Detection latency: before any query traffic touches the dead rank,
+	// every survivor's heartbeat alone must mark it dead within the bound
+	// FailThreshold×HeartbeatInterval + PingTimeout (= 600ms with the test
+	// config) plus scheduling slack. A heartbeat sweep that serializes
+	// behind slow probes would blow through this.
+	detectBudget := time.Duration(replicatedTestConfig().FailThreshold)*replicatedTestConfig().HeartbeatInterval +
+		replicatedTestConfig().PingTimeout + 1500*time.Millisecond
+	for r := 0; r < p; r++ {
+		if r == victim {
+			continue
+		}
+		for servers[r].cluster.health.live(victim) {
+			if since := time.Since(killedAt); since > detectBudget {
+				t.Fatalf("rank %d still considers the killed rank live after %v (budget %v)", r, since, detectBudget)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
 
 	// Phase 2: every survivor keeps answering every query — including ones
 	// owned by the dead rank's shard — with zero errors and bit-identical

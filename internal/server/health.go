@@ -48,14 +48,25 @@ func (h *healthTracker) ok(rank int) {
 	h.lastOK[rank].Store(time.Now().UnixNano())
 }
 
-// fail records a transport failure contacting rank.
+// fail records a transport failure contacting rank. The counter saturates
+// at the threshold via CompareAndSwap — never a blind Store — so a
+// concurrent ok()'s Store(0) always wins: if a success lands between the
+// load and the CAS, the CAS fails and the retry re-reads the fresh zero,
+// recording exactly one failure against a just-proven-live peer instead of
+// re-marking it (nearly) dead. The invariant fails ∈ [0, thresh] also
+// holds at all times.
 func (h *healthTracker) fail(rank int) {
 	if rank == h.self {
 		return
 	}
-	// Saturate well above the threshold instead of growing forever.
-	if f := h.fails[rank].Add(1); f > 1<<20 {
-		h.fails[rank].Store(h.thresh)
+	for {
+		f := h.fails[rank].Load()
+		if f >= h.thresh {
+			return // already saturated (dead); nothing to record
+		}
+		if h.fails[rank].CompareAndSwap(f, f+1) {
+			return
+		}
 	}
 }
 
@@ -72,8 +83,19 @@ func (h *healthTracker) deadRanks(out []int) []int {
 // heartbeatLoop pings every peer each interval until stop closes. Ping
 // successes recover marked-dead ranks (their queries move back to the
 // primary path); failures push silent ranks over the death threshold even
-// when no query traffic would have noticed. After each sweep, if the
-// cluster is degraded and re-replication is enabled, a repair pass runs.
+// when no query traffic would have noticed.
+//
+// Each peer is probed independently and concurrently: a tick skips any peer
+// whose previous probe is still outstanding (the per-peer probing flag), so
+// a wedged peer — socket open, application dead, every ping burning the
+// full pingTimeout — holds exactly one outstanding ping and costs the other
+// peers nothing. Detection latency for every rank is therefore bounded by
+// thresh×hbInterval + pingTimeout regardless of cluster size or how many
+// peers are simultaneously wedged; the old sequential sweep paid one
+// pingTimeout per wedged peer per sweep, delaying detection of everyone
+// probed after it. Each tick also kicks the repair pass (its own guard
+// keeps at most one running) so a degraded cluster re-replicates even while
+// some probes are stuck.
 func (rt *router) heartbeatLoop(stop <-chan struct{}) {
 	ticker := time.NewTicker(rt.hbInterval)
 	defer ticker.Stop()
@@ -84,22 +106,20 @@ func (rt *router) heartbeatLoop(stop <-chan struct{}) {
 		case <-ticker.C:
 		}
 		for r, p := range rt.peers {
-			if p == nil {
+			if p == nil || !p.probing.CompareAndSwap(false, true) {
 				continue
 			}
-			select {
-			case <-stop:
-				return
-			default:
-			}
-			if err := p.ping(rt.pingTimeout); err != nil {
-				if isTransportErr(err) {
-					rt.health.fail(r)
-					rt.s.statPeerFailures.Add(1)
+			go func(r int, p *peer) {
+				defer p.probing.Store(false)
+				if err := p.ping(rt.pingTimeout); err != nil {
+					if isTransportErr(err) {
+						rt.health.fail(r)
+						rt.s.statPeerFailures.Add(1)
+					}
+					return
 				}
-				continue
-			}
-			rt.health.ok(r)
+				rt.health.ok(r)
+			}(r, p)
 		}
 		rt.maybeRereplicate()
 	}

@@ -1,0 +1,168 @@
+// Serving observability: lock-free latency histograms and a Prometheus
+// text-format /metrics endpoint (stdlib only — the exposition format is a
+// few lines of text, not worth a dependency).
+//
+// Request latency is measured from the moment the reader goroutine decodes
+// a request off the wire to the moment its response is handed to the
+// connection writer, so it includes intake queueing, micro-batch linger,
+// engine time, and (cluster mode) forwarding and remote-candidate
+// round-trips — the latency a client actually experiences minus the network
+// hop. Stats/ping requests are not observed: they carry no query work and
+// would only dilute the histogram the loadgen reads.
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"panda/internal/proto"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds, log-spaced from
+// 50µs (a warm single-node batched query) to 10s (a failover walking a
+// replica chain of dial timeouts). Prometheus convention: each bucket is
+// cumulative and an implicit +Inf bucket equals _count.
+var latencyBuckets = [...]float64{
+	50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram safe for concurrent
+// observation. Buckets store per-bucket (non-cumulative) counts; the
+// exporter accumulates. Readers see a consistent-enough view for
+// monitoring: each field is individually atomic, mutually unsynchronized —
+// the same contract as the Stats counters.
+type histogram struct {
+	buckets  [len(latencyBuckets) + 1]atomic.Int64 // last bucket: > largest bound
+	count    atomic.Int64
+	sumNanos atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < len(latencyBuckets) && s > latencyBuckets[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(int64(d))
+}
+
+// metrics aggregates the serving observability state beyond the plain Stats
+// counters: per-kind request counts and the request latency histogram.
+type metrics struct {
+	latency histogram
+
+	// Per-kind request counters (requests, not queries: a 64-query batch
+	// counts once here and 64 times in statQueries).
+	knnRequests    atomic.Int64
+	radiusRequests atomic.Int64
+	otherRequests  atomic.Int64 // shard-addressed, remote, section kinds
+}
+
+// observe records one answered request of the given wire kind.
+func (m *metrics) observe(kind uint8, d time.Duration) {
+	m.latency.observe(d)
+	switch kind {
+	case proto.KindKNN, proto.KindShardKNN:
+		m.knnRequests.Add(1)
+	case proto.KindRadius, proto.KindRemoteRadius, proto.KindShardRadius:
+		m.radiusRequests.Add(1)
+	default:
+		m.otherRequests.Add(1)
+	}
+}
+
+// WriteMetrics writes the server's counters, gauges, and latency histogram
+// in the Prometheus text exposition format. Safe for concurrent use.
+func (s *Server) WriteMetrics(out io.Writer) {
+	w := &metricsWriter{w: out}
+	st := s.Stats()
+	w.counter("panda_queries_total", "Queries answered since start (batch requests count each contained query).", float64(st.Queries))
+	w.counter("panda_batches_total", "Coalesced dispatch rounds run by the micro-batching engine.", float64(st.Batches))
+	w.counter("panda_shed_total", "Requests refused with an overload error at the admission limit.", float64(st.Shed))
+	w.counter("panda_peer_failures_total", "Peer calls failed at the transport level (cluster mode).", float64(st.PeerFailures))
+	w.counter("panda_failovers_total", "Shard queries answered by a replica because the primary was unreachable.", float64(st.Failovers))
+	w.counter("panda_redials_total", "Peer reconnect attempts after a broken link.", float64(st.Redials))
+	w.counter("panda_replication_bytes_total", "Snapshot bytes served to re-replicating or joining peers.", float64(st.ReplicationBytes))
+	w.gauge("panda_active_conns", "Currently open client connections.", float64(st.ActiveConns))
+	w.gauge("panda_inflight_queries", "Admitted queries not yet answered.", float64(s.inflight.Load()))
+	w.gauge("panda_mean_batch_size", "Achieved micro-batching factor (queries per dispatch round).", st.MeanBatchSize)
+
+	m := &s.metrics
+	w.head("panda_requests_total", "Answered requests by wire kind.", "counter")
+	w.labeled("panda_requests_total", `kind="knn"`, float64(m.knnRequests.Load()))
+	w.labeled("panda_requests_total", `kind="radius"`, float64(m.radiusRequests.Load()))
+	w.labeled("panda_requests_total", `kind="other"`, float64(m.otherRequests.Load()))
+
+	w.head("panda_request_latency_seconds", "Request latency from wire decode to response write.", "histogram")
+	cum := int64(0)
+	for i, bound := range latencyBuckets {
+		cum += m.latency.buckets[i].Load()
+		w.labeled("panda_request_latency_seconds_bucket", `le="`+formatBound(bound)+`"`, float64(cum))
+	}
+	cum += m.latency.buckets[len(latencyBuckets)].Load()
+	w.labeled("panda_request_latency_seconds_bucket", `le="+Inf"`, float64(cum))
+	w.line("panda_request_latency_seconds_sum", float64(m.latency.sumNanos.Load())/1e9)
+	w.line("panda_request_latency_seconds_count", float64(m.latency.count.Load()))
+}
+
+// MetricsHandler returns an http.Handler serving the Prometheus text
+// exposition of this server's metrics (mount it at /metrics).
+func (s *Server) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.WriteMetrics(w)
+	})
+}
+
+// formatBound renders a bucket bound the way Prometheus clients expect
+// (shortest decimal, no exponent for these magnitudes).
+func formatBound(b float64) string {
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+// metricsWriter accumulates exposition lines. Kept trivial on purpose: the
+// format is "# HELP", "# TYPE", then one "name[{labels}] value" per sample.
+type metricsWriter struct {
+	w   io.Writer
+	buf []byte
+}
+
+func (mw *metricsWriter) head(name, help, typ string) {
+	mw.buf = mw.buf[:0]
+	mw.buf = append(mw.buf, "# HELP "...)
+	mw.buf = append(mw.buf, name...)
+	mw.buf = append(mw.buf, ' ')
+	mw.buf = append(mw.buf, help...)
+	mw.buf = append(mw.buf, "\n# TYPE "...)
+	mw.buf = append(mw.buf, name...)
+	mw.buf = append(mw.buf, ' ')
+	mw.buf = append(mw.buf, typ...)
+	mw.buf = append(mw.buf, '\n')
+	mw.w.Write(mw.buf)
+}
+
+func (mw *metricsWriter) line(name string, v float64) {
+	fmt.Fprintf(mw.w, "%s %s\n", name, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+func (mw *metricsWriter) labeled(name, labels string, v float64) {
+	fmt.Fprintf(mw.w, "%s{%s} %s\n", name, labels, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+func (mw *metricsWriter) counter(name, help string, v float64) {
+	mw.head(name, help, "counter")
+	mw.line(name, v)
+}
+
+func (mw *metricsWriter) gauge(name, help string, v float64) {
+	mw.head(name, help, "gauge")
+	mw.line(name, v)
+}

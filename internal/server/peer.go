@@ -58,6 +58,11 @@ type peer struct {
 	// redials counts reconnect attempts after a broken link; nil disables.
 	redials *atomic.Int64
 
+	// probing guards the heartbeat loop's in-flight ping: a tick skips a
+	// peer whose previous probe has not resolved, so a wedged peer holds one
+	// outstanding ping instead of accumulating one per interval.
+	probing atomic.Bool
+
 	mu        sync.Mutex
 	pc        *peerConn
 	shutdown  bool // sticky: set by close(); no redials afterwards

@@ -104,6 +104,15 @@ type Config struct {
 	IntakeDepth int
 	// HandshakeTimeout bounds the initial hello exchange (default 10s).
 	HandshakeTimeout time.Duration
+	// MaxInFlight, when > 0, enables admission control: the server bounds
+	// admitted-but-unanswered query work to this many queries (a batch
+	// request weighs its NQ). A request arriving over the limit is refused
+	// immediately with a clean KindError (proto.OverloadedMsg) instead of
+	// queueing, so overload sheds load with bounded latency for admitted
+	// queries rather than stacking an unbounded backlog. Zero disables
+	// shedding: the bounded intake applies TCP backpressure as before.
+	// Stats/ping requests and snapshot section streaming are never shed.
+	MaxInFlight int
 }
 
 func (c Config) withDefaults() Config {
@@ -176,6 +185,15 @@ type Server struct {
 	statFailovers    atomic.Int64
 	statRedials      atomic.Int64
 	statReplBytes    atomic.Int64
+
+	// Admission control (Config.MaxInFlight): inflight is the admitted
+	// query weight not yet answered, statShed counts refused requests.
+	inflight atomic.Int64
+	statShed atomic.Int64
+
+	// metrics holds the latency histogram and per-kind request counters
+	// exported by WriteMetrics/MetricsHandler.
+	metrics metrics
 }
 
 // Stats is a point-in-time snapshot of the serving counters.
@@ -201,6 +219,10 @@ type Stats struct {
 	// ReplicationBytes counts snapshot bytes this rank has served to
 	// re-replicating or joining peers over the section-streaming protocol.
 	ReplicationBytes int64
+	// Shed counts requests refused with an overload error because admitting
+	// them would have exceeded Config.MaxInFlight (0 with admission control
+	// disabled).
+	Shed int64
 }
 
 // Stats returns the serving counters. Safe for concurrent use; the
@@ -214,6 +236,7 @@ func (s *Server) Stats() Stats {
 		Failovers:        s.statFailovers.Load(),
 		Redials:          s.statRedials.Load(),
 		ReplicationBytes: s.statReplBytes.Load(),
+		Shed:             s.statShed.Load(),
 	}
 	if st.Batches > 0 {
 		st.MeanBatchSize = float64(st.Queries) / float64(st.Batches)
@@ -452,6 +475,14 @@ type pending struct {
 	c    *conn
 	req  proto.Request
 	done func(flat []panda.Neighbor, offsets []int32, err error)
+	// arrived is when the reader decoded the request off the wire (zero for
+	// internal router stages); the latency histogram observes it when the
+	// response is written.
+	arrived time.Time
+	// admitted is the query weight this request holds against the server's
+	// in-flight admission limit (0 when admission control is off or the
+	// request is exempt); released by putPending.
+	admitted int64
 }
 
 func (s *Server) getPending() *pending {
@@ -462,8 +493,13 @@ func (s *Server) getPending() *pending {
 }
 
 func (s *Server) putPending(p *pending) {
+	if p.admitted > 0 {
+		s.inflight.Add(-p.admitted)
+		p.admitted = 0
+	}
 	p.c = nil
 	p.done = nil
+	p.arrived = time.Time{}
 	s.pendingPool.Put(p)
 }
 
@@ -545,6 +581,7 @@ func (s *Server) serveConn(c *conn) {
 				Failovers:        uint64(st.Failovers),
 				Redials:          uint64(st.Redials),
 				ReplicationBytes: uint64(st.ReplicationBytes),
+				Shed:             uint64(st.Shed),
 			})
 			if proto.FinishFrame(errBuf, 0) == nil {
 				c.writeFrame(errBuf, s.cfg.WriteTimeout)
@@ -574,6 +611,32 @@ func (s *Server) serveConn(c *conn) {
 			}
 			continue
 		}
+		// Admission control: query work (KNN, radius, and their remote and
+		// shard-addressed forms) is admitted against the in-flight limit; a
+		// request over the limit is refused right here with a clean
+		// overload error — the connection stays usable and the client can
+		// retry after backoff. Section fetches are exempt: replication
+		// repair must not be starved by query overload.
+		if s.cfg.MaxInFlight > 0 && p.req.Kind != proto.KindFetchSection {
+			weight := int64(p.req.NQ)
+			if weight < 1 {
+				weight = 1
+			}
+			if s.inflight.Add(weight) > int64(s.cfg.MaxInFlight) {
+				s.inflight.Add(-weight)
+				s.statShed.Add(1)
+				id := p.req.ID
+				s.putPending(p)
+				errBuf = proto.BeginFrame(errBuf[:0])
+				errBuf = proto.AppendOverloadedResponse(errBuf, id)
+				if proto.FinishFrame(errBuf, 0) == nil {
+					c.writeFrame(errBuf, s.cfg.WriteTimeout)
+				}
+				continue
+			}
+			p.admitted = weight
+		}
+		p.arrived = time.Now()
 		// Cluster mode: externally-routable kinds go through the shard
 		// router (owner lookup, forwarding, remote-candidate exchange,
 		// failover) in their own goroutine so the reader keeps pipelining
@@ -802,6 +865,9 @@ func (d *dispatcher) respondNeighbors(p *pending, offsets []int32, flat []panda.
 		p.done(flat, offsets, nil)
 		return
 	}
+	if !p.arrived.IsZero() {
+		d.s.metrics.observe(p.req.Kind, time.Since(p.arrived))
+	}
 	d.wbuf = proto.BeginFrame(d.wbuf[:0])
 	d.wbuf = proto.AppendNeighborsResponse(d.wbuf, p.req.ID, offsets, flat)
 	if err := proto.FinishFrame(d.wbuf, 0); err != nil {
@@ -817,6 +883,9 @@ func (d *dispatcher) respondError(p *pending, err error) {
 	if p.done != nil {
 		p.done(nil, nil, err)
 		return
+	}
+	if !p.arrived.IsZero() {
+		d.s.metrics.observe(p.req.Kind, time.Since(p.arrived))
 	}
 	d.wbuf = proto.BeginFrame(d.wbuf[:0])
 	d.wbuf = proto.AppendErrorResponse(d.wbuf, p.req.ID, err.Error())

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net"
 	"time"
 )
 
@@ -24,11 +25,17 @@ type RetryPolicy struct {
 	BaseDelay time.Duration
 	// MaxDelay caps the backoff. Defaults to 2s when Attempts > 1.
 	MaxDelay time.Duration
+	// RetryOverloaded also retries (with the same backoff, but without
+	// reconnecting — the connection is healthy) queries the server refused
+	// at its admission limit (ErrOverloaded). Off, overload errors surface
+	// immediately so the caller can shed load its own way.
+	RetryOverloaded bool
 }
 
 // DefaultRetry suits most serving clients: a handful of attempts spread
-// over a few seconds, long enough to ride out a cluster failover window.
-var DefaultRetry = RetryPolicy{Attempts: 6, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+// over a few seconds, long enough to ride out a cluster failover window or
+// a transient overload spike.
+var DefaultRetry = RetryPolicy{Attempts: 6, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second, RetryOverloaded: true}
 
 func (p RetryPolicy) withDefaults() RetryPolicy {
 	if p.Attempts < 1 {
@@ -90,27 +97,44 @@ func dialRetry(addrs []string, policy RetryPolicy) (*Client, error) {
 	return nil, fmt.Errorf("panda: dial failed after %d attempts: %w", policy.Attempts, last)
 }
 
+// retryable reports whether err is worth another attempt under the
+// client's policy, and whether that attempt needs a fresh connection first.
+func (c *Client) retryable(err error) (retry, redial bool) {
+	if errors.Is(err, errConnLost) {
+		return true, true
+	}
+	if c.retry.RetryOverloaded && errors.Is(err, ErrOverloaded) {
+		return true, false // the connection is healthy; just back off
+	}
+	return false, false
+}
+
 // callRetry issues an idempotent request, reconnecting and retrying on
-// transport failures per the client's policy. Semantic errors (the server
-// answered KindError) and explicit Close return immediately; exhausted
-// retries surface the attempt count and the last failure.
+// transport failures — and, when the policy opts in, backing off and
+// retrying overload refusals on the same connection — per the client's
+// policy. Semantic errors (the server answered KindError) and explicit
+// Close return immediately; exhausted retries surface the attempt count and
+// the last failure.
 func (c *Client) callRetry(encode func(b []byte, id uint64) []byte) (clientResult, error) {
 	res, err := c.call(encode)
-	if err == nil || c.retry.Attempts <= 1 || !errors.Is(err, errConnLost) {
+	retry, redial := c.retryable(err)
+	if err == nil || c.retry.Attempts <= 1 || !retry {
 		return res, err
 	}
 	last := err
 	for attempt := 1; attempt < c.retry.Attempts; attempt++ {
 		time.Sleep(c.retry.backoff(attempt - 1))
-		if rerr := c.reconnect(); rerr != nil {
-			if errors.Is(rerr, ErrClientClosed) {
-				return clientResult{}, rerr
+		if redial {
+			if rerr := c.reconnect(); rerr != nil {
+				if errors.Is(rerr, ErrClientClosed) {
+					return clientResult{}, rerr
+				}
+				last = rerr
+				continue // the next backoff may find a revived rank
 			}
-			last = rerr
-			continue // the next backoff may find a revived rank
 		}
 		res, err = c.call(encode)
-		if err == nil || !errors.Is(err, errConnLost) {
+		if retry, redial = c.retryable(err); err == nil || !retry {
 			return res, err
 		}
 		last = err
@@ -118,9 +142,39 @@ func (c *Client) callRetry(encode func(b []byte, id uint64) []byte) (clientResul
 	return clientResult{}, fmt.Errorf("panda: giving up after %d attempts: %w", c.retry.Attempts, last)
 }
 
-// reconnect replaces a failed connection, trying every known address. It is
-// a no-op when another goroutine already reconnected (many callers hit the
-// same dead connection at once; only one redial should happen).
+// dialValidated tries each address individually and returns the first whose
+// welcome matches the expected dataset shape (dims and point count), so a
+// reconnect can never silently switch a client onto a different dataset —
+// e.g. an address list where one rank was restarted serving another snapshot,
+// or a stale DNS entry now pointing at an unrelated panda server. Addresses
+// that answer with a mismatched shape are closed and skipped, keeping later
+// correct addresses reachable. All failures wrap errConnLost so the retry
+// loop keeps looking for a revived correct rank until attempts exhaust.
+func dialValidated(addrs []string, dims int, points int64) (net.Conn, error) {
+	var errs []error
+	for _, addr := range addrs {
+		nc, gotDims, gotPoints, err := dialConn(addr)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", addr, err))
+			continue
+		}
+		if gotDims != dims || gotPoints != points {
+			nc.Close()
+			errs = append(errs, fmt.Errorf("%s: serves a different dataset (%d dims / %d points, want %d / %d)",
+				addr, gotDims, gotPoints, dims, points))
+			continue
+		}
+		return nc, nil
+	}
+	return nil, fmt.Errorf("%w: redial: %w", errConnLost, errors.Join(errs...))
+}
+
+// reconnect replaces a failed connection, trying every known address and
+// accepting only one that serves the same dataset the client first
+// connected to (matching dims and point count — anything else would
+// silently change query answers mid-session). It is a no-op when another
+// goroutine already reconnected (many callers hit the same dead connection
+// at once; only one redial should happen).
 func (c *Client) reconnect() error {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
@@ -134,13 +188,9 @@ func (c *Client) reconnect() error {
 		return nil // already healthy again
 	}
 	c.mu.Unlock()
-	nc, dims, _, err := dialAny(c.addrs)
+	nc, err := dialValidated(c.addrs, c.dims, c.points)
 	if err != nil {
-		return fmt.Errorf("%w: redial: %w", errConnLost, err)
-	}
-	if dims != c.dims {
-		nc.Close()
-		return fmt.Errorf("panda: reconnected to a server with %d dims, want %d", dims, c.dims)
+		return err
 	}
 	c.mu.Lock()
 	if c.closed {
