@@ -47,10 +47,10 @@ var errNonFiniteQuery = errors.New("panda: non-finite query input (NaN/±Inf coo
 // Clients dialed with DialRetry/DialClusterRetry additionally reconnect and
 // retry idempotent calls after transport failures; see RetryPolicy.
 type Client struct {
-	dims   int
-	points int64
-	addrs  []string    // redial targets, preference order
-	retry  RetryPolicy // zero value: no retries, no reconnect
+	id      proto.DatasetID // dataset the connection bound to at handshake
+	dataset string          // requested selector ("" = server default); redials reuse it
+	addrs   []string        // redial targets, preference order
+	retry   RetryPolicy     // zero value: no retries, no reconnect
 
 	wmu  sync.Mutex // serializes request writes
 	wbuf []byte
@@ -104,49 +104,80 @@ type ServerStats struct {
 // DialTimeout bounds connection establishment and the handshake in Dial.
 const clientDialTimeout = 10 * time.Second
 
-// dialConn establishes one connection and runs the handshake.
-func dialConn(addr string) (net.Conn, int, int64, error) {
+// DatasetID identifies the dataset a client is bound to: the server-side
+// tenant name plus the shape and content fingerprint of the tree behind it
+// (from the protocol welcome). Two servers answer a query stream
+// identically only if their DatasetIDs compare equal; the reconnect logic
+// of retrying clients enforces exactly that.
+type DatasetID struct {
+	// Name is the canonical tenant name on the server ("default" for a
+	// single-tenant server).
+	Name string
+	// Dims is the dimensionality of the served tree; every query must carry
+	// exactly Dims coordinates.
+	Dims int
+	// Points is the number of indexed points.
+	Points int64
+	// Fingerprint is the 64-bit content hash of the served tree (see
+	// Tree.Fingerprint). Cluster servers report a cluster-wide value shared
+	// by every rank.
+	Fingerprint uint64
+}
+
+func (id DatasetID) String() string { return protoID(id).String() }
+
+func protoID(id DatasetID) proto.DatasetID {
+	return proto.DatasetID{Name: id.Name, Dims: id.Dims, Points: id.Points, Fingerprint: id.Fingerprint}
+}
+
+func publicID(id proto.DatasetID) DatasetID {
+	return DatasetID{Name: id.Name, Dims: id.Dims, Points: id.Points, Fingerprint: id.Fingerprint}
+}
+
+// dialConn establishes one connection and runs the handshake, requesting
+// dataset ("" = the server's default tenant).
+func dialConn(addr, dataset string) (net.Conn, proto.DatasetID, error) {
 	nc, err := net.DialTimeout("tcp", addr, clientDialTimeout)
 	if err != nil {
-		return nil, 0, 0, err
+		return nil, proto.DatasetID{}, err
 	}
 	if tc, ok := nc.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
 	nc.SetDeadline(time.Now().Add(clientDialTimeout))
-	if _, err := nc.Write(proto.AppendHello(nil)); err != nil {
+	if _, err := nc.Write(proto.AppendHello(nil, dataset)); err != nil {
 		nc.Close()
-		return nil, 0, 0, fmt.Errorf("panda: handshake: %w", err)
+		return nil, proto.DatasetID{}, fmt.Errorf("panda: handshake: %w", err)
 	}
-	dims, points, err := proto.ReadWelcome(nc)
+	id, err := proto.ReadWelcome(nc)
 	if err != nil {
 		nc.Close()
-		return nil, 0, 0, fmt.Errorf("panda: handshake: %w", err)
+		return nil, proto.DatasetID{}, fmt.Errorf("panda: handshake: %w", err)
 	}
 	nc.SetDeadline(time.Time{})
-	return nc, dims, points, nil
+	return nc, id, nil
 }
 
 // dialAny tries each address in order and returns the first that answers
 // the handshake.
-func dialAny(addrs []string) (net.Conn, int, int64, error) {
+func dialAny(addrs []string, dataset string) (net.Conn, proto.DatasetID, error) {
 	var errs []error
 	for _, addr := range addrs {
-		nc, dims, points, err := dialConn(addr)
+		nc, id, err := dialConn(addr, dataset)
 		if err == nil {
-			return nc, dims, points, nil
+			return nc, id, nil
 		}
 		errs = append(errs, fmt.Errorf("%s: %w", addr, err))
 	}
-	return nil, 0, 0, errors.Join(errs...)
+	return nil, proto.DatasetID{}, errors.Join(errs...)
 }
 
 // newClient wraps an established connection.
-func newClient(nc net.Conn, dims int, points int64, addrs []string, retry RetryPolicy) *Client {
+func newClient(nc net.Conn, id proto.DatasetID, dataset string, addrs []string, retry RetryPolicy) *Client {
 	c := &Client{
 		nc:      nc,
-		dims:    dims,
-		points:  points,
+		id:      id,
+		dataset: dataset,
 		addrs:   addrs,
 		retry:   retry,
 		pending: map[uint64]chan clientResult{},
@@ -156,13 +187,20 @@ func newClient(nc net.Conn, dims int, points int64, addrs []string, retry RetryP
 }
 
 // Dial connects to a panda server at addr and performs the protocol
-// handshake. The returned client does not retry; see DialRetry.
-func Dial(addr string) (*Client, error) {
-	nc, dims, points, err := dialConn(addr)
+// handshake, binding to the server's default dataset. The returned client
+// does not retry; see DialRetry. Multi-tenant servers: see DialDataset.
+func Dial(addr string) (*Client, error) { return DialDataset(addr, "") }
+
+// DialDataset connects to a panda server and binds to the named dataset
+// (one of the tenants the server registered; "" means the server's default
+// tenant). A server that does not serve the dataset rejects the handshake
+// with an error naming it.
+func DialDataset(addr, dataset string) (*Client, error) {
+	nc, id, err := dialConn(addr, dataset)
 	if err != nil {
 		return nil, err
 	}
-	return newClient(nc, dims, points, []string{addr}, RetryPolicy{}), nil
+	return newClient(nc, id, dataset, []string{addr}, RetryPolicy{}), nil
 }
 
 // DialCluster connects to a sharded panda cluster (panda-serve -cluster):
@@ -172,22 +210,33 @@ func Dial(addr string) (*Client, error) {
 // first reachable rank and returns a normal Client. Ranks earlier in addrs
 // are preferred; pass a rotated slice to spread clients across ranks.
 func DialCluster(addrs []string) (*Client, error) {
+	return DialClusterDataset(addrs, "")
+}
+
+// DialClusterDataset is DialCluster with a dataset selector (see
+// DialDataset).
+func DialClusterDataset(addrs []string, dataset string) (*Client, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("panda: DialCluster needs at least one address")
 	}
-	nc, dims, points, err := dialAny(addrs)
+	nc, id, err := dialAny(addrs, dataset)
 	if err != nil {
 		return nil, fmt.Errorf("panda: no cluster rank reachable: %w", err)
 	}
-	return newClient(nc, dims, points, addrs, RetryPolicy{}), nil
+	return newClient(nc, id, dataset, addrs, RetryPolicy{}), nil
 }
 
 // Dims returns the dimensionality of the served tree; every query must
 // carry exactly Dims coordinates.
-func (c *Client) Dims() int { return c.dims }
+func (c *Client) Dims() int { return c.id.Dims }
 
 // Len returns the number of points indexed by the served tree.
-func (c *Client) Len() int64 { return c.points }
+func (c *Client) Len() int64 { return c.id.Points }
+
+// DatasetID returns the canonical identity of the dataset this client is
+// bound to, as reported by the server's welcome. Reconnects only ever
+// accept a server reporting this exact id.
+func (c *Client) DatasetID() DatasetID { return publicID(c.id) }
 
 // Close tears down the connection. In-flight calls return ErrClientClosed,
 // and a retrying client stops reconnecting.
@@ -339,8 +388,8 @@ func (c *Client) call(encode func(b []byte, id uint64) []byte) (clientResult, er
 
 // KNN returns the k nearest neighbors of q, exactly as Tree.KNN would.
 func (c *Client) KNN(q []float32, k int) ([]Neighbor, error) {
-	if len(q) != c.dims {
-		return nil, fmt.Errorf("panda: query has %d coords, server tree has %d dims", len(q), c.dims)
+	if len(q) != c.id.Dims {
+		return nil, fmt.Errorf("panda: query has %d coords, server tree has %d dims", len(q), c.id.Dims)
 	}
 	if !geom.AllFinite(q) {
 		return nil, errNonFiniteQuery
@@ -349,7 +398,7 @@ func (c *Client) KNN(q []float32, k int) ([]Neighbor, error) {
 		return nil, fmt.Errorf("panda: k %d out of range [1, %d]", k, proto.MaxK)
 	}
 	res, err := c.callRetry(func(b []byte, id uint64) []byte {
-		return proto.AppendKNNRequest(b, id, k, q, c.dims)
+		return proto.AppendKNNRequest(b, id, k, q, c.id.Dims)
 	})
 	if err != nil {
 		return nil, err
@@ -361,8 +410,8 @@ func (c *Client) KNN(q []float32, k int) ([]Neighbor, error) {
 // result i holds the neighbors of query i (all slices view one flat backing
 // array, as in Tree.KNNBatch).
 func (c *Client) KNNBatch(queries []float32, k int) ([][]Neighbor, error) {
-	if c.dims == 0 || len(queries) == 0 || len(queries)%c.dims != 0 {
-		return nil, fmt.Errorf("panda: query buffer of %d floats is not a positive multiple of dims %d", len(queries), c.dims)
+	if c.id.Dims == 0 || len(queries) == 0 || len(queries)%c.id.Dims != 0 {
+		return nil, fmt.Errorf("panda: query buffer of %d floats is not a positive multiple of dims %d", len(queries), c.id.Dims)
 	}
 	if !geom.AllFinite(queries) {
 		return nil, errNonFiniteQuery
@@ -370,12 +419,12 @@ func (c *Client) KNNBatch(queries []float32, k int) ([][]Neighbor, error) {
 	if k < 1 || k > proto.MaxK {
 		return nil, fmt.Errorf("panda: k %d out of range [1, %d]", k, proto.MaxK)
 	}
-	if nq := len(queries) / c.dims; int64(nq)*int64(k) > proto.MaxResultNeighbors {
+	if nq := len(queries) / c.id.Dims; int64(nq)*int64(k) > proto.MaxResultNeighbors {
 		return nil, fmt.Errorf("panda: %d queries × k=%d exceeds the %d-neighbor response cap; split the batch",
 			nq, k, proto.MaxResultNeighbors)
 	}
 	res, err := c.callRetry(func(b []byte, id uint64) []byte {
-		return proto.AppendKNNRequest(b, id, k, queries, c.dims)
+		return proto.AppendKNNRequest(b, id, k, queries, c.id.Dims)
 	})
 	if err != nil {
 		return nil, err
@@ -406,8 +455,8 @@ func (c *Client) Stats() (ServerStats, error) {
 // RadiusSearch returns every indexed point with squared distance < r2 from
 // q, exactly as Tree.RadiusSearch would.
 func (c *Client) RadiusSearch(q []float32, r2 float32) ([]Neighbor, error) {
-	if len(q) != c.dims {
-		return nil, fmt.Errorf("panda: query has %d coords, server tree has %d dims", len(q), c.dims)
+	if len(q) != c.id.Dims {
+		return nil, fmt.Errorf("panda: query has %d coords, server tree has %d dims", len(q), c.id.Dims)
 	}
 	if !geom.AllFinite(q) || !geom.Finite(r2) {
 		return nil, errNonFiniteQuery

@@ -21,6 +21,11 @@
 // fresh uniform points), modelling skewed real-world traffic. Queries are
 // uniform in [0,1)^dims, matching the `uniform` synthetic dataset family.
 //
+// Against a multi-tenant server, -tenants "a=0.8,b=0.2" splits arrivals
+// across datasets by weight: each tenant gets its own bound connections and
+// query stream (tenants may differ in dimensionality), and the report gains
+// per-tenant completion counts and latency percentiles next to the globals.
+//
 // Each entry in -rates is one run; the JSON report (-out) accumulates a
 // throughput-vs-offered-load curve with p50/p95/p99/p999 latency per run.
 // With -metrics, the server's Prometheus endpoint is scraped and parsed
@@ -65,13 +70,14 @@ func main() {
 		skew     = flag.Float64("skew", 0, "fraction of queries drawn from a small hot set [0,1)")
 		hot      = flag.Int("hot", 64, "hot-set size (with -skew)")
 		seed     = flag.Int64("seed", 1, "query generator seed")
+		tenants  = flag.String("tenants", "", "weighted multi-tenant mix, e.g. \"a=0.8,b=0.2\": each arrival binds to one dataset of a multi-tenant server; empty = the server's default tenant")
 		outPath  = flag.String("out", "", "write the JSON report here (e.g. BENCH_serving.json)")
 		metrics  = flag.String("metrics", "", "server /metrics URL to scrape and fold into the report")
 		label    = flag.String("label", "", "run label recorded in the report (e.g. single, cluster4)")
 		maxOut   = flag.Int("max-outstanding", 8192, "outstanding-query cap; arrivals beyond it are counted as lagged, not sent")
 	)
 	flag.Parse()
-	if err := run(*addrs, *rate, *rates, *duration, *warmup, *conns, *mix, *ks, *radius, *skew, *hot, *seed, *outPath, *metrics, *label, *maxOut); err != nil {
+	if err := run(*addrs, *rate, *rates, *duration, *warmup, *conns, *mix, *ks, *radius, *skew, *hot, *seed, *tenants, *outPath, *metrics, *label, *maxOut); err != nil {
 		fmt.Fprintln(os.Stderr, "panda-loadgen:", err)
 		os.Exit(1)
 	}
@@ -107,6 +113,53 @@ func parseKs(s string) ([]kChoice, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("-ks is empty")
+	}
+	for i := range out {
+		out[i].weight /= total
+	}
+	return out, nil
+}
+
+// tenantChoice is one entry of the weighted tenant mix.
+type tenantChoice struct {
+	name   string
+	weight float64
+}
+
+// parseTenants parses "a=0.8,b=0.2" into a normalized weighted mix. Empty
+// input is the single default tenant (weight 1), the pre-tenancy behavior.
+func parseTenants(s string) ([]tenantChoice, error) {
+	if s == "" {
+		return []tenantChoice{{name: "", weight: 1}}, nil
+	}
+	var out []tenantChoice
+	total := 0.0
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, wStr, weighted := strings.Cut(part, "=")
+		if name == "" {
+			return nil, fmt.Errorf("empty tenant name in -tenants")
+		}
+		w := 1.0
+		if weighted {
+			var err error
+			if w, err = strconv.ParseFloat(wStr, 64); err != nil || w <= 0 {
+				return nil, fmt.Errorf("bad weight %q for tenant %q in -tenants", wStr, name)
+			}
+		}
+		for _, c := range out {
+			if c.name == name {
+				return nil, fmt.Errorf("tenant %q listed twice in -tenants", name)
+			}
+		}
+		out = append(out, tenantChoice{name: name, weight: w})
+		total += w
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-tenants is empty")
 	}
 	for i := range out {
 		out[i].weight /= total
@@ -202,6 +255,52 @@ func (qs *querySource) next() query {
 	return q
 }
 
+// latencySummary is the percentile block shared by the global and
+// per-tenant report entries.
+type latencySummary struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+	Mean float64 `json:"mean"`
+	Max  float64 `json:"max"`
+}
+
+// summarize sorts latencies in place and reduces them to percentiles (µs).
+func summarize(latencies []time.Duration) latencySummary {
+	var s latencySummary
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	n := len(latencies)
+	if n == 0 {
+		return s
+	}
+	pct := func(p float64) float64 {
+		idx := int(p * float64(n-1))
+		return float64(latencies[idx].Microseconds())
+	}
+	s.P50 = pct(0.50)
+	s.P95 = pct(0.95)
+	s.P99 = pct(0.99)
+	s.P999 = pct(0.999)
+	s.Max = float64(latencies[n-1].Microseconds())
+	var sum time.Duration
+	for _, d := range latencies {
+		sum += d
+	}
+	s.Mean = float64(sum.Microseconds()) / float64(n)
+	return s
+}
+
+// tenantResult is one tenant's slice of a measured run.
+type tenantResult struct {
+	Weight     float64        `json:"weight"`
+	Completed  int64          `json:"completed"`
+	Overloaded int64          `json:"overloaded"`
+	Errors     int64          `json:"errors"`
+	Throughput float64        `json:"throughput_qps"`
+	LatencyUS  latencySummary `json:"latency_us"`
+}
+
 // runResult aggregates one measured run.
 type runResult struct {
 	Label       string  `json:"label,omitempty"`
@@ -213,14 +312,10 @@ type runResult struct {
 	Lagged      int64   `json:"lagged"`
 	Throughput  float64 `json:"throughput_qps"`
 
-	LatencyUS struct {
-		P50  float64 `json:"p50"`
-		P95  float64 `json:"p95"`
-		P99  float64 `json:"p99"`
-		P999 float64 `json:"p999"`
-		Mean float64 `json:"mean"`
-		Max  float64 `json:"max"`
-	} `json:"latency_us"`
+	LatencyUS latencySummary `json:"latency_us"`
+
+	// Tenants breaks the run down per dataset (present with -tenants).
+	Tenants map[string]tenantResult `json:"tenants,omitempty"`
 
 	ServerShed    int64 `json:"server_shed,omitempty"`
 	ServerQueries int64 `json:"server_queries,omitempty"`
@@ -237,16 +332,26 @@ type report struct {
 		Arch       string `json:"arch"`
 		GOMAXPROCS int    `json:"gomaxprocs"`
 	} `json:"host"`
-	Addrs []string    `json:"addrs"`
-	Mix   float64     `json:"radius_mix"`
-	Ks    string      `json:"k_distribution"`
-	Skew  float64     `json:"skew"`
-	Runs  []runResult `json:"runs"`
+	Addrs     []string    `json:"addrs"`
+	Mix       float64     `json:"radius_mix"`
+	Ks        string      `json:"k_distribution"`
+	Skew      float64     `json:"skew"`
+	TenantMix string      `json:"tenant_mix,omitempty"`
+	Runs      []runResult `json:"runs"`
+}
+
+// tenantLoad is one tenant's share of the generated load: its own client
+// connections (bound at handshake) and its own query source (tenants can
+// differ in dimensionality).
+type tenantLoad struct {
+	choice  tenantChoice
+	clients []*panda.Client
+	qs      *querySource
 }
 
 func run(addrList string, rate float64, rateList string, duration, warmup time.Duration,
 	conns int, mix float64, ksSpec string, radius, skew float64, hot int, seed int64,
-	outPath, metricsURL, label string, maxOut int) error {
+	tenantSpec, outPath, metricsURL, label string, maxOut int) error {
 	addrs := strings.Split(addrList, ",")
 	for i := range addrs {
 		addrs[i] = strings.TrimSpace(addrs[i])
@@ -259,28 +364,37 @@ func run(addrList string, rate float64, rateList string, duration, warmup time.D
 	if err != nil {
 		return err
 	}
+	choices, err := parseTenants(tenantSpec)
+	if err != nil {
+		return err
+	}
 	if conns < 1 {
 		conns = 1
 	}
 
 	// Clients never retry: every arrival is exactly one attempt, so the
 	// measured latency and the overload count reflect the server's behavior,
-	// not the retry policy's.
-	clients := make([]*panda.Client, conns)
-	for i := range clients {
-		rotated := append(append([]string(nil), addrs[i%len(addrs):]...), addrs[:i%len(addrs)]...)
-		c, err := panda.DialCluster(rotated)
-		if err != nil {
-			return err
+	// not the retry policy's. Each tenant gets its own connections — the
+	// tenant binding is per connection, chosen at handshake.
+	tls := make([]*tenantLoad, len(choices))
+	for ti, choice := range choices {
+		tl := &tenantLoad{choice: choice, clients: make([]*panda.Client, conns)}
+		for i := range tl.clients {
+			rotated := append(append([]string(nil), addrs[i%len(addrs):]...), addrs[:i%len(addrs)]...)
+			c, err := panda.DialClusterDataset(rotated, choice.name)
+			if err != nil {
+				return fmt.Errorf("tenant %q: %w", choice.name, err)
+			}
+			defer c.Close()
+			tl.clients[i] = c
 		}
-		defer c.Close()
-		clients[i] = c
+		id := tl.clients[0].DatasetID()
+		log.Printf("tenant %s (weight %.2f): connected %d clients to %d address(es): %d dims, %d points",
+			id.Name, choice.weight, conns, len(addrs), id.Dims, id.Points)
+		tls[ti] = tl
 	}
-	dims := clients[0].Dims()
-	log.Printf("connected %d clients to %d address(es): %d dims, %d points",
-		conns, len(addrs), dims, clients[0].Len())
 
-	rep := &report{Bench: "serving", Addrs: addrs, Mix: mix, Ks: ksSpec, Skew: skew}
+	rep := &report{Bench: "serving", Addrs: addrs, Mix: mix, Ks: ksSpec, Skew: skew, TenantMix: tenantSpec}
 	rep.Host.Go = runtime.Version()
 	rep.Host.OS = runtime.GOOS
 	rep.Host.Arch = runtime.GOARCH
@@ -288,13 +402,17 @@ func run(addrList string, rate float64, rateList string, duration, warmup time.D
 
 	var totalErrors int64
 	for _, r := range offered {
-		qs := newQuerySource(dims, mix, kcs, float32(radius), skew, hot, seed)
-		res, err := oneRun(clients, qs, r, duration, warmup, maxOut)
+		for ti, tl := range tls {
+			// A fresh deterministic source per run and tenant; the offset
+			// keeps tenants from replaying each other's point stream.
+			tl.qs = newQuerySource(tl.clients[0].Dims(), mix, kcs, float32(radius), skew, hot, seed+int64(ti)*7919)
+		}
+		res, err := oneRun(tls, rand.New(rand.NewSource(seed)), r, duration, warmup, maxOut)
 		if err != nil {
 			return err
 		}
 		res.Label = label
-		if st, err := sumStats(clients[0], addrs); err == nil {
+		if st, err := sumStats(addrs); err == nil {
 			res.ServerShed = st.Shed
 			res.ServerQueries = st.Queries
 		}
@@ -310,12 +428,24 @@ func run(addrList string, rate float64, rateList string, duration, warmup time.D
 				"panda_mean_batch_size":                           m["panda_mean_batch_size"],
 				`panda_request_latency_seconds_bucket{le="+Inf"}`: m[`panda_request_latency_seconds_bucket{le="+Inf"}`],
 			}
+			for _, tl := range tls {
+				if name := tl.clients[0].DatasetID().Name; name != "" {
+					for _, metric := range []string{"panda_tenant_queries_total", "panda_tenant_shed_total", "panda_tenant_request_latency_seconds_count"} {
+						key := metric + `{dataset="` + name + `"}`
+						res.Metrics[key] = m[key]
+					}
+				}
+			}
 		}
 		totalErrors += res.Errors
 		rep.Runs = append(rep.Runs, res)
 		log.Printf("rate %.0f/s: %d ok, %d overloaded, %d errors, %d lagged; %.0f qps achieved; p50=%.0fµs p95=%.0fµs p99=%.0fµs p999=%.0fµs",
 			r, res.Completed, res.Overloaded, res.Errors, res.Lagged, res.Throughput,
 			res.LatencyUS.P50, res.LatencyUS.P95, res.LatencyUS.P99, res.LatencyUS.P999)
+		for name, tr := range res.Tenants {
+			log.Printf("  tenant %s: %d ok, %d overloaded; %.0f qps; p50=%.0fµs p99=%.0fµs",
+				name, tr.Completed, tr.Overloaded, tr.Throughput, tr.LatencyUS.P50, tr.LatencyUS.P99)
+		}
 	}
 
 	if outPath != "" {
@@ -335,28 +465,37 @@ func run(addrList string, rate float64, rateList string, duration, warmup time.D
 	return nil
 }
 
+// tenantMeasure accumulates one tenant's outcomes during a run.
+type tenantMeasure struct {
+	mu        sync.Mutex
+	latencies []time.Duration
+	completed atomic.Int64
+	overload  atomic.Int64
+	errs      atomic.Int64
+}
+
 // oneRun offers load at rate qps for warmup+duration and measures the
 // post-warmup window. The scheduler goroutine sleeps out exponential
-// inter-arrival gaps and hands each arrival to a goroutine; outstanding
-// arrivals are capped at maxOut so a stalled server cannot run the
-// generator out of memory — arrivals over the cap are counted as lagged
-// (they represent queries a real fleet would have sent into the backlog).
-func oneRun(clients []*panda.Client, qs *querySource, rate float64, duration, warmup time.Duration, maxOut int) (runResult, error) {
+// inter-arrival gaps, assigns each arrival a tenant by weight, and hands it
+// to a goroutine; outstanding arrivals are capped at maxOut so a stalled
+// server cannot run the generator out of memory — arrivals over the cap are
+// counted as lagged (they represent queries a real fleet would have sent
+// into the backlog).
+func oneRun(tls []*tenantLoad, arrivals *rand.Rand, rate float64, duration, warmup time.Duration, maxOut int) (runResult, error) {
 	res := runResult{OfferedRate: rate, DurationSec: duration.Seconds()}
 
 	var (
-		mu        sync.Mutex
-		latencies []time.Duration
-		completed atomic.Int64
-		overload  atomic.Int64
-		errs      atomic.Int64
 		lagged    atomic.Int64
 		measuring atomic.Bool
 		wg        sync.WaitGroup
 	)
+	measures := make([]*tenantMeasure, len(tls))
+	for i := range measures {
+		measures[i] = &tenantMeasure{}
+	}
 	sem := make(chan struct{}, maxOut)
 
-	issue := func(cl *panda.Client, q query, record bool) {
+	issue := func(cl *panda.Client, m *tenantMeasure, q query, record bool) {
 		defer wg.Done()
 		defer func() { <-sem }()
 		start := time.Now()
@@ -372,19 +511,31 @@ func oneRun(clients []*panda.Client, qs *querySource, rate float64, duration, wa
 		}
 		switch {
 		case err == nil:
-			completed.Add(1)
-			mu.Lock()
-			latencies = append(latencies, lat)
-			mu.Unlock()
+			m.completed.Add(1)
+			m.mu.Lock()
+			m.latencies = append(m.latencies, lat)
+			m.mu.Unlock()
 		case panda.IsOverloaded(err):
-			overload.Add(1)
+			m.overload.Add(1)
 		default:
-			errs.Add(1)
+			m.errs.Add(1)
 		}
 	}
 
 	interarrival := func() time.Duration {
-		return time.Duration(qs.rng.ExpFloat64() / rate * float64(time.Second))
+		return time.Duration(arrivals.ExpFloat64() / rate * float64(time.Second))
+	}
+	pickTenant := func() int {
+		if len(tls) == 1 {
+			return 0
+		}
+		r := arrivals.Float64()
+		for ti, tl := range tls {
+			if r -= tl.choice.weight; r < 0 {
+				return ti
+			}
+		}
+		return len(tls) - 1
 	}
 
 	start := time.Now()
@@ -405,11 +556,13 @@ func oneRun(clients []*panda.Client, qs *querySource, rate float64, duration, wa
 		if !measuring.Load() && now.After(measureAt) {
 			measuring.Store(true)
 		}
-		q := qs.next()
+		ti := pickTenant()
+		tl := tls[ti]
+		q := tl.qs.next()
 		select {
 		case sem <- struct{}{}:
 			wg.Add(1)
-			go issue(clients[i%len(clients)], q, measuring.Load())
+			go issue(tl.clients[i%len(tl.clients)], measures[ti], q, measuring.Load())
 			i++
 		default:
 			if measuring.Load() {
@@ -419,36 +572,39 @@ func oneRun(clients []*panda.Client, qs *querySource, rate float64, duration, wa
 	}
 	wg.Wait()
 
-	res.Completed = completed.Load()
-	res.Overloaded = overload.Load()
-	res.Errors = errs.Load()
+	// Global aggregates are the union of the tenant measures; with one
+	// (default) tenant this collapses to the pre-tenancy report exactly.
+	var all []time.Duration
+	named := len(tls) > 1 || tls[0].choice.name != ""
+	if named {
+		res.Tenants = make(map[string]tenantResult, len(tls))
+	}
+	for ti, m := range measures {
+		res.Completed += m.completed.Load()
+		res.Overloaded += m.overload.Load()
+		res.Errors += m.errs.Load()
+		all = append(all, m.latencies...)
+		if named {
+			res.Tenants[tls[ti].clients[0].DatasetID().Name] = tenantResult{
+				Weight:     tls[ti].choice.weight,
+				Completed:  m.completed.Load(),
+				Overloaded: m.overload.Load(),
+				Errors:     m.errs.Load(),
+				Throughput: float64(m.completed.Load()) / duration.Seconds(),
+				LatencyUS:  summarize(m.latencies),
+			}
+		}
+	}
 	res.Lagged = lagged.Load()
 	res.Throughput = float64(res.Completed) / duration.Seconds()
-
-	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
-	if n := len(latencies); n > 0 {
-		pct := func(p float64) float64 {
-			idx := int(p * float64(n-1))
-			return float64(latencies[idx].Microseconds())
-		}
-		res.LatencyUS.P50 = pct(0.50)
-		res.LatencyUS.P95 = pct(0.95)
-		res.LatencyUS.P99 = pct(0.99)
-		res.LatencyUS.P999 = pct(0.999)
-		res.LatencyUS.Max = float64(latencies[n-1].Microseconds())
-		var sum time.Duration
-		for _, d := range latencies {
-			sum += d
-		}
-		res.LatencyUS.Mean = float64(sum.Microseconds()) / float64(n)
-	}
+	res.LatencyUS = summarize(all)
 	return res, nil
 }
 
 // sumStats sums the per-rank serving counters across every address using
-// one throwaway connection per rank (clients[0]'s counters alone would miss
-// the other ranks' shed counts).
-func sumStats(probe *panda.Client, addrs []string) (panda.ServerStats, error) {
+// one throwaway connection per rank (a single client's counters alone would
+// miss the other ranks' shed counts).
+func sumStats(addrs []string) (panda.ServerStats, error) {
 	var total panda.ServerStats
 	for _, addr := range addrs {
 		c, err := panda.Dial(addr)

@@ -30,6 +30,7 @@ import (
 func main() {
 	var (
 		addrs   = flag.String("addrs", "127.0.0.1:7077", "comma-separated serving addresses (all ranks of a cluster)")
+		tenant  = flag.String("tenant", "", "dataset to bind at handshake on a multi-tenant server (empty = the server's default tenant)")
 		dataset = flag.String("dataset", "uniform", "synthetic dataset family the server was started with")
 		n       = flag.Int("n", 100000, "server's synthetic point count")
 		seed    = flag.Uint64("seed", 1, "server's synthetic generator seed")
@@ -41,7 +42,7 @@ func main() {
 		stats   = flag.Bool("stats", false, "print each server's serving counters after the workload")
 	)
 	flag.Parse()
-	if err := run(splitAddrs(*addrs), *dataset, *n, *seed, *check, *queries, *k, *qseed, *wait, *stats); err != nil {
+	if err := run(splitAddrs(*addrs), *tenant, *dataset, *n, *seed, *check, *queries, *k, *qseed, *wait, *stats); err != nil {
 		fmt.Fprintln(os.Stderr, "panda-query:", err)
 		os.Exit(1)
 	}
@@ -57,7 +58,7 @@ func splitAddrs(s string) []string {
 	return out
 }
 
-func run(addrs []string, dataset string, n int, seed uint64, check bool, queries, k int, qseed int64, wait time.Duration, stats bool) error {
+func run(addrs []string, tenant, dataset string, n int, seed uint64, check bool, queries, k int, qseed int64, wait time.Duration, stats bool) error {
 	if len(addrs) == 0 {
 		return fmt.Errorf("-addrs needs at least one serving address")
 	}
@@ -82,7 +83,7 @@ func run(addrs []string, dataset string, n int, seed uint64, check bool, queries
 	clients := make([]*panda.Client, len(addrs))
 	for i, addr := range addrs {
 		for {
-			clients[i], err = panda.DialRetry(addr, panda.DefaultRetry)
+			clients[i], err = panda.DialDatasetRetry(addr, tenant, panda.DefaultRetry)
 			if err == nil {
 				break
 			}
@@ -96,7 +97,9 @@ func run(addrs []string, dataset string, n int, seed uint64, check bool, queries
 	if got := clients[0].Dims(); got != dims {
 		return fmt.Errorf("server tree has %d dims, dataset %q has %d — wrong dataset flags?", got, dataset, dims)
 	}
-	log.Printf("connected to %d rank(s); sending %d queries (k=%d)", len(addrs), queries, k)
+	id := clients[0].DatasetID()
+	log.Printf("connected to %d rank(s), bound to dataset %s[dims=%d points=%d fp=%016x]; sending %d queries (k=%d)",
+		len(addrs), id.Name, id.Dims, id.Points, id.Fingerprint, queries, k)
 
 	// Spread the workload across the clients without dropping the
 	// remainder: the first queries%len clients send one extra.

@@ -23,6 +23,18 @@
 //	panda-serve -dataset cosmo -n 2000000 -save-snapshot cosmo.pnds -addr :7077
 //	panda-serve -snapshot cosmo.pnds -addr :7077
 //
+// # Multi-dataset tenancy
+//
+// One process can serve several datasets: repeat -snapshot with name=path
+// entries, or point -snapshot-dir at a directory of .pnds files (each file
+// becomes a tenant named after its base name). The first tenant listed is
+// the default — the one legacy (pre-v3) clients and clients with an empty
+// dataset selector bind to. Clients pick a tenant at handshake with
+// panda.DialDataset / panda-query -tenant:
+//
+//	panda-serve -snapshot cosmo=cosmo.pnds -snapshot plasma=plasma.pnds -addr :7077
+//	panda-serve -snapshot-dir ./tenants -addr :7077
+//
 // # Cluster mode
 //
 // With -cluster, one panda-serve process runs per rank: the processes join
@@ -79,7 +91,9 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -87,6 +101,7 @@ import (
 	"panda"
 	"panda/internal/core"
 	"panda/internal/data"
+	"panda/internal/proto"
 	"panda/internal/ptsio"
 	"panda/internal/server"
 )
@@ -108,7 +123,7 @@ func main() {
 		maxInflight = flag.Int("max-inflight", 0, "admission limit: max queries admitted but unanswered before new requests are shed with an overload error (0 = unbounded)")
 		metricsAddr = flag.String("metrics", "", "HTTP listen address for the Prometheus /metrics endpoint (empty = disabled)")
 
-		snapIn  = flag.String("snapshot", "", "warm-start from a PNDS snapshot file (cluster mode: snapshot directory) instead of building")
+		snapDir = flag.String("snapshot-dir", "", "serve every .pnds file in this directory as a tenant named after its base name (single-node mode)")
 		snapOut = flag.String("save-snapshot", "", "write a PNDS snapshot file after building (cluster mode: snapshot directory)")
 
 		clusterMode = flag.Bool("cluster", false, "run as one rank of a sharded cluster")
@@ -120,19 +135,83 @@ func main() {
 		joinWait    = flag.Duration("join-timeout", 60*time.Second, "per-call timeout while streaming the join snapshot")
 		drain       = flag.Bool("drain", false, "on SIGTERM, wait until every held shard has another live holder before leaving (with -cluster)")
 	)
+	var snaps snapshotFlag
+	flag.Var(&snaps, "snapshot", "warm-start from a PNDS snapshot instead of building: a path (single tenant; cluster mode: snapshot directory), or name=path, repeatable, to serve several datasets from one process (first listed is the default tenant)")
 	flag.Parse()
 	var err error
 	if *clusterMode {
-		err = runCluster(*in, *dataset, *n, *dims, *seed, *bucket, *threads, *batch, *linger, *grace,
-			*snapIn, *snapOut, *rank, splitAddrs(*mesh), splitAddrs(*serveAddrs), *replication, *join, *joinWait, *drain,
-			*maxInflight, *metricsAddr)
+		snapIn, serr := snaps.single()
+		if serr != nil {
+			err = fmt.Errorf("cluster mode: %w", serr)
+		} else if *snapDir != "" {
+			err = fmt.Errorf("cluster mode serves one dataset per rank; -snapshot-dir is single-node only")
+		} else {
+			err = runCluster(*in, *dataset, *n, *dims, *seed, *bucket, *threads, *batch, *linger, *grace,
+				snapIn, *snapOut, *rank, splitAddrs(*mesh), splitAddrs(*serveAddrs), *replication, *join, *joinWait, *drain,
+				*maxInflight, *metricsAddr)
+		}
 	} else {
-		err = run(*in, *dataset, *n, *dims, *seed, *bucket, *threads, *addr, *batch, *linger, *grace, *snapIn, *snapOut,
+		err = run(*in, *dataset, *n, *dims, *seed, *bucket, *threads, *addr, *batch, *linger, *grace, snaps, *snapDir, *snapOut,
 			*maxInflight, *metricsAddr)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "panda-serve:", err)
 		os.Exit(1)
+	}
+}
+
+// tenantSnap is one -snapshot entry: a snapshot path, optionally bound to a
+// tenant name (empty name = the single-tenant/cluster form).
+type tenantSnap struct {
+	name, path string
+}
+
+// snapshotFlag collects repeated -snapshot values. Each value is either a
+// bare path or name=path; the name half must be a valid dataset name, so a
+// path that happens to contain '=' still parses as a path.
+type snapshotFlag struct {
+	entries []tenantSnap
+}
+
+func (f *snapshotFlag) String() string {
+	var parts []string
+	for _, e := range f.entries {
+		if e.name != "" {
+			parts = append(parts, e.name+"="+e.path)
+		} else {
+			parts = append(parts, e.path)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *snapshotFlag) Set(s string) error {
+	if name, path, ok := strings.Cut(s, "="); ok && path != "" && proto.ValidateDatasetName(name) == nil {
+		for _, e := range f.entries {
+			if e.name == name {
+				return fmt.Errorf("tenant %q listed twice", name)
+			}
+		}
+		f.entries = append(f.entries, tenantSnap{name: name, path: path})
+		return nil
+	}
+	f.entries = append(f.entries, tenantSnap{path: s})
+	return nil
+}
+
+// single returns the lone un-named snapshot path, for the modes that serve
+// exactly one dataset (cluster ranks, the build path).
+func (f *snapshotFlag) single() (string, error) {
+	switch len(f.entries) {
+	case 0:
+		return "", nil
+	case 1:
+		if f.entries[0].name != "" {
+			return "", fmt.Errorf("-snapshot name=path selects a tenant; this mode serves a single dataset")
+		}
+		return f.entries[0].path, nil
+	default:
+		return "", fmt.Errorf("multiple -snapshot entries; this mode serves a single dataset")
 	}
 }
 
@@ -220,14 +299,88 @@ func obtainTree(in, dataset string, n, dims int, seed uint64, bucket, threads in
 	return tree, nil
 }
 
-func run(in, dataset string, n, dims int, seed uint64, bucket, threads int, addr string, batch int, linger, grace time.Duration, snapIn, snapOut string, maxInflight int, metricsAddr string) error {
-	tree, err := obtainTree(in, dataset, n, dims, seed, bucket, threads, snapIn, snapOut)
+// tenantList resolves the tenancy flags to (name, path) pairs: explicit
+// -snapshot name=path entries first (listing order — the first is the
+// default tenant), then -snapshot-dir's *.pnds files in name order.
+func tenantList(snaps snapshotFlag, snapDir string) ([]tenantSnap, error) {
+	var tenants []tenantSnap
+	for _, e := range snaps.entries {
+		name := e.name
+		if name == "" {
+			if len(snaps.entries) > 1 || snapDir != "" {
+				return nil, fmt.Errorf("-snapshot %s: multi-tenant serving needs the name=path form", e.path)
+			}
+			name = proto.DefaultDataset
+		}
+		tenants = append(tenants, tenantSnap{name: name, path: e.path})
+	}
+	if snapDir != "" {
+		paths, err := filepath.Glob(filepath.Join(snapDir, "*.pnds"))
+		if err != nil {
+			return nil, err
+		}
+		if len(paths) == 0 {
+			return nil, fmt.Errorf("-snapshot-dir %s holds no .pnds files", snapDir)
+		}
+		sort.Strings(paths)
+		for _, p := range paths {
+			name := strings.TrimSuffix(filepath.Base(p), ".pnds")
+			if err := proto.ValidateDatasetName(name); err != nil {
+				return nil, fmt.Errorf("-snapshot-dir %s: file %s does not name a servable tenant: %v", snapDir, filepath.Base(p), err)
+			}
+			tenants = append(tenants, tenantSnap{name: name, path: p})
+		}
+	}
+	return tenants, nil
+}
+
+func run(in, dataset string, n, dims int, seed uint64, bucket, threads int, addr string, batch int, linger, grace time.Duration, snaps snapshotFlag, snapDir, snapOut string, maxInflight int, metricsAddr string) error {
+	tenants, err := tenantList(snaps, snapDir)
 	if err != nil {
 		return err
 	}
-	defer tree.Close()
+	cfg := server.Config{MaxBatch: batch, MaxLinger: linger, MaxInFlight: maxInflight}
 
-	srv := server.New(tree, server.Config{MaxBatch: batch, MaxLinger: linger, MaxInFlight: maxInflight})
+	var srv *server.Server
+	if len(tenants) > 0 && (len(tenants) > 1 || tenants[0].name != proto.DefaultDataset) {
+		// Registry mode: every tenant warm-starts from its snapshot; the
+		// first listed is the default for legacy and unselective clients.
+		if threads <= 0 {
+			threads = runtime.GOMAXPROCS(0)
+		}
+		reg := server.NewRegistry()
+		for _, ten := range tenants {
+			start := time.Now()
+			tree, err := panda.OpenSnapshot(ten.path)
+			if err != nil {
+				return fmt.Errorf("tenant %s: opening snapshot: %w", ten.name, err)
+			}
+			defer tree.Close()
+			tree.SetThreads(threads)
+			if err := reg.Add(ten.name, tree); err != nil {
+				return err
+			}
+			log.Printf("tenant %s: opened %s (%d points, %d dims, fp=%016x) in %v",
+				ten.name, ten.path, tree.Len(), tree.Dims(), tree.Fingerprint(),
+				time.Since(start).Round(time.Microsecond))
+		}
+		srv, err = server.NewMulti(reg, cfg)
+		if err != nil {
+			return err
+		}
+		log.Printf("serving %d tenants (default %s)", len(tenants), tenants[0].name)
+	} else {
+		snapIn := ""
+		if len(tenants) == 1 {
+			snapIn = tenants[0].path
+		}
+		tree, err := obtainTree(in, dataset, n, dims, seed, bucket, threads, snapIn, snapOut)
+		if err != nil {
+			return err
+		}
+		defer tree.Close()
+		srv = server.New(tree, cfg)
+	}
 
 	if err := startMetrics(srv, metricsAddr); err != nil {
 		return err

@@ -94,6 +94,10 @@ func cmdSnapshotInspect(args []string) error {
 		crc = "MISMATCH"
 	}
 	fmt.Printf("crc32c      %s\n", crc)
+	// The content fingerprint half of the dataset id a server loading this
+	// snapshot advertises in its v3 welcome (the tenant name is chosen at
+	// serve time). Zero when a data section is missing or truncated.
+	fmt.Printf("dataset id  dims=%d points=%d fp=%016x\n", info.Dims, info.Points, info.Fingerprint)
 	fmt.Printf("sections:\n")
 	for _, s := range info.Sections {
 		fmt.Printf("  %-12s off %10d  len %10d\n", s.Name, s.Offset, s.Length)

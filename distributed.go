@@ -1,7 +1,10 @@
 package panda
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"net"
 	"runtime"
 	"sync"
@@ -90,6 +93,32 @@ func (t *DistTree) Ranks() int { return t.dt.Size() }
 
 // Dims returns the point dimensionality.
 func (t *DistTree) Dims() int { return t.dt.Dims() }
+
+// Fingerprint returns a cluster-wide content hash for the distributed
+// dataset: dims, rank count, and the replicated global partition tree
+// (split planes and owner assignment). Every rank of one cluster computes
+// the same value — unlike hashing the local shard, which differs per rank —
+// so it is what cluster serving reports as the dataset fingerprint and what
+// lets a client validate a reconnect landing on any rank of the same
+// cluster. Distinct datasets virtually always produce distinct median
+// splits, so the partition tree identifies the build without requiring a
+// collective over the full point set.
+func (t *DistTree) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var w [24]byte
+	binary.LittleEndian.PutUint32(w[0:4], uint32(t.dt.Dims()))
+	binary.LittleEndian.PutUint32(w[4:8], uint32(t.dt.Size()))
+	h.Write(w[:8])
+	for _, n := range t.dt.Global.Nodes {
+		binary.LittleEndian.PutUint32(w[0:4], uint32(n.Dim))
+		binary.LittleEndian.PutUint32(w[4:8], math.Float32bits(n.Median))
+		binary.LittleEndian.PutUint32(w[8:12], uint32(n.Left))
+		binary.LittleEndian.PutUint32(w[12:16], uint32(n.Right))
+		binary.LittleEndian.PutUint32(w[16:20], uint32(n.Rank))
+		h.Write(w[:20])
+	}
+	return h.Sum64()
+}
 
 // RanksWithin appends to out every rank other than exclude whose domain
 // intersects the ball of squared radius r2 around q — the paper's §III-B

@@ -1,10 +1,93 @@
 package proto
 
 import (
+	"bytes"
+	"strings"
 	"testing"
+	"unicode/utf8"
 
 	"panda/internal/kdtree"
 )
+
+// FuzzReadHello throws arbitrary bytes at the v3 hello reader: it must never
+// panic, never accept a hostile dataset name (over-long, non-UTF-8, embedded
+// NULs, control bytes — anything outside [A-Za-z0-9._-]), and whatever it
+// accepts must re-encode byte-for-byte.
+func FuzzReadHello(f *testing.F) {
+	f.Add(AppendHello(nil, ""))
+	f.Add(AppendHello(nil, "default"))
+	f.Add(AppendHello(nil, "genomes.v2"))
+	f.Add(AppendHello(nil, strings.Repeat("x", MaxDatasetName)))
+	f.Add(AppendLegacyHello(nil, 1))
+	f.Add(AppendLegacyHello(nil, 2))
+	// Hostile names hand-framed past AppendHello's own validation: over-long
+	// length prefix, NUL bytes, invalid UTF-8.
+	f.Add(append(AppendLegacyHello(nil, Version), 0xFF, 0xFF, 0xFF, 0xFF))
+	f.Add(append(AppendLegacyHello(nil, Version), 3, 0, 0, 0, 'a', 0, 'b'))
+	f.Add(append(AppendLegacyHello(nil, Version), 2, 0, 0, 0, 0xC3, 0x28))
+	f.Add([]byte("PNDQ"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		h, err := ReadHello(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		// ReadHello passes unknown future versions through (the caller
+		// rejects them after answering with its own version), but never with
+		// a dataset name attached.
+		if h.Dataset != "" {
+			if h.Version != Version {
+				t.Fatalf("accepted dataset name on non-v3 version %d", h.Version)
+			}
+			if err := ValidateDatasetName(h.Dataset); err != nil {
+				t.Fatalf("accepted hostile dataset name %q: %v", h.Dataset, err)
+			}
+			if !utf8.ValidString(h.Dataset) || strings.ContainsRune(h.Dataset, 0) {
+				t.Fatalf("accepted non-UTF-8 or NUL-bearing name %q", h.Dataset)
+			}
+		}
+		var out []byte
+		if h.Version == Version {
+			out = AppendHello(nil, h.Dataset)
+		} else {
+			out = AppendLegacyHello(nil, h.Version)
+		}
+		if !bytes.Equal(out, raw[:len(out)]) {
+			t.Fatalf("reencode mismatch:\n got %x\nwant %x", out, raw)
+		}
+	})
+}
+
+// FuzzReadWelcome throws arbitrary bytes at the v3 welcome reader: no panic,
+// no over-allocation from a hostile length prefix, no hostile dataset name
+// surviving into the returned id, and accepted ids re-encode byte-for-byte.
+func FuzzReadWelcome(f *testing.F) {
+	f.Add(AppendWelcome(nil, DatasetID{Name: "default", Dims: 3, Points: 100, Fingerprint: 1}))
+	f.Add(AppendWelcome(nil, DatasetID{Name: "genomes.v2", Dims: 64, Points: 1 << 40, Fingerprint: ^uint64(0)}))
+	f.Add(AppendWelcome(nil, DatasetID{Name: "missing"})) // unknown-dataset refusal
+	f.Add(AppendLegacyWelcome(nil, 1, 3, 100))
+	f.Add(AppendLegacyWelcome(nil, 2, 7, 123456))
+	f.Add([]byte("PNDQ"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		id, err := ReadWelcome(bytes.NewReader(raw))
+		if err != nil {
+			return
+		}
+		if id.Name != "" {
+			if err := ValidateDatasetName(id.Name); err != nil {
+				t.Fatalf("accepted hostile dataset name %q: %v", id.Name, err)
+			}
+		}
+		if id.Dims <= 0 || id.Points < 0 {
+			t.Fatalf("accepted nonsensical id %+v", id)
+		}
+		out := AppendWelcome(nil, id)
+		if !bytes.Equal(out, raw[:len(out)]) {
+			t.Fatalf("reencode mismatch:\n got %x\nwant %x", out, raw)
+		}
+	})
+}
 
 // FuzzConsumeRequest throws arbitrary payload bytes at the request decoder:
 // it must never panic, and whatever it accepts must re-encode byte-for-byte.

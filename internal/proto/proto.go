@@ -11,19 +11,34 @@
 // Immediately after connecting the client sends
 //
 //	magic   [4]byte "PNDQ"
-//	version uint32  1
+//	version uint32  3
+//	dlen    uint32  dataset name length (version 3 only; 0 = default tenant)
+//	dataset dlen bytes (version 3 only)
 //
 // and the server answers
 //
 //	magic   [4]byte "PNDQ"
-//	version uint32  1   (the version the server will speak)
+//	version uint32  3   (the version the server will speak)
 //	dims    uint32      dimensionality of the served tree
 //	points  uint64      number of indexed points
+//	fp      uint64      content fingerprint of the served tree (version 3 only)
+//	nlen    uint32      canonical dataset name length (version 3 only)
+//	name    nlen bytes  (version 3 only)
 //
-// A server that cannot speak the client's version answers with its own
-// version and zeroed dims/points, then closes the connection; the client
-// checks the version before anything else and surfaces a mismatch error
-// ("server speaks version X"). Dims is authoritative: every query the
+// Dims, points, fp, and name together form the dataset id: the canonical
+// identity of the tenant the connection is bound to. A multi-tenant server
+// routes the connection to the tenant the hello named (empty = default);
+// an unknown dataset is rejected with a version-3 welcome echoing the
+// requested name with zeroed dims/points/fp, then the connection closes.
+//
+// Versions 1 and 2 are the legacy single-tenant handshake: an 8-byte hello
+// with no dataset name, answered by a 20-byte welcome (no fingerprint or
+// name) that echoes the client's version. A v3 server still accepts them
+// and binds such connections to the default tenant. A server that cannot
+// speak the client's version at all answers a 20-byte welcome carrying its
+// own version and zeroed dims/points, then closes the connection; the
+// client checks the version before anything else and surfaces a mismatch
+// error ("server speaks version X"). Dims is authoritative: every query the
 // client sends must carry exactly dims coordinates.
 //
 // # Frames
@@ -74,8 +89,19 @@ func f32frombits(v uint32) float32 { return math.Float32frombits(v) }
 // Magic starts both halves of the handshake.
 var Magic = [4]byte{'P', 'N', 'D', 'Q'}
 
-// Version is the protocol version this tree speaks.
-const Version = 1
+// Version is the protocol version this package speaks: v3, the
+// multi-tenant handshake (the hello may name a dataset, the welcome
+// carries the canonical dataset id).
+const Version = 3
+
+// MinVersion is the oldest legacy client version a server still accepts.
+// Versions in [MinVersion, Version) use the pre-tenancy 8-byte hello and
+// 20-byte welcome and bind to the server's default tenant.
+const MinVersion = 1
+
+// LegacyVersion reports whether v is a still-accepted pre-tenancy protocol
+// version (single-tenant handshake, no dataset id).
+func LegacyVersion(v uint32) bool { return v >= MinVersion && v < Version }
 
 // MaxFrame caps a frame payload (64 MiB): large enough for a 1M-point
 // response at k=8, small enough that a hostile length prefix cannot make
@@ -145,70 +171,214 @@ func AppendOverloadedResponse(b []byte, id uint64) []byte {
 // maxErrorLen caps an error-message body.
 const maxErrorLen = 4096
 
-// AppendHello appends the client half of the handshake.
-func AppendHello(b []byte) []byte {
-	b = append(b, Magic[:]...)
-	return wire.AppendUint32(b, Version)
+// DefaultDataset is the tenant name a server registers its first (or only)
+// tree under; a hello with an empty dataset name binds to it.
+const DefaultDataset = "default"
+
+// MaxDatasetName caps a dataset name on the wire. Small enough that a
+// hostile hello cannot make the server allocate meaningfully, large enough
+// for any sane tenant naming scheme.
+const MaxDatasetName = 64
+
+// ValidateDatasetName checks a tenant name against the wire charset:
+// 1–MaxDatasetName bytes of [A-Za-z0-9._-]. The restriction keeps names
+// safe to embed verbatim in error messages, file names, and Prometheus
+// label values (no quoting or escaping needed anywhere downstream).
+func ValidateDatasetName(name string) error {
+	if len(name) == 0 {
+		return fmt.Errorf("proto: empty dataset name")
+	}
+	if len(name) > MaxDatasetName {
+		return fmt.Errorf("proto: dataset name of %d bytes exceeds the %d-byte cap", len(name), MaxDatasetName)
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '_', c == '-':
+		default:
+			return fmt.Errorf("proto: dataset name %q contains byte 0x%02x outside [A-Za-z0-9._-]", name, c)
+		}
+	}
+	return nil
 }
 
-// helloLen is the size of the client hello.
+// DatasetID is the canonical identity of one served dataset, as carried in
+// the v3 welcome: the tenant name plus the shape and content fingerprint of
+// the tree behind it. Two servers answer identically for a query stream if
+// and only if their DatasetIDs compare equal (the fingerprint hashes the
+// packed coordinates, ids, and node array — see kdtree.Raw.Fingerprint).
+type DatasetID struct {
+	Name        string
+	Dims        int
+	Points      int64
+	Fingerprint uint64
+}
+
+func (id DatasetID) String() string {
+	return fmt.Sprintf("%s[dims=%d points=%d fp=%016x]", id.Name, id.Dims, id.Points, id.Fingerprint)
+}
+
+// Hello is the decoded client half of the handshake.
+type Hello struct {
+	Version uint32
+	Dataset string // requested tenant ("" = default; always "" below v3)
+}
+
+// AppendHello appends a current-version client hello naming dataset
+// ("" requests the server's default tenant).
+func AppendHello(b []byte, dataset string) []byte {
+	b = append(b, Magic[:]...)
+	b = wire.AppendUint32(b, Version)
+	b = wire.AppendUint32(b, uint32(len(dataset)))
+	return append(b, dataset...)
+}
+
+// AppendLegacyHello appends a pre-v3 8-byte hello (no dataset name) for the
+// given version. Kept for compatibility tests; real legacy clients produce
+// these bytes themselves.
+func AppendLegacyHello(b []byte, version uint32) []byte {
+	b = append(b, Magic[:]...)
+	return wire.AppendUint32(b, version)
+}
+
+// helloLen is the size of the fixed client hello prefix.
 const helloLen = 8
 
-// ReadHello consumes a client hello from r and returns the client's version.
-func ReadHello(r io.Reader) (version uint32, err error) {
+// ReadHello consumes a client hello from r: the fixed 8-byte prefix, then —
+// only when the client speaks v3 — the dataset name extension. Legacy
+// versions ([MinVersion, Version)) and unknown future versions return with
+// an empty Dataset and no extension read; the caller decides whether to
+// serve or reject the version. A hostile name (over-long, or bytes outside
+// the dataset charset — which covers non-UTF-8 and embedded NULs) is an
+// error.
+func ReadHello(r io.Reader) (Hello, error) {
 	var buf [helloLen]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return 0, fmt.Errorf("proto: reading hello: %w", err)
+		return Hello{}, fmt.Errorf("proto: reading hello: %w", err)
 	}
 	d := wire.NewDecoder(buf[:])
 	var magic [4]byte
 	copy(magic[:], d.Bytes(4))
-	version = d.Uint32()
+	h := Hello{Version: d.Uint32()}
 	if err := d.Err(); err != nil {
-		return 0, err
+		return Hello{}, err
 	}
 	if magic != Magic {
-		return 0, fmt.Errorf("proto: bad magic %q", magic[:])
+		return Hello{}, fmt.Errorf("proto: bad magic %q", magic[:])
 	}
-	return version, nil
+	if h.Version != Version {
+		return h, nil
+	}
+	var lenb [4]byte
+	if _, err := io.ReadFull(r, lenb[:]); err != nil {
+		return Hello{}, fmt.Errorf("proto: reading hello dataset length: %w", err)
+	}
+	n := leUint32(lenb[:])
+	if n == 0 {
+		return h, nil
+	}
+	if n > MaxDatasetName {
+		return Hello{}, fmt.Errorf("proto: hello dataset name of %d bytes exceeds the %d-byte cap", n, MaxDatasetName)
+	}
+	name := make([]byte, n)
+	if _, err := io.ReadFull(r, name); err != nil {
+		return Hello{}, fmt.Errorf("proto: reading hello dataset name: %w", err)
+	}
+	h.Dataset = string(name)
+	if err := ValidateDatasetName(h.Dataset); err != nil {
+		return Hello{}, err
+	}
+	return h, nil
 }
 
-// AppendWelcome appends the server half of the handshake.
-func AppendWelcome(b []byte, dims int, points int64) []byte {
+// AppendWelcome appends a current-version server welcome carrying the bound
+// tenant's dataset id. A rejection welcome (unknown dataset) zeroes
+// dims/points/fingerprint and echoes the requested name.
+func AppendWelcome(b []byte, id DatasetID) []byte {
 	b = append(b, Magic[:]...)
 	b = wire.AppendUint32(b, Version)
+	b = wire.AppendUint32(b, uint32(id.Dims))
+	b = wire.AppendUint64(b, uint64(id.Points))
+	b = wire.AppendUint64(b, id.Fingerprint)
+	b = wire.AppendUint32(b, uint32(len(id.Name)))
+	return append(b, id.Name...)
+}
+
+// AppendLegacyWelcome appends a pre-v3 20-byte welcome for the given
+// version: what a v3 server answers to a legacy client (echoing the
+// client's version, so the legacy ReadWelcome accepts it), and — with
+// zeroed dims/points and version == Version — the rejection a server sends
+// a client whose version it cannot speak at all.
+func AppendLegacyWelcome(b []byte, version uint32, dims int, points int64) []byte {
+	b = append(b, Magic[:]...)
+	b = wire.AppendUint32(b, version)
 	b = wire.AppendUint32(b, uint32(dims))
 	return wire.AppendUint64(b, uint64(points))
 }
 
-// welcomeLen is the size of the server welcome.
+// ErrUnknownDataset marks a handshake the server rejected because the hello
+// named a dataset it does not serve.
+var ErrUnknownDataset = errors.New("proto: server does not serve the requested dataset")
+
+// welcomeLen is the size of the fixed server welcome prefix.
 const welcomeLen = 20
 
-// ReadWelcome consumes a server welcome from r.
-func ReadWelcome(r io.Reader) (dims int, points int64, err error) {
+// ReadWelcome consumes a v3 server welcome from r and returns the dataset
+// id the connection is bound to. A welcome carrying a different version
+// (e.g. from a pre-v3 server, which rejects a v3 hello with its own
+// version) surfaces as a version-mismatch error; a v3 rejection welcome
+// (zeroed dims) surfaces as ErrUnknownDataset naming the dataset.
+func ReadWelcome(r io.Reader) (DatasetID, error) {
 	var buf [welcomeLen]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
-		return 0, 0, fmt.Errorf("proto: reading welcome: %w", err)
+		return DatasetID{}, fmt.Errorf("proto: reading welcome: %w", err)
 	}
 	d := wire.NewDecoder(buf[:])
 	var magic [4]byte
 	copy(magic[:], d.Bytes(4))
 	version := d.Uint32()
-	dims = int(d.Uint32())
-	points = int64(d.Uint64())
+	id := DatasetID{Dims: int(d.Uint32()), Points: int64(d.Uint64())}
 	if err := d.Err(); err != nil {
-		return 0, 0, err
+		return DatasetID{}, err
 	}
 	if magic != Magic {
-		return 0, 0, fmt.Errorf("proto: bad magic %q", magic[:])
+		return DatasetID{}, fmt.Errorf("proto: bad magic %q", magic[:])
 	}
 	if version != Version {
-		return 0, 0, fmt.Errorf("proto: server speaks version %d, client speaks %d", version, Version)
+		return DatasetID{}, fmt.Errorf("proto: server speaks version %d, client speaks %d", version, Version)
 	}
-	if dims <= 0 {
-		return 0, 0, fmt.Errorf("proto: welcome with invalid dims %d", dims)
+	var ext [12]byte // fingerprint + name length
+	if _, err := io.ReadFull(r, ext[:]); err != nil {
+		return DatasetID{}, fmt.Errorf("proto: reading welcome dataset id: %w", err)
 	}
-	return dims, points, nil
+	id.Fingerprint = leUint64(ext[:8])
+	n := leUint32(ext[8:])
+	if n > MaxDatasetName {
+		return DatasetID{}, fmt.Errorf("proto: welcome dataset name of %d bytes exceeds the %d-byte cap", n, MaxDatasetName)
+	}
+	if n > 0 {
+		name := make([]byte, n)
+		if _, err := io.ReadFull(r, name); err != nil {
+			return DatasetID{}, fmt.Errorf("proto: reading welcome dataset name: %w", err)
+		}
+		id.Name = string(name)
+	}
+	if id.Dims <= 0 {
+		if id.Points == 0 && id.Fingerprint == 0 {
+			return DatasetID{}, fmt.Errorf("%w: %q", ErrUnknownDataset, id.Name)
+		}
+		return DatasetID{}, fmt.Errorf("proto: welcome with invalid dims %d", id.Dims)
+	}
+	if id.Points < 0 {
+		return DatasetID{}, fmt.Errorf("proto: welcome with point count overflowing int64")
+	}
+	if id.Name != "" {
+		if err := ValidateDatasetName(id.Name); err != nil {
+			return DatasetID{}, err
+		}
+	}
+	return id, nil
 }
 
 // BeginFrame appends a 4-byte length placeholder and returns the buffer;

@@ -12,24 +12,89 @@ import (
 )
 
 func TestHandshakeRoundTrip(t *testing.T) {
-	hello := AppendHello(nil)
-	v, err := ReadHello(bytes.NewReader(hello))
-	if err != nil || v != Version {
-		t.Fatalf("ReadHello = %d, %v", v, err)
+	hello := AppendHello(nil, "")
+	h, err := ReadHello(bytes.NewReader(hello))
+	if err != nil || h.Version != Version || h.Dataset != "" {
+		t.Fatalf("ReadHello = %+v, %v", h, err)
 	}
-	welcome := AppendWelcome(nil, 7, 123456)
-	dims, points, err := ReadWelcome(bytes.NewReader(welcome))
-	if err != nil || dims != 7 || points != 123456 {
-		t.Fatalf("ReadWelcome = %d, %d, %v", dims, points, err)
+	hello = AppendHello(nil, "genomes.v2")
+	h, err = ReadHello(bytes.NewReader(hello))
+	if err != nil || h.Version != Version || h.Dataset != "genomes.v2" {
+		t.Fatalf("ReadHello = %+v, %v", h, err)
+	}
+
+	id := DatasetID{Name: "genomes.v2", Dims: 7, Points: 123456, Fingerprint: 0xfeedface}
+	welcome := AppendWelcome(nil, id)
+	got, err := ReadWelcome(bytes.NewReader(welcome))
+	if err != nil || got != id {
+		t.Fatalf("ReadWelcome = %+v, %v, want %+v", got, err, id)
 	}
 
 	if _, err := ReadHello(strings.NewReader("XXXXxxxx")); err == nil {
 		t.Error("bad magic accepted")
 	}
-	bad := AppendWelcome(nil, 7, 1)
+	bad := AppendWelcome(nil, id)
 	bad[4] = 99 // version
-	if _, _, err := ReadWelcome(bytes.NewReader(bad)); err == nil {
+	if _, err := ReadWelcome(bytes.NewReader(bad)); err == nil {
 		t.Error("version mismatch accepted")
+	}
+}
+
+func TestHandshakeLegacyVersions(t *testing.T) {
+	// v1/v2 hellos carry no dataset name and bind the default tenant.
+	for _, v := range []uint32{1, 2} {
+		hello := AppendLegacyHello(nil, v)
+		if len(hello) != 8 {
+			t.Fatalf("legacy hello is %d bytes, want the historical 8", len(hello))
+		}
+		h, err := ReadHello(bytes.NewReader(hello))
+		if err != nil || h.Version != v || h.Dataset != "" {
+			t.Fatalf("ReadHello(v%d) = %+v, %v", v, h, err)
+		}
+		if !LegacyVersion(h.Version) {
+			t.Fatalf("version %d not recognised as legacy", v)
+		}
+	}
+	if LegacyVersion(0) || LegacyVersion(Version) || LegacyVersion(Version+1) {
+		t.Fatal("LegacyVersion accepts a non-legacy version")
+	}
+	// The legacy welcome is the historical 20-byte frame; old ReadWelcome
+	// implementations reject any version but their own, so it must echo the
+	// client's version, not the server's.
+	w := AppendLegacyWelcome(nil, 2, 7, 123456)
+	if len(w) != 20 {
+		t.Fatalf("legacy welcome is %d bytes, want 20", len(w))
+	}
+}
+
+func TestHandshakeUnknownDataset(t *testing.T) {
+	// A server that does not serve the requested dataset answers with a
+	// zeroed id echoing the requested name; the client surfaces
+	// ErrUnknownDataset naming it.
+	w := AppendWelcome(nil, DatasetID{Name: "missing"})
+	_, err := ReadWelcome(bytes.NewReader(w))
+	if !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("err = %v, want ErrUnknownDataset", err)
+	}
+	if !strings.Contains(err.Error(), "missing") {
+		t.Fatalf("error %v does not name the requested dataset", err)
+	}
+}
+
+func TestValidateDatasetName(t *testing.T) {
+	for _, ok := range []string{"default", "a", "genomes.v2", "A-B_c.9", strings.Repeat("x", MaxDatasetName)} {
+		if err := ValidateDatasetName(ok); err != nil {
+			t.Errorf("ValidateDatasetName(%q) = %v, want nil", ok, err)
+		}
+	}
+	for _, bad := range []string{
+		"", strings.Repeat("x", MaxDatasetName+1),
+		"with space", "slash/y", "nul\x00byte", "caf\xc3\xa9", "\xff\xfe",
+		`quote"brk`, "new\nline",
+	} {
+		if err := ValidateDatasetName(bad); err == nil {
+			t.Errorf("ValidateDatasetName(%q) accepted a hostile name", bad)
+		}
 	}
 }
 

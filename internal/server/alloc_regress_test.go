@@ -45,6 +45,7 @@ func TestDispatchLoopAllocs(t *testing.T) {
 		for i := 0; i < batch; i++ {
 			p := s.getPending()
 			p.c = fake
+			p.eng = s.def
 			p.req.Kind = proto.KindKNN
 			p.req.ID = uint64(i)
 			p.req.K = k

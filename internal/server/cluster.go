@@ -180,7 +180,18 @@ func NewCluster(shard Shard, cfg ClusterConfig) (*Server, error) {
 	}
 	s := New(shard.LocalTree(), cfg.Config)
 	if cfg.TotalPoints > 0 {
-		s.points = cfg.TotalPoints
+		// Clients see the logical cluster-wide tree, not this rank's shard.
+		s.def.id.Points = cfg.TotalPoints
+	}
+	// The default dataset id must be identical on every rank (a client
+	// validates reconnects against it, and a redial may land anywhere), so
+	// the fingerprint cannot be the local shard's content hash. Shards built
+	// through panda.DistTree expose a cluster-wide fingerprint over the
+	// replicated global partition tree; use it when available.
+	if fp, ok := shard.(interface{ Fingerprint() uint64 }); ok {
+		s.def.id.Fingerprint = fp.Fingerprint()
+	} else {
+		s.def.id.Fingerprint = 0
 	}
 	rank := shard.Rank()
 	rt := &router{
@@ -292,9 +303,9 @@ func (rt *router) route(p *pending) {
 	if !p.arrived.IsZero() {
 		// Observe after the handler has written its response (p itself is
 		// back in the pool by then, so capture what the histogram needs).
-		defer func(kind uint8, arrived time.Time) {
-			rt.s.metrics.observe(kind, time.Since(arrived))
-		}(p.req.Kind, p.arrived)
+		defer func(eng *engine, kind uint8, arrived time.Time) {
+			rt.s.observeLatency(eng, kind, time.Since(arrived))
+		}(p.eng, p.req.Kind, p.arrived)
 	}
 	switch p.req.Kind {
 	case proto.KindKNN:
@@ -316,6 +327,7 @@ func (rt *router) route(p *pending) {
 func (rt *router) localStage(kind uint8, k, nq int, r2 float32, coords []float32) ([]panda.Neighbor, []int32, error) {
 	s := rt.s
 	lp := s.getPending()
+	lp.eng = s.def // cluster ranks serve one dataset: the default tenant
 	lp.req.ID = 0
 	lp.req.Kind = kind
 	lp.req.K = k

@@ -379,10 +379,10 @@ func TestClusterNaNRejectedKeepsConnection(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer nc.Close()
-	if _, err := nc.Write(proto.AppendHello(nil)); err != nil {
+	if _, err := nc.Write(proto.AppendHello(nil, "")); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := proto.ReadWelcome(nc); err != nil {
+	if _, err := proto.ReadWelcome(nc); err != nil {
 		t.Fatal(err)
 	}
 	send := func(payload []byte) {
@@ -555,8 +555,7 @@ func TestHandshakeVersionMismatchExplicitReject(t *testing.T) {
 	}
 	defer nc.Close()
 	// A future-version hello: magic + version 99.
-	hello := proto.AppendHello(nil)
-	binary.LittleEndian.PutUint32(hello[4:], 99)
+	hello := proto.AppendLegacyHello(nil, 99)
 	if _, err := nc.Write(hello); err != nil {
 		t.Fatal(err)
 	}
@@ -584,13 +583,15 @@ func TestHandshakeVersionMismatchExplicitReject(t *testing.T) {
 	}
 
 	// Client-side surfacing order: a mismatched-version welcome must report
-	// the version difference, not the zeroed dims.
+	// the version difference, not the zeroed dims. This is exactly what a
+	// v3 client sees against a pre-v3 server, which rejects the unknown
+	// hello by answering with its own version and zeroed metadata.
 	w := append([]byte{}, proto.Magic[:]...)
 	w = binary.LittleEndian.AppendUint32(w, 2) // a hypothetical v2 server
 	w = binary.LittleEndian.AppendUint32(w, 0)
 	w = binary.LittleEndian.AppendUint64(w, 0)
-	if _, _, err := proto.ReadWelcome(bytes.NewReader(w)); err == nil {
-		t.Fatal("v2 welcome accepted by v1 client")
+	if _, err := proto.ReadWelcome(bytes.NewReader(w)); err == nil {
+		t.Fatal("v2 server welcome accepted by v3 client")
 	} else if got := err.Error(); !strings.Contains(got, "version") {
 		t.Fatalf("mismatch error %q does not mention the version", got)
 	}

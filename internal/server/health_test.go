@@ -131,7 +131,7 @@ func startWedgedPeer(t *testing.T, dims int) string {
 				if _, err := proto.ReadHello(nc); err != nil {
 					return
 				}
-				if _, err := nc.Write(proto.AppendWelcome(nil, dims, 1)); err != nil {
+				if _, err := nc.Write(proto.AppendWelcome(nil, proto.DatasetID{Name: proto.DefaultDataset, Dims: dims, Points: 1, Fingerprint: 1})); err != nil {
 					return
 				}
 				io.Copy(io.Discard, nc) // swallow pings forever

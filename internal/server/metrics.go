@@ -79,6 +79,16 @@ func (m *metrics) observe(kind uint8, d time.Duration) {
 	}
 }
 
+// observeLatency records one answered request both globally and against its
+// tenant's histogram — the same observation at the same site, so per-tenant
+// histogram counts sum exactly to the global histogram count.
+func (s *Server) observeLatency(e *engine, kind uint8, d time.Duration) {
+	s.metrics.observe(kind, d)
+	if e != nil {
+		e.latency.observe(d)
+	}
+}
+
 // WriteMetrics writes the server's counters, gauges, and latency histogram
 // in the Prometheus text exposition format. Safe for concurrent use.
 func (s *Server) WriteMetrics(out io.Writer) {
@@ -111,6 +121,35 @@ func (s *Server) WriteMetrics(out io.Writer) {
 	w.labeled("panda_request_latency_seconds_bucket", `le="+Inf"`, float64(cum))
 	w.line("panda_request_latency_seconds_sum", float64(m.latency.sumNanos.Load())/1e9)
 	w.line("panda_request_latency_seconds_count", float64(m.latency.count.Load()))
+
+	// Per-tenant series alongside the globals. Every tenant counter is
+	// incremented at the same site as its global twin, so for each metric
+	// the sum over dataset labels equals the unlabeled global above.
+	// Dataset names are restricted to [A-Za-z0-9._-] at registration, so
+	// they embed in label values without escaping.
+	w.gauge("panda_tenants", "Datasets registered with the serving process.", float64(len(s.reg.order)))
+	w.head("panda_tenant_queries_total", "Queries answered per dataset (sums to panda_queries_total).", "counter")
+	for _, name := range s.reg.order {
+		w.labeled("panda_tenant_queries_total", `dataset="`+name+`"`, float64(s.reg.tenants[name].queries.Load()))
+	}
+	w.head("panda_tenant_shed_total", "Requests refused at the admission limit per dataset (sums to panda_shed_total).", "counter")
+	for _, name := range s.reg.order {
+		w.labeled("panda_tenant_shed_total", `dataset="`+name+`"`, float64(s.reg.tenants[name].shed.Load()))
+	}
+	w.head("panda_tenant_request_latency_seconds", "Request latency per dataset (counts sum to the global histogram).", "histogram")
+	for _, name := range s.reg.order {
+		h := &s.reg.tenants[name].latency
+		cum := int64(0)
+		for i, bound := range latencyBuckets {
+			cum += h.buckets[i].Load()
+			w.labeled("panda_tenant_request_latency_seconds_bucket",
+				`dataset="`+name+`",le="`+formatBound(bound)+`"`, float64(cum))
+		}
+		cum += h.buckets[len(latencyBuckets)].Load()
+		w.labeled("panda_tenant_request_latency_seconds_bucket", `dataset="`+name+`",le="+Inf"`, float64(cum))
+		w.labeled("panda_tenant_request_latency_seconds_sum", `dataset="`+name+`"`, float64(h.sumNanos.Load())/1e9)
+		w.labeled("panda_tenant_request_latency_seconds_count", `dataset="`+name+`"`, float64(h.count.Load()))
+	}
 }
 
 // MetricsHandler returns an http.Handler serving the Prometheus text

@@ -306,21 +306,23 @@ func dialPeer(addr string, dims int, timeout time.Duration) (*peerConn, error) {
 		tc.SetNoDelay(true)
 	}
 	nc.SetDeadline(time.Now().Add(timeout))
-	if _, err := nc.Write(proto.AppendHello(nil)); err != nil {
+	// Peers are ranks of the same cluster, which serve exactly one dataset:
+	// bind the default tenant.
+	if _, err := nc.Write(proto.AppendHello(nil, "")); err != nil {
 		nc.Close()
 		return nil, fmt.Errorf("peer handshake: %w", err)
 	}
-	gotDims, _, err := proto.ReadWelcome(nc)
+	id, err := proto.ReadWelcome(nc)
 	if err != nil {
 		nc.Close()
 		return nil, fmt.Errorf("peer handshake: %w", err)
 	}
-	if dims >= 0 && gotDims != dims {
+	if dims >= 0 && id.Dims != dims {
 		nc.Close()
-		return nil, fmt.Errorf("peer serves %d-dim tree, want %d", gotDims, dims)
+		return nil, fmt.Errorf("peer serves %d-dim tree, want %d", id.Dims, dims)
 	}
 	nc.SetDeadline(time.Time{})
-	pc := &peerConn{nc: nc, dims: gotDims, waiting: map[uint64]chan peerResult{}}
+	pc := &peerConn{nc: nc, dims: id.Dims, waiting: map[uint64]chan peerResult{}}
 	go pc.readLoop()
 	return pc, nil
 }

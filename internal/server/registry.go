@@ -1,0 +1,114 @@
+// Multi-dataset tenancy: the registry maps dataset names to engines — a
+// tree plus its per-tenant serving counters. One server process hosts many
+// trees; each connection binds to exactly one engine at handshake (the v3
+// hello names it, legacy hellos get the default), and everything downstream
+// of the handshake — admission, dispatch grouping, metrics — carries the
+// engine instead of assuming a process-global tree. The registry is
+// assembled before the server starts and immutable afterwards, so the hot
+// path reads it without locks.
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"panda"
+	"panda/internal/proto"
+)
+
+// engine is one served dataset: the tree and the per-tenant slice of every
+// counter the server also keeps globally. Per-tenant counters are
+// incremented at exactly the same sites as their global twins, so for each
+// metric the sum over tenants equals the global value.
+type engine struct {
+	tree *panda.Tree
+	id   proto.DatasetID
+
+	// queries counts answered queries (a batch of nq counts nq), shed
+	// counts admission refusals — the tenant slices of Stats.Queries and
+	// Stats.Shed. latency is the tenant slice of the global request
+	// histogram.
+	queries atomic.Int64
+	shed    atomic.Int64
+	latency histogram
+}
+
+// Registry is an immutable-after-start set of named engines. Build one with
+// NewRegistry + Add, then hand it to NewMulti. The first dataset added is
+// the default tenant (bound by legacy clients and by v3 hellos with an
+// empty dataset name).
+type Registry struct {
+	tenants map[string]*engine
+	order   []string // registration order; order[0] is the default
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{tenants: map[string]*engine{}}
+}
+
+// Add registers tree under name. The name must satisfy the wire charset
+// (proto.ValidateDatasetName) and be unused; the first Add defines the
+// default tenant. The dataset id is derived here: dims and point count from
+// the tree, content fingerprint from its flat state.
+func (r *Registry) Add(name string, tree *panda.Tree) error {
+	if err := proto.ValidateDatasetName(name); err != nil {
+		return err
+	}
+	if tree == nil {
+		return fmt.Errorf("server: nil tree for dataset %q", name)
+	}
+	if _, dup := r.tenants[name]; dup {
+		return fmt.Errorf("server: dataset %q registered twice", name)
+	}
+	r.tenants[name] = &engine{
+		tree: tree,
+		id: proto.DatasetID{
+			Name:        name,
+			Dims:        tree.Dims(),
+			Points:      int64(tree.Len()),
+			Fingerprint: tree.Fingerprint(),
+		},
+	}
+	r.order = append(r.order, name)
+	return nil
+}
+
+// Names returns the registered dataset names in registration order (the
+// first is the default tenant).
+func (r *Registry) Names() []string { return append([]string(nil), r.order...) }
+
+// lookup resolves a hello's dataset selector: "" means the default tenant,
+// anything else must be registered. Returns nil for an unknown name.
+func (r *Registry) lookup(name string) *engine {
+	if name == "" {
+		return r.defaultEngine()
+	}
+	return r.tenants[name]
+}
+
+func (r *Registry) defaultEngine() *engine {
+	if len(r.order) == 0 {
+		return nil
+	}
+	return r.tenants[r.order[0]]
+}
+
+// TenantStats is the per-dataset slice of the serving counters.
+type TenantStats struct {
+	ID      proto.DatasetID
+	Queries int64
+	Shed    int64
+}
+
+// TenantStats returns the per-dataset counters keyed by dataset name. For
+// every counter, the values sum exactly to the corresponding global Stats
+// field (both are incremented at the same sites).
+func (s *Server) TenantStats() map[string]TenantStats {
+	out := make(map[string]TenantStats, len(s.reg.order))
+	for _, name := range s.reg.order {
+		e := s.reg.tenants[name]
+		out[name] = TenantStats{ID: e.id, Queries: e.queries.Load(), Shed: e.shed.Load()}
+	}
+	return out
+}

@@ -148,9 +148,12 @@ const (
 // the cluster (see cluster.go); the single-tree dispatch machinery below is
 // shared by both modes.
 type Server struct {
-	tree   *panda.Tree
-	cfg    Config
-	points int64 // reported in the welcome (cluster mode: whole-cluster total)
+	// reg maps dataset names to engines (tree + per-tenant counters);
+	// def is reg's default tenant, the one legacy clients bind to.
+	// Immutable once Serve starts.
+	reg *Registry
+	def *engine
+	cfg Config
 
 	// cluster is non-nil in cluster serving mode: externally-routable
 	// requests detour through its router instead of the local intake.
@@ -247,17 +250,38 @@ func (s *Server) Stats() Stats {
 	return st
 }
 
-// New returns an unstarted server for tree.
+// New returns an unstarted single-tenant server for tree, registered as the
+// default dataset. Multi-dataset serving goes through NewMulti.
 func New(tree *panda.Tree, cfg Config) *Server {
+	reg := NewRegistry()
+	if err := reg.Add(proto.DefaultDataset, tree); err != nil {
+		// Unreachable: the default name is valid and the registry is empty.
+		panic(err)
+	}
+	s, err := NewMulti(reg, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewMulti returns an unstarted server hosting every dataset in reg. The
+// registry must not be modified afterwards. Each client connection binds to
+// one dataset at handshake — the one its hello names, or reg's first-added
+// (default) tenant for legacy clients and empty selectors.
+func NewMulti(reg *Registry, cfg Config) (*Server, error) {
+	if reg == nil || len(reg.order) == 0 {
+		return nil, errors.New("server: registry has no datasets")
+	}
 	cfg = cfg.withDefaults()
 	return &Server{
-		tree:           tree,
+		reg:            reg,
+		def:            reg.defaultEngine(),
 		cfg:            cfg,
-		points:         int64(tree.Len()),
 		intake:         make(chan *pending, cfg.IntakeDepth),
 		conns:          map[*conn]struct{}{},
 		dispatcherDone: make(chan struct{}),
-	}
+	}, nil
 }
 
 // Addr returns the listener address once Serve has been called (nil
@@ -431,6 +455,11 @@ type conn struct {
 	nc   net.Conn
 	wmu  sync.Mutex
 	dead atomic.Bool
+	// eng is the dataset this connection bound to at handshake; every
+	// request it sends is answered from that engine's tree and counted
+	// against that tenant. Written once by the reader before any request is
+	// decoded.
+	eng *engine
 	// routeSem (cluster mode) bounds this connection's in-flight routed
 	// requests: the reader blocks acquiring a slot, so a client that
 	// pipelines without reading responses stalls itself instead of growing
@@ -475,6 +504,11 @@ type pending struct {
 	c    *conn
 	req  proto.Request
 	done func(flat []panda.Neighbor, offsets []int32, err error)
+	// eng is the dataset this request runs against (the connection's bound
+	// tenant; the default engine for internal router stages). The
+	// dispatcher groups coalesced KNN work by (eng, k) and answers each
+	// group from eng's tree.
+	eng *engine
 	// arrived is when the reader decoded the request off the wire (zero for
 	// internal router stages); the latency histogram observes it when the
 	// response is written.
@@ -499,6 +533,7 @@ func (s *Server) putPending(p *pending) {
 	}
 	p.c = nil
 	p.done = nil
+	p.eng = nil
 	p.arrived = time.Time{}
 	s.pendingPool.Put(p)
 }
@@ -507,33 +542,53 @@ func (s *Server) putPending(p *pending) {
 // enqueue requests until the client disconnects or the server drains.
 func (s *Server) serveConn(c *conn) {
 	defer s.readers.Done()
-	dims := s.tree.Dims()
 
 	c.nc.SetReadDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
-	version, err := proto.ReadHello(c.nc)
+	hello, err := proto.ReadHello(c.nc)
 	if err != nil {
 		s.removeConn(c)
 		c.close()
 		return
 	}
-	if version != proto.Version {
-		// Reject the mismatch explicitly, before any tree metadata: answer
-		// with a welcome carrying the server's version and zeroed dims/len,
-		// then close. The client's ReadWelcome checks the version first, so
-		// it surfaces "server speaks version X" instead of reading valid
-		// dims/len and then hitting an unexplained connection drop.
-		c.writeFrameless(proto.AppendWelcome(make([]byte, 0, 20), 0, 0), s.cfg.WriteTimeout)
+	var welcome []byte
+	switch {
+	case hello.Version == proto.Version:
+		c.eng = s.reg.lookup(hello.Dataset)
+		if c.eng == nil {
+			// Unknown dataset: reject with a v3 welcome echoing the
+			// requested name with zeroed dims/points/fingerprint, then
+			// close. The client surfaces ErrUnknownDataset naming it.
+			c.writeFrameless(proto.AppendWelcome(nil, proto.DatasetID{Name: hello.Dataset}), s.cfg.WriteTimeout)
+			s.removeConn(c)
+			c.close()
+			return
+		}
+		welcome = proto.AppendWelcome(nil, c.eng.id)
+	case proto.LegacyVersion(hello.Version):
+		// Pre-tenancy client: bind the default tenant and answer the
+		// 20-byte legacy welcome echoing the client's version (a legacy
+		// ReadWelcome rejects any version but its own).
+		c.eng = s.def
+		welcome = proto.AppendLegacyWelcome(nil, hello.Version, c.eng.id.Dims, c.eng.id.Points)
+	default:
+		// Unknown future version: reject the mismatch explicitly, before
+		// any tree metadata — a welcome carrying the server's version and
+		// zeroed dims/len, then close. The client's ReadWelcome checks the
+		// version first, so it surfaces "server speaks version X" instead
+		// of reading valid dims/len and then hitting an unexplained
+		// connection drop.
+		c.writeFrameless(proto.AppendLegacyWelcome(nil, proto.Version, 0, 0), s.cfg.WriteTimeout)
 		s.removeConn(c)
 		c.close()
 		return
 	}
-	welcome := proto.AppendWelcome(make([]byte, 0, 20), dims, s.points)
 	if c.writeFrameless(welcome, s.cfg.WriteTimeout) != nil {
 		s.removeConn(c)
 		c.close()
 		return
 	}
 	c.nc.SetReadDeadline(time.Time{})
+	dims := c.eng.id.Dims
 
 	var buf []byte
 	var errBuf []byte
@@ -564,6 +619,7 @@ func (s *Server) serveConn(c *conn) {
 			continue
 		}
 		p.c = c
+		p.eng = c.eng
 		// Stats and ping requests are answered immediately from the reader
 		// (they carry no query work, so routing them through the dispatcher
 		// would only skew the batching counters they report — and a ping
@@ -625,6 +681,7 @@ func (s *Server) serveConn(c *conn) {
 			if s.inflight.Add(weight) > int64(s.cfg.MaxInFlight) {
 				s.inflight.Add(-weight)
 				s.statShed.Add(1)
+				c.eng.shed.Add(1)
 				id := p.req.ID
 				s.putPending(p)
 				errBuf = proto.BeginFrame(errBuf[:0])
@@ -765,15 +822,19 @@ func (s *Server) dispatch() {
 	}
 }
 
-// process answers every request in d.batch: KNN requests grouped by k into
-// single engine calls, radius requests individually. All staging buffers
-// are reused; the loop allocates nothing once warm.
+// process answers every request in d.batch: KNN requests grouped by
+// (tenant, k) into single engine calls, radius requests individually
+// against their tenant's tree. All staging buffers are reused; the loop
+// allocates nothing once warm.
 func (d *dispatcher) process() {
 	s := d.s
 	n := len(d.batch)
 	nq := 0
 	for _, p := range d.batch {
 		nq += p.req.NQ
+		// The tenant slice of statQueries, incremented here so the sum over
+		// tenants always equals the global counter below.
+		p.eng.queries.Add(int64(p.req.NQ))
 	}
 	s.statBatches.Add(1)
 	s.statQueries.Add(int64(nq))
@@ -795,7 +856,7 @@ func (d *dispatcher) process() {
 			// routing (a cluster router fans KindRadius out and sends
 			// KindRemoteRadius to the shards, which land here).
 			d.done[i] = true
-			d.radius = s.tree.RadiusSearchInto(p.req.Coords, p.req.R2, d.radius[:0])
+			d.radius = p.eng.tree.RadiusSearchInto(p.req.Coords, p.req.R2, d.radius[:0])
 			if len(d.radius) > proto.MaxResultNeighbors {
 				// Refuse before encoding: a dense-enough ball would
 				// otherwise build a response buffer beyond the frame cap.
@@ -815,26 +876,28 @@ func (d *dispatcher) process() {
 			// bound makes these cheap, and they cannot share an arena call
 			// with unbounded KNN requests.
 			d.done[i] = true
-			d.radius = s.tree.KNNBoundedInto(p.req.Coords, p.req.K, p.req.R2, d.radius[:0])
+			d.radius = p.eng.tree.KNNBoundedInto(p.req.Coords, p.req.K, p.req.R2, d.radius[:0])
 			d.offs2[0] = 0
 			d.offs2[1] = int32(len(d.radius))
 			d.respondNeighbors(p, d.offs2, d.radius)
 			continue
 		}
-		// Gather every not-yet-answered KNN request with the same k.
+		// Gather every not-yet-answered KNN request for the same tenant with
+		// the same k: one engine call answers the whole group. Coalescing
+		// never crosses tenants — each group runs against exactly one tree.
 		k := p.req.K
 		d.group = d.group[:0]
 		d.coords = d.coords[:0]
 		for j := i; j < n; j++ {
 			q := d.batch[j]
-			if d.done[j] || q.req.Kind != proto.KindKNN || q.req.K != k {
+			if d.done[j] || q.req.Kind != proto.KindKNN || q.req.K != k || q.eng != p.eng {
 				continue
 			}
 			d.done[j] = true
 			d.group = append(d.group, q)
 			d.coords = append(d.coords, q.req.Coords...)
 		}
-		flat, offsets, err := s.tree.KNNBatchFlatInto(d.coords, k, d.flat, d.offsets)
+		flat, offsets, err := p.eng.tree.KNNBatchFlatInto(d.coords, k, d.flat, d.offsets)
 		if err != nil {
 			for _, q := range d.group {
 				d.respondError(q, err)
@@ -866,7 +929,7 @@ func (d *dispatcher) respondNeighbors(p *pending, offsets []int32, flat []panda.
 		return
 	}
 	if !p.arrived.IsZero() {
-		d.s.metrics.observe(p.req.Kind, time.Since(p.arrived))
+		d.s.observeLatency(p.eng, p.req.Kind, time.Since(p.arrived))
 	}
 	d.wbuf = proto.BeginFrame(d.wbuf[:0])
 	d.wbuf = proto.AppendNeighborsResponse(d.wbuf, p.req.ID, offsets, flat)
@@ -885,7 +948,7 @@ func (d *dispatcher) respondError(p *pending, err error) {
 		return
 	}
 	if !p.arrived.IsZero() {
-		d.s.metrics.observe(p.req.Kind, time.Since(p.arrived))
+		d.s.observeLatency(p.eng, p.req.Kind, time.Since(p.arrived))
 	}
 	d.wbuf = proto.BeginFrame(d.wbuf[:0])
 	d.wbuf = proto.AppendErrorResponse(d.wbuf, p.req.ID, err.Error())

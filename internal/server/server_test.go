@@ -159,10 +159,10 @@ func rawDial(t *testing.T, addr string) net.Conn {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := nc.Write(proto.AppendHello(nil)); err != nil {
+	if _, err := nc.Write(proto.AppendHello(nil, "")); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := proto.ReadWelcome(nc); err != nil {
+	if _, err := proto.ReadWelcome(nc); err != nil {
 		t.Fatal(err)
 	}
 	return nc

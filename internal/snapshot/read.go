@@ -386,7 +386,7 @@ func ReadInfo(path string) (*Info, error) {
 	if err != nil {
 		return nil, err
 	}
-	_, infos, err := parseSections(data, h)
+	secs, infos, err := parseSections(data, h)
 	if err != nil {
 		return nil, err
 	}
@@ -401,6 +401,16 @@ func ReadInfo(path string) (*Info, error) {
 		BucketSize: h.opts.BucketSize,
 		CRCOK:      checkCRC(data) == nil,
 		Sections:   infos,
+	}
+	// The fingerprint hashes the section bytes exactly as the materialized
+	// tree's Raw arrays would hash, so inspect reports the id a server
+	// loading this file will advertise. Only computable when all three data
+	// sections carry their declared sizes.
+	ptsB, perr := section(secs, secPoints, h.pointCount*uint64(h.dims)*4)
+	idsB, ierr := section(secs, secIDs, h.pointCount*8)
+	nodesB, nerr := section(secs, secNodes, h.nodeCount*kdtree.NodeBytes)
+	if perr == nil && ierr == nil && nerr == nil {
+		info.Fingerprint = kdtree.FingerprintSections(h.dims, int(h.pointCount), ptsB, idsB, nodesB)
 	}
 	for _, si := range infos {
 		if si.ID == secCluster {

@@ -177,7 +177,12 @@ type Info struct {
 	MaxBucket  int
 	BucketSize int
 	CRCOK      bool
-	Sections   []SectionInfo
+	// Fingerprint is the dataset content fingerprint the serving handshake
+	// advertises (kdtree.FingerprintSections over the points/ids/nodes
+	// section bytes). It equals Tree.Fingerprint() of the materialized tree,
+	// so `panda snapshot inspect` shows the exact id clients will bind to.
+	Fingerprint uint64
+	Sections    []SectionInfo
 	Cluster    *ClusterMeta // nil when the snapshot has no cluster section
 	// ClusterErr reports a cluster section that is present but malformed
 	// (inspect degrades gracefully instead of failing the whole parse).

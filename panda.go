@@ -102,6 +102,19 @@ type Tree struct {
 	// closeSnap releases the snapshot mapping backing an OpenSnapshot tree
 	// (nil for built trees); see Tree.Close.
 	closeSnap func() error
+	// fp caches the content fingerprint (immutable once built).
+	fpOnce sync.Once
+	fp     uint64
+}
+
+// Fingerprint returns the 64-bit content hash identifying this tree's
+// dataset: dims, point count, packed coordinates, ids, and node array. A
+// tree built in memory and the same tree reopened from a snapshot hash
+// identically. The serving layer folds it into the dataset id reported in
+// the protocol welcome. Computed once and cached.
+func (t *Tree) Fingerprint() uint64 {
+	t.fpOnce.Do(func() { t.fp = t.t.Raw().Fingerprint() })
+	return t.fp
 }
 
 // batchScratch is the per-batch bookkeeping KNNBatchFlatInto reuses across

@@ -11,6 +11,8 @@ import (
 	"math/rand"
 	"net"
 	"time"
+
+	"panda/internal/proto"
 )
 
 // RetryPolicy controls dial retries and idempotent-call retries for clients
@@ -67,7 +69,12 @@ func (p RetryPolicy) backoff(attempt int) time.Duration {
 // retries idempotent calls (KNN, KNNBatch, RadiusSearch, Stats) after
 // transport failures under the same policy.
 func DialRetry(addr string, policy RetryPolicy) (*Client, error) {
-	return dialRetry([]string{addr}, policy)
+	return dialRetry([]string{addr}, "", policy)
+}
+
+// DialDatasetRetry is DialDataset with retries (see DialRetry).
+func DialDatasetRetry(addr, dataset string, policy RetryPolicy) (*Client, error) {
+	return dialRetry([]string{addr}, dataset, policy)
 }
 
 // DialClusterRetry is DialCluster with retries. Reconnects may land on any
@@ -78,19 +85,28 @@ func DialClusterRetry(addrs []string, policy RetryPolicy) (*Client, error) {
 	if len(addrs) == 0 {
 		return nil, errors.New("panda: DialClusterRetry needs at least one address")
 	}
-	return dialRetry(addrs, policy)
+	return dialRetry(addrs, "", policy)
 }
 
-func dialRetry(addrs []string, policy RetryPolicy) (*Client, error) {
+// DialClusterDatasetRetry is DialClusterDataset with retries (see
+// DialClusterRetry).
+func DialClusterDatasetRetry(addrs []string, dataset string, policy RetryPolicy) (*Client, error) {
+	if len(addrs) == 0 {
+		return nil, errors.New("panda: DialClusterDatasetRetry needs at least one address")
+	}
+	return dialRetry(addrs, dataset, policy)
+}
+
+func dialRetry(addrs []string, dataset string, policy RetryPolicy) (*Client, error) {
 	policy = policy.withDefaults()
 	var last error
 	for attempt := 0; attempt < policy.Attempts; attempt++ {
 		if attempt > 0 {
 			time.Sleep(policy.backoff(attempt - 1))
 		}
-		nc, dims, points, err := dialAny(addrs)
+		nc, id, err := dialAny(addrs, dataset)
 		if err == nil {
-			return newClient(nc, dims, points, addrs, policy), nil
+			return newClient(nc, id, dataset, addrs, policy), nil
 		}
 		last = err
 	}
@@ -143,25 +159,27 @@ func (c *Client) callRetry(encode func(b []byte, id uint64) []byte) (clientResul
 }
 
 // dialValidated tries each address individually and returns the first whose
-// welcome matches the expected dataset shape (dims and point count), so a
-// reconnect can never silently switch a client onto a different dataset —
-// e.g. an address list where one rank was restarted serving another snapshot,
-// or a stale DNS entry now pointing at an unrelated panda server. Addresses
-// that answer with a mismatched shape are closed and skipped, keeping later
-// correct addresses reachable. All failures wrap errConnLost so the retry
-// loop keeps looking for a revived correct rank until attempts exhaust.
-func dialValidated(addrs []string, dims int, points int64) (net.Conn, error) {
+// welcome reports exactly the dataset id the client first bound to — name,
+// dims, point count, and content fingerprint — so a reconnect can never
+// silently switch a client onto a different dataset. The fingerprint is
+// what closes the old (dims, points) validation hole: two distinct datasets
+// of identical shape — an address list where one rank was restarted serving
+// another snapshot, or a stale DNS entry now pointing at an unrelated panda
+// server — hash differently and are refused. Addresses that answer with a
+// mismatched id are closed and skipped, keeping later correct addresses
+// reachable. All failures wrap errConnLost so the retry loop keeps looking
+// for a revived correct rank until attempts exhaust.
+func dialValidated(addrs []string, dataset string, want proto.DatasetID) (net.Conn, error) {
 	var errs []error
 	for _, addr := range addrs {
-		nc, gotDims, gotPoints, err := dialConn(addr)
+		nc, got, err := dialConn(addr, dataset)
 		if err != nil {
 			errs = append(errs, fmt.Errorf("%s: %w", addr, err))
 			continue
 		}
-		if gotDims != dims || gotPoints != points {
+		if got != want {
 			nc.Close()
-			errs = append(errs, fmt.Errorf("%s: serves a different dataset (%d dims / %d points, want %d / %d)",
-				addr, gotDims, gotPoints, dims, points))
+			errs = append(errs, fmt.Errorf("%s: serves a different dataset (%v, want %v)", addr, got, want))
 			continue
 		}
 		return nc, nil
@@ -170,11 +188,11 @@ func dialValidated(addrs []string, dims int, points int64) (net.Conn, error) {
 }
 
 // reconnect replaces a failed connection, trying every known address and
-// accepting only one that serves the same dataset the client first
-// connected to (matching dims and point count — anything else would
-// silently change query answers mid-session). It is a no-op when another
-// goroutine already reconnected (many callers hit the same dead connection
-// at once; only one redial should happen).
+// accepting only one that serves the exact dataset the client first
+// connected to (matching dataset id, content fingerprint included —
+// anything else would silently change query answers mid-session). It is a
+// no-op when another goroutine already reconnected (many callers hit the
+// same dead connection at once; only one redial should happen).
 func (c *Client) reconnect() error {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
@@ -188,7 +206,7 @@ func (c *Client) reconnect() error {
 		return nil // already healthy again
 	}
 	c.mu.Unlock()
-	nc, err := dialValidated(c.addrs, c.dims, c.points)
+	nc, err := dialValidated(c.addrs, c.dataset, c.id)
 	if err != nil {
 		return err
 	}

@@ -20,8 +20,7 @@ import (
 // (in arrival order).
 type fakeServer struct {
 	ln      net.Listener
-	dims    int
-	points  int64
+	id      proto.DatasetID
 	marker  int64
 	accepts atomic.Int64
 
@@ -36,11 +35,24 @@ type fakeServer struct {
 
 func startFakeServer(t *testing.T, dims int, points, marker int64) *fakeServer {
 	t.Helper()
+	// Derive the fingerprint from the shape so two fakes configured with
+	// the same (dims, points) impersonate the same dataset, as replicas of
+	// one snapshot would. Impostor tests pass an explicit id instead.
+	return startFakeServerID(t, proto.DatasetID{
+		Name:        proto.DefaultDataset,
+		Dims:        dims,
+		Points:      points,
+		Fingerprint: uint64(dims)<<32 ^ uint64(points),
+	}, marker)
+}
+
+func startFakeServerID(t *testing.T, id proto.DatasetID, marker int64) *fakeServer {
+	t.Helper()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
-	fs := &fakeServer{ln: ln, dims: dims, points: points, marker: marker}
+	fs := &fakeServer{ln: ln, id: id, marker: marker}
 	t.Cleanup(fs.stop)
 	go fs.acceptLoop()
 	return fs
@@ -74,10 +86,17 @@ func (fs *fakeServer) acceptLoop() {
 
 func (fs *fakeServer) serveConn(nc net.Conn) {
 	defer nc.Close()
-	if _, err := proto.ReadHello(nc); err != nil {
+	hello, err := proto.ReadHello(nc)
+	if err != nil {
 		return
 	}
-	if _, err := nc.Write(proto.AppendWelcome(nil, fs.dims, fs.points)); err != nil {
+	var welcome []byte
+	if proto.LegacyVersion(hello.Version) {
+		welcome = proto.AppendLegacyWelcome(nil, hello.Version, fs.id.Dims, fs.id.Points)
+	} else {
+		welcome = proto.AppendWelcome(nil, fs.id)
+	}
+	if _, err := nc.Write(welcome); err != nil {
 		return
 	}
 	var buf, out []byte
@@ -88,7 +107,7 @@ func (fs *fakeServer) serveConn(nc net.Conn) {
 			return
 		}
 		buf = payload
-		if err := proto.ConsumeRequest(payload, fs.dims, &req); err != nil {
+		if err := proto.ConsumeRequest(payload, fs.id.Dims, &req); err != nil {
 			return
 		}
 		out = proto.BeginFrame(out[:0])
@@ -172,6 +191,68 @@ func TestReconnectRefusesDifferentDataset(t *testing.T) {
 	}
 	if c.Len() != 100 {
 		t.Fatalf("client's view of the dataset changed to %d points across reconnect, want 100", c.Len())
+	}
+}
+
+// TestReconnectRefusesSameShapeImpostor is the regression test for the
+// residual hole the shape check left open: the pre-fingerprint reconnect
+// compared only (dims, points), so a redial landing on a server with a
+// dataset of identical shape but different content silently switched the
+// client's answers. The dataset id's content fingerprint must tell the two
+// apart: the reconnect skips the impostor and lands on the true replica.
+func TestReconnectRefusesSameShapeImpostor(t *testing.T) {
+	const dims = 3
+	right := startFakeServer(t, dims, 100, 1)
+	backup := startFakeServer(t, dims, 100, 3)
+	impostor := startFakeServerID(t, proto.DatasetID{ // same dims AND points...
+		Name:        proto.DefaultDataset,
+		Dims:        dims,
+		Points:      100,
+		Fingerprint: right.id.Fingerprint ^ 0xdeadbeef, // ...different content
+	}, 2)
+
+	c, err := DialClusterRetry(
+		[]string{right.addr(), impostor.addr(), backup.addr()},
+		RetryPolicy{Attempts: 8, BaseDelay: 10 * time.Millisecond, MaxDelay: 100 * time.Millisecond},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if got := answeredBy(t, c, dims); got != 1 {
+		t.Fatalf("first query answered by marker %d, want the first-listed server (1)", got)
+	}
+
+	right.stop()
+
+	// The reconnect walks [right (dead), impostor (same shape, wrong
+	// fingerprint), backup]. A (dims, points) check cannot distinguish the
+	// impostor; the fingerprint must.
+	if got := answeredBy(t, c, dims); got != 3 {
+		t.Fatalf("query after failover answered by marker %d, want the true replica (3); "+
+			"marker 2 means a same-shape impostor passed reconnect validation", got)
+	}
+
+	// And when only the impostor remains, fail closed naming the mismatch.
+	backup.stop()
+	c2, err := DialClusterRetry(
+		[]string{right.addr(), impostor.addr()},
+		RetryPolicy{Attempts: 2, BaseDelay: 5 * time.Millisecond, MaxDelay: 10 * time.Millisecond},
+	)
+	if err == nil {
+		// Initial dial binds wherever it can; the impostor is a fine first
+		// target. A session bound there must stay there consistently.
+		defer c2.Close()
+		if got := answeredBy(t, c2, dims); got != 2 {
+			t.Fatalf("fresh client answered by marker %d, want the impostor it bound to (2)", got)
+		}
+	}
+	_, err = c.KNN(make([]float32, dims), 1)
+	if err == nil {
+		t.Fatal("bound client answered with only a different-fingerprint server reachable")
+	}
+	if !strings.Contains(err.Error(), "different dataset") {
+		t.Fatalf("error %v does not name the dataset mismatch", err)
 	}
 }
 

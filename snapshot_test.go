@@ -5,6 +5,8 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"panda/internal/snapshot"
 )
 
 // buildSnapshotTree builds a deterministic tree for snapshot tests.
@@ -189,5 +191,60 @@ func TestSnapshotErrors(t *testing.T) {
 	// Single-tree snapshots are not cluster snapshots.
 	if _, err := OpenClusterSnapshot(dir, 0); err == nil {
 		t.Error("OpenClusterSnapshot without a manifest succeeded")
+	}
+}
+
+// TestFingerprintStableAcrossSnapshot pins the dataset-identity contract the
+// serving handshake depends on: the content fingerprint of a built tree, the
+// same tree mmap'd back from a snapshot, the copying loader, and the
+// metadata-only inspect path (snapshot.ReadInfo) all agree — and a tree
+// built from different data hashes differently even at identical shape.
+func TestFingerprintStableAcrossSnapshot(t *testing.T) {
+	const dims = 3
+	built, _ := buildSnapshotTree(t, 5000, dims)
+	path := filepath.Join(t.TempDir(), "tree.pnds")
+	if err := built.WriteSnapshot(path); err != nil {
+		t.Fatal(err)
+	}
+
+	fp := built.Fingerprint()
+	if fp == 0 {
+		t.Fatal("fingerprint of a real tree is zero")
+	}
+	opened, err := OpenSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer opened.Close()
+	if got := opened.Fingerprint(); got != fp {
+		t.Fatalf("mmap'd fingerprint %016x != built %016x", got, fp)
+	}
+	read, err := ReadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := read.Fingerprint(); got != fp {
+		t.Fatalf("copied fingerprint %016x != built %016x", got, fp)
+	}
+	info, err := snapshot.ReadInfo(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Fingerprint != fp {
+		t.Fatalf("inspect fingerprint %016x != built %016x", info.Fingerprint, fp)
+	}
+
+	// Same shape, different content: a different seed must hash differently.
+	rng := rand.New(rand.NewSource(6))
+	coords := make([]float32, 5000*dims)
+	for i := range coords {
+		coords[i] = rng.Float32()
+	}
+	other, err := Build(coords, dims, nil, &BuildOptions{Threads: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.Fingerprint() == fp {
+		t.Fatal("distinct datasets of identical shape share a fingerprint")
 	}
 }
