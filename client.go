@@ -61,8 +61,26 @@ type Client struct {
 	nc      net.Conn // current connection; swapped by reconnect
 	closed  bool     // explicit Close: reconnect refuses to resurrect
 	nextID  uint64   // never reset, so ids stay unique across reconnects
+	rng     uint64   // trace-id generator state (xorshift64, lazily seeded)
 	pending map[uint64]chan clientResult
 	err     error // sticky per connection; cleared by a successful reconnect
+}
+
+// newTraceID returns a fresh nonzero trace id.
+func (c *Client) newTraceID() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.rng == 0 {
+			c.rng = uint64(time.Now().UnixNano()) | 1
+		}
+		c.rng ^= c.rng << 13
+		c.rng ^= c.rng >> 7
+		c.rng ^= c.rng << 17
+		if c.rng != 0 {
+			return c.rng
+		}
+	}
 }
 
 // clientResult is one decoded response handed to a waiter.
@@ -70,7 +88,28 @@ type clientResult struct {
 	flat    []Neighbor
 	offsets []int32
 	stats   *ServerStats
+	spans   []TraceSpan
 	err     error
+}
+
+// TraceSpan is one stage of a traced query's latency decomposition, as
+// recorded by a serving rank (see Client.KNNTraced). Start and Dur are
+// nanoseconds; Start is relative to the recording rank's own arrival stamp,
+// so spans from different ranks share a scale but not an epoch. A negative
+// Start marks the decode stage, which runs before the arrival stamp.
+type TraceSpan struct {
+	// Stage names the pipeline stage: "decode", "queue_wait", "linger",
+	// "engine", "remote_exchange", or "response_write".
+	Stage string
+	// Rank is the cluster rank that recorded the span (-1 on a single-node
+	// server). A traced query routed through the cluster carries spans from
+	// every rank that worked on it.
+	Rank int32
+	// Start is the stage's start offset in nanoseconds from the recording
+	// rank's arrival stamp.
+	Start int64
+	// Dur is the stage's duration in nanoseconds.
+	Dur int64
 }
 
 // ServerStats are the serving counters reported by a panda server (see
@@ -331,6 +370,12 @@ func (c *Client) readLoop(nc net.Conn) {
 			// Copy out of the decode scratch: the waiter owns its result.
 			res.flat = append([]Neighbor(nil), resp.Flat...)
 			res.offsets = append([]int32(nil), resp.Offsets...)
+			if len(resp.Spans) > 0 {
+				res.spans = make([]TraceSpan, len(resp.Spans))
+				for i, sp := range resp.Spans {
+					res.spans[i] = TraceSpan{Stage: proto.StageName(sp.Stage), Rank: sp.Rank, Start: sp.Start, Dur: sp.Dur}
+				}
+			}
 		}
 		ch <- res
 	}
@@ -404,6 +449,34 @@ func (c *Client) KNN(q []float32, k int) ([]Neighbor, error) {
 		return nil, err
 	}
 	return res.flat, nil
+}
+
+// KNNTraced is KNN with per-stage latency tracing: the server times each
+// pipeline stage the query passes through (queue wait, batching linger,
+// engine search, cluster remote exchange, response write) and returns the
+// spans alongside the neighbors. A query routed through a cluster carries
+// spans from every rank that worked on it, tagged with the recording rank.
+// The same trace is also captured in the server's /debug/traces ring.
+// Tracing adds a 10-byte trailer to the request and the span list to the
+// response; the result is otherwise identical to KNN.
+func (c *Client) KNNTraced(q []float32, k int) ([]Neighbor, []TraceSpan, error) {
+	if len(q) != c.id.Dims {
+		return nil, nil, fmt.Errorf("panda: query has %d coords, server tree has %d dims", len(q), c.id.Dims)
+	}
+	if !geom.AllFinite(q) {
+		return nil, nil, errNonFiniteQuery
+	}
+	if k < 1 || k > proto.MaxK {
+		return nil, nil, fmt.Errorf("panda: k %d out of range [1, %d]", k, proto.MaxK)
+	}
+	traceID := c.newTraceID()
+	res, err := c.callRetry(func(b []byte, id uint64) []byte {
+		return proto.AppendTraceRequest(proto.AppendKNNRequest(b, id, k, q, c.id.Dims), traceID)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.flat, res.spans, nil
 }
 
 // KNNBatch answers len(queries)/Dims row-major queries in one request;

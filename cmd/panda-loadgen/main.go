@@ -54,6 +54,7 @@ import (
 	"time"
 
 	"panda"
+	"panda/internal/proto"
 )
 
 func main() {
@@ -427,6 +428,16 @@ func run(addrList string, rate float64, rateList string, duration, warmup time.D
 				"panda_request_latency_seconds_count":             m["panda_request_latency_seconds_count"],
 				"panda_mean_batch_size":                           m["panda_mean_batch_size"],
 				`panda_request_latency_seconds_bucket{le="+Inf"}`: m[`panda_request_latency_seconds_bucket{le="+Inf"}`],
+			}
+			// The per-stage latency decomposition: count and summed seconds
+			// per pipeline stage, so the report shows where the scraped
+			// rank's request time went (every observed request observes all
+			// stages, so each count equals the end-to-end count).
+			for _, stage := range proto.StageNames {
+				for _, part := range []string{"count", "sum"} {
+					key := "panda_stage_latency_seconds_" + part + `{stage="` + stage + `"}`
+					res.Metrics[key] = m[key]
+				}
 			}
 			for _, tl := range tls {
 				if name := tl.clients[0].DatasetID().Name; name != "" {

@@ -40,9 +40,10 @@ func main() {
 		qseed   = flag.Int64("qseed", 7, "query generator seed")
 		wait    = flag.Duration("wait", 30*time.Second, "how long to retry connecting while the cluster starts")
 		stats   = flag.Bool("stats", false, "print each server's serving counters after the workload")
+		trace   = flag.Bool("trace", false, "after the workload, send one traced KNN query per rank and print its per-stage latency waterfall (cluster queries include spans from the remote ranks that worked on them)")
 	)
 	flag.Parse()
-	if err := run(splitAddrs(*addrs), *tenant, *dataset, *n, *seed, *check, *queries, *k, *qseed, *wait, *stats); err != nil {
+	if err := run(splitAddrs(*addrs), *tenant, *dataset, *n, *seed, *check, *queries, *k, *qseed, *wait, *stats, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "panda-query:", err)
 		os.Exit(1)
 	}
@@ -58,7 +59,7 @@ func splitAddrs(s string) []string {
 	return out
 }
 
-func run(addrs []string, tenant, dataset string, n int, seed uint64, check bool, queries, k int, qseed int64, wait time.Duration, stats bool) error {
+func run(addrs []string, tenant, dataset string, n int, seed uint64, check bool, queries, k int, qseed int64, wait time.Duration, stats, trace bool) error {
 	if len(addrs) == 0 {
 		return fmt.Errorf("-addrs needs at least one serving address")
 	}
@@ -204,7 +205,57 @@ func run(addrs []string, tenant, dataset string, n int, seed uint64, check bool,
 				st.PeerFailures, st.Failovers, st.Redials, st.ReplicationBytes, st.Shed)
 		}
 	}
+	if trace {
+		// One traced query per rank: the rank a query lands on decomposes its
+		// own pipeline, and — in a cluster — the ranks it forwarded to or
+		// exchanged candidates with report their own stage spans, tagged with
+		// their rank, inside the same trace.
+		rng := rand.New(rand.NewSource(qseed + 1<<32))
+		q := make([]float32, dims)
+		for i, c := range clients {
+			for d := range q {
+				q[d] = rng.Float32()
+			}
+			start := time.Now()
+			nbrs, spans, err := c.KNNTraced(q, k)
+			if err != nil {
+				return fmt.Errorf("traced query via %s: %w", addrs[i], err)
+			}
+			elapsed := time.Since(start)
+			log.Printf("traced KNN via %s: %d neighbors in %v, %d span(s)", addrs[i], len(nbrs), elapsed.Round(time.Microsecond), len(spans))
+			printWaterfall(spans)
+		}
+	}
 	return nil
+}
+
+// printWaterfall renders one traced query's spans as a per-stage waterfall,
+// grouped by the rank that recorded them (the landing rank's spans first,
+// then each remote rank's, in arrival order). Bars share one scale; span
+// start offsets are relative to each recording rank's own arrival, so bars
+// align within a rank but ranks have independent epochs.
+func printWaterfall(spans []panda.TraceSpan) {
+	var maxDur int64 = 1
+	for _, sp := range spans {
+		if sp.Dur > maxDur {
+			maxDur = sp.Dur
+		}
+	}
+	const barWidth = 24
+	lastRank := int32(-1 << 30)
+	for _, sp := range spans {
+		if sp.Rank != lastRank {
+			if sp.Rank < 0 {
+				fmt.Println("  server:")
+			} else {
+				fmt.Printf("  rank %d:\n", sp.Rank)
+			}
+			lastRank = sp.Rank
+		}
+		n := int(sp.Dur * barWidth / maxDur)
+		fmt.Printf("    %-15s %10v  %s\n", sp.Stage,
+			time.Duration(sp.Dur).Round(time.Microsecond), strings.Repeat("█", n))
+	}
 }
 
 func same(a, b []panda.Neighbor) bool {

@@ -89,6 +89,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -122,6 +123,9 @@ func main() {
 
 		maxInflight = flag.Int("max-inflight", 0, "admission limit: max queries admitted but unanswered before new requests are shed with an overload error (0 = unbounded)")
 		metricsAddr = flag.String("metrics", "", "HTTP listen address for the Prometheus /metrics endpoint (empty = disabled)")
+		traceSample = flag.Float64("trace-sample", 0, "fraction of queries to trace server-side into the /debug/traces ring (0 = only client-requested and slow queries)")
+		slowQuery   = flag.Duration("slow-query", 0, "capture every query at or over this end-to-end latency into /debug/traces, regardless of sampling (0 = disabled)")
+		debugPprof  = flag.Bool("debug", false, "also serve net/http/pprof profiles under /debug/pprof/ on the -metrics listener")
 
 		snapDir = flag.String("snapshot-dir", "", "serve every .pnds file in this directory as a tenant named after its base name (single-node mode)")
 		snapOut = flag.String("save-snapshot", "", "write a PNDS snapshot file after building (cluster mode: snapshot directory)")
@@ -148,11 +152,11 @@ func main() {
 		} else {
 			err = runCluster(*in, *dataset, *n, *dims, *seed, *bucket, *threads, *batch, *linger, *grace,
 				snapIn, *snapOut, *rank, splitAddrs(*mesh), splitAddrs(*serveAddrs), *replication, *join, *joinWait, *drain,
-				*maxInflight, *metricsAddr)
+				*maxInflight, *metricsAddr, *traceSample, *slowQuery, *debugPprof)
 		}
 	} else {
 		err = run(*in, *dataset, *n, *dims, *seed, *bucket, *threads, *addr, *batch, *linger, *grace, snaps, *snapDir, *snapOut,
-			*maxInflight, *metricsAddr)
+			*maxInflight, *metricsAddr, *traceSample, *slowQuery, *debugPprof)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "panda-serve:", err)
@@ -334,12 +338,13 @@ func tenantList(snaps snapshotFlag, snapDir string) ([]tenantSnap, error) {
 	return tenants, nil
 }
 
-func run(in, dataset string, n, dims int, seed uint64, bucket, threads int, addr string, batch int, linger, grace time.Duration, snaps snapshotFlag, snapDir, snapOut string, maxInflight int, metricsAddr string) error {
+func run(in, dataset string, n, dims int, seed uint64, bucket, threads int, addr string, batch int, linger, grace time.Duration, snaps snapshotFlag, snapDir, snapOut string, maxInflight int, metricsAddr string, traceSample float64, slowQuery time.Duration, debugPprof bool) error {
 	tenants, err := tenantList(snaps, snapDir)
 	if err != nil {
 		return err
 	}
-	cfg := server.Config{MaxBatch: batch, MaxLinger: linger, MaxInFlight: maxInflight}
+	cfg := server.Config{MaxBatch: batch, MaxLinger: linger, MaxInFlight: maxInflight,
+		TraceSample: traceSample, SlowQuery: slowQuery}
 
 	var srv *server.Server
 	if len(tenants) > 0 && (len(tenants) > 1 || tenants[0].name != proto.DefaultDataset) {
@@ -382,7 +387,8 @@ func run(in, dataset string, n, dims int, seed uint64, bucket, threads int, addr
 		srv = server.New(tree, cfg)
 	}
 
-	if err := startMetrics(srv, metricsAddr); err != nil {
+	stopMetrics, err := startMetrics(srv, metricsAddr, debugPprof)
+	if err != nil {
 		return err
 	}
 	ln, err := net.Listen("tcp", addr)
@@ -390,26 +396,49 @@ func run(in, dataset string, n, dims int, seed uint64, bucket, threads int, addr
 		return err
 	}
 	log.Printf("serving on %s (batch=%d linger=%v max-inflight=%d)", ln.Addr(), batch, linger, maxInflight)
-	return serveUntilSignal(srv, ln, grace, false)
+	return serveUntilSignal(srv, ln, grace, false, stopMetrics)
 }
 
-// startMetrics exposes srv's Prometheus endpoint at /metrics on its own
-// HTTP listener (kept off the query port: the query protocol is not HTTP,
-// and scrapes must not compete with the intake for accepts). Disabled when
-// addr is empty.
-func startMetrics(srv *server.Server, addr string) error {
+// startMetrics exposes srv's HTTP introspection surface on its own listener
+// (kept off the query port: the query protocol is not HTTP, and scrapes must
+// not compete with the intake for accepts): the Prometheus /metrics
+// endpoint, the /debug/traces capture ring, and — only when debugPprof —
+// the net/http/pprof profile handlers. Disabled when addr is empty; the
+// returned stop function shuts the HTTP server down cleanly.
+func startMetrics(srv *server.Server, addr string, debugPprof bool) (func(context.Context) error, error) {
 	if addr == "" {
-		return nil
+		return func(context.Context) error { return nil }, nil
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return fmt.Errorf("metrics listener: %w", err)
+		return nil, fmt.Errorf("metrics listener: %w", err)
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", srv.MetricsHandler())
-	go http.Serve(ln, mux)
-	log.Printf("metrics on http://%s/metrics", ln.Addr())
-	return nil
+	mux.Handle("/debug/traces", srv.TracesHandler())
+	if debugPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	hs := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go func() {
+		if err := hs.Serve(ln); err != nil && err != http.ErrServerClosed {
+			log.Printf("metrics server: %v", err)
+		}
+	}()
+	if debugPprof {
+		log.Printf("metrics on http://%s/metrics (traces at /debug/traces, pprof at /debug/pprof/)", ln.Addr())
+	} else {
+		log.Printf("metrics on http://%s/metrics (traces at /debug/traces)", ln.Addr())
+	}
+	return hs.Shutdown, nil
 }
 
 // runCluster serves one rank of the sharded cluster: either the cold path
@@ -418,7 +447,7 @@ func startMetrics(srv *server.Server, addr string) error {
 // file, no mesh at all), then serve external clients on serveAddrs[rank].
 func runCluster(in, dataset string, n, dims int, seed uint64, bucket, threads, batch int, linger, grace time.Duration,
 	snapIn, snapOut string, rank int, mesh, serveAddrs []string, replication int, join bool, joinWait time.Duration, drain bool,
-	maxInflight int, metricsAddr string) error {
+	maxInflight int, metricsAddr string, traceSample float64, slowQuery time.Duration, debugPprof bool) error {
 	if rank < 0 || rank >= len(serveAddrs) {
 		return fmt.Errorf("-rank %d out of range for %d serve addresses", rank, len(serveAddrs))
 	}
@@ -437,7 +466,8 @@ func runCluster(in, dataset string, n, dims int, seed uint64, bucket, threads, b
 	var dt *panda.DistTree
 	var total int64
 	ccfg := server.ClusterConfig{
-		Config:     server.Config{MaxBatch: batch, MaxLinger: linger, MaxInFlight: maxInflight},
+		Config: server.Config{MaxBatch: batch, MaxLinger: linger, MaxInFlight: maxInflight,
+			TraceSample: traceSample, SlowQuery: slowQuery},
 		ServeAddrs: serveAddrs,
 	}
 	if snapIn != "" {
@@ -538,7 +568,8 @@ func runCluster(in, dataset string, n, dims int, seed uint64, bucket, threads, b
 	if err != nil {
 		return err
 	}
-	if err := startMetrics(srv, metricsAddr); err != nil {
+	stopMetrics, err := startMetrics(srv, metricsAddr, debugPprof)
+	if err != nil {
 		return err
 	}
 	ln, err := net.Listen("tcp", serveAddrs[rank])
@@ -546,7 +577,7 @@ func runCluster(in, dataset string, n, dims int, seed uint64, bucket, threads, b
 		return err
 	}
 	log.Printf("rank %d: serving on %s (batch=%d linger=%v max-inflight=%d)", rank, ln.Addr(), batch, linger, maxInflight)
-	return serveUntilSignal(srv, ln, grace, drain)
+	return serveUntilSignal(srv, ln, grace, drain, stopMetrics)
 }
 
 // serveUntilSignal serves until SIGINT/SIGTERM, then drains gracefully and
@@ -556,7 +587,7 @@ func runCluster(in, dataset string, n, dims int, seed uint64, bucket, threads, b
 // KindError rather than blocking shutdown. With handoff (-drain) the rank
 // first waits — up to the grace budget — until every shard it serves has
 // another live holder, so its departure costs the cluster nothing.
-func serveUntilSignal(srv *server.Server, ln net.Listener, grace time.Duration, drain bool) error {
+func serveUntilSignal(srv *server.Server, ln net.Listener, grace time.Duration, drain bool, stopMetrics func(context.Context) error) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	serveErr := make(chan error, 1)
@@ -594,7 +625,42 @@ func serveUntilSignal(srv *server.Server, ln net.Listener, grace time.Duration, 
 			log.Printf("robustness: %d peer failures, %d failovers, %d redials, %d replication bytes served, %d requests shed",
 				st.PeerFailures, st.Failovers, st.Redials, st.ReplicationBytes, st.Shed)
 		}
+		logTraces(srv)
+		if err := stopMetrics(ctx); err != nil {
+			log.Printf("metrics shutdown: %v", err)
+		}
 		log.Printf("drained; bye")
 		return nil
+	}
+}
+
+// logTraces writes the server's captured traces (sampled and slow queries)
+// to the log on drain, one line each, most recent first — so a process
+// killed during an investigation leaves its evidence in the log even if
+// nobody scraped /debug/traces in time.
+func logTraces(srv *server.Server) {
+	traces := srv.Traces()
+	const logCap = 32
+	if len(traces) > logCap {
+		log.Printf("traces: logging %d most recent of %d captured", logCap, len(traces))
+		traces = traces[:logCap]
+	}
+	for _, tr := range traces {
+		var stages strings.Builder
+		for _, sp := range tr.Spans {
+			if stages.Len() > 0 {
+				stages.WriteByte(' ')
+			}
+			fmt.Fprintf(&stages, "%s@%d=%v", sp.Stage, sp.Rank, time.Duration(sp.Dur).Round(time.Microsecond))
+		}
+		flags := ""
+		if tr.Slow {
+			flags = " slow"
+		}
+		if tr.Err != "" {
+			flags += " err=" + tr.Err
+		}
+		log.Printf("trace %016x %s nq=%d k=%d e2e=%v%s [%s]",
+			tr.ID, tr.Kind, tr.NQ, tr.K, time.Duration(tr.E2ENS).Round(time.Microsecond), flags, stages.String())
 	}
 }

@@ -103,6 +103,9 @@ func FuzzConsumeRequest(f *testing.F) {
 	f.Add(AppendShardRemoteKNNRequest(nil, 9, 1, 5, 0.25, []float32{1, 2, 3}), 3)
 	f.Add(AppendShardRadiusRequest(nil, 10, 3, 0.5, []float32{1, 2}), 2)
 	f.Add(AppendFetchSectionRequest(nil, 11, 0, 4096, 65536), 2)
+	f.Add(AppendTraceRequest(AppendKNNRequest(nil, 12, 5, []float32{1, 2, 3}, 3), 0xDEAD), 3)
+	f.Add(AppendTraceRequest(AppendRadiusRequest(nil, 13, 0.5, []float32{1, 2}), 7), 2)
+	f.Add(AppendTraceRequest(AppendShardRemoteKNNRequest(nil, 14, 1, 5, 0.25, []float32{1, 2, 3}), ^uint64(0)), 3)
 	f.Add([]byte{1, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}, 1)
 	f.Add([]byte{}, 1)
 	f.Fuzz(func(t *testing.T, payload []byte, dims int) {
@@ -146,6 +149,9 @@ func FuzzConsumeRequest(f *testing.F) {
 		default:
 			t.Fatalf("accepted unknown kind %d", req.Kind)
 		}
+		if req.Traced && !TraceableKind(req.Kind) {
+			t.Fatalf("accepted trace trailer on untraceable kind %d", req.Kind)
+		}
 		// ...and re-encode to exactly the bytes that were decoded.
 		var out []byte
 		switch req.Kind {
@@ -170,6 +176,9 @@ func FuzzConsumeRequest(f *testing.F) {
 		case KindFetchSection:
 			out = AppendFetchSectionRequest(nil, req.ID, req.Shard, req.FetchOff, req.FetchLen)
 		}
+		if req.Traced {
+			out = AppendTraceRequest(out, req.TraceID)
+		}
 		if string(out) != string(payload) {
 			t.Fatalf("reencode mismatch:\n got %x\nwant %x", out, payload)
 		}
@@ -184,6 +193,9 @@ func FuzzConsumeResponse(f *testing.F) {
 	f.Add(AppendStatsResponse(nil, 4, StatsBody{Queries: 100, Batches: 10, ActiveConns: 3, Failovers: 2}))
 	f.Add(AppendPongResponse(nil, 5))
 	f.Add(AppendSectionDataResponse(nil, 6, 1, 4096, 1<<20, 0xABCD, []byte{1, 2, 3}))
+	f.Add(AppendTraceSpans(
+		AppendNeighborsResponse(nil, 7, []int32{0, 1}, []kdtree.Neighbor{{ID: 1, Dist2: 2}}),
+		0xBEEF, []TraceSpan{{Stage: StageEngine, Rank: 2, Start: 100, Dur: 5000}, {Stage: StageRemoteExchange, Rank: 0, Start: -30, Dur: 9000}}))
 	f.Add([]byte{3, 0, 0, 0, 0, 0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF})
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		var resp Response
@@ -201,6 +213,19 @@ func FuzzConsumeResponse(f *testing.F) {
 			}
 			if int(resp.Offsets[len(resp.Offsets)-1]) != len(resp.Flat) {
 				t.Fatalf("offsets end %d != %d neighbors", resp.Offsets[len(resp.Offsets)-1], len(resp.Flat))
+			}
+		}
+		if len(resp.Spans) > 0 {
+			if resp.Kind != KindNeighbors {
+				t.Fatalf("accepted trace spans on kind %d", resp.Kind)
+			}
+			if len(resp.Spans) > MaxTraceSpans {
+				t.Fatalf("accepted %d spans over the %d cap", len(resp.Spans), MaxTraceSpans)
+			}
+			for _, sp := range resp.Spans {
+				if sp.Stage >= NumStages {
+					t.Fatalf("accepted unknown stage %d", sp.Stage)
+				}
 			}
 		}
 		if resp.Kind == KindSectionData {

@@ -65,6 +65,12 @@
 //	KindFetchSection:   shard uint32 | off uint64 | maxLen uint32
 //	KindSectionData:    shard uint32 | off uint64 | fileSize uint64 | crc32c uint32 | data uint32-length-prefixed
 //
+// A query-kind request (see TraceableKind) may carry a 10-byte trace
+// trailer after its body — marker 'T', a flags byte, and a trace id — and a
+// KindNeighbors response answering a traced request appends marker 'T', the
+// trace id, a span count, and that many stage spans. Untraced frames carry
+// no trailer and are byte-identical to pre-trace encodings.
+//
 // Request ids are client-chosen and may be pipelined: the server answers
 // every request exactly once but in any order, so a client can keep many
 // requests in flight on one connection and match responses by id.
@@ -170,6 +176,105 @@ func AppendOverloadedResponse(b []byte, id uint64) []byte {
 
 // maxErrorLen caps an error-message body.
 const maxErrorLen = 4096
+
+// Trace stages: the per-request latency decomposition mirroring the paper's
+// phase breakdown on the serving side. Every observed request reports all
+// stages (unused ones as zero), so per-stage histogram counts equal the
+// end-to-end count exactly.
+const (
+	StageDecode         uint8 = iota // frame read + request decode, before arrival
+	StageQueueWait                   // arrival → dequeue by the dispatcher or router
+	StageLinger                      // dequeue → batch close (micro-batch coalescing)
+	StageEngine                      // local tree compute (KNN/radius kernels)
+	StageRemoteExchange              // cluster forwarding + remote-candidate exchange
+	StageResponseWrite               // response encode + conn write
+	NumStages
+)
+
+// StageNames maps a stage constant to its exposition label value.
+var StageNames = [NumStages]string{
+	"decode", "queue_wait", "linger", "engine", "remote_exchange", "response_write",
+}
+
+// StageName returns the label for a stage, or "unknown" for an
+// out-of-range value.
+func StageName(s uint8) string {
+	if s < NumStages {
+		return StageNames[s]
+	}
+	return "unknown"
+}
+
+// TraceSpan is one stage interval recorded by one rank. Start is the
+// nanosecond offset relative to the *recording* rank's own arrival stamp for
+// the request it served — offsets are comparable within a rank but not
+// across ranks (no clock synchronization is assumed; StageDecode starts
+// negative because decoding precedes arrival).
+type TraceSpan struct {
+	Stage uint8
+	Rank  int32 // recording rank (-1 on a single-node server)
+	Start int64 // ns since the recording rank's arrival stamp
+	Dur   int64 // ns
+}
+
+// Trace trailer wire format. A traced request appends exactly
+// TraceTrailerLen bytes — marker 'T', a flags byte (only the sampled bit is
+// defined; any other value is malformed), and the trace id — after its
+// normal body. Because every request kind otherwise rejects trailing bytes,
+// the trailer is unambiguous, and untraced frames stay byte-identical to
+// pre-trace encodings. A KindNeighbors response carries spans back only when
+// the request carried the trailer, so clients that never trace never see
+// trailer bytes.
+const (
+	TraceTrailerLen  = 1 + 1 + 8 // marker + flags + trace id
+	traceMarker      = byte('T')
+	traceFlagSampled = byte(1)
+	traceSpanLen     = 1 + 4 + 8 + 8 // stage + rank + start + dur
+)
+
+// MaxTraceSpans caps the spans one response trailer may carry: enough for
+// every stage of every hop of a deeply-routed query, small enough that a
+// hostile trailer cannot force a meaningful allocation.
+const MaxTraceSpans = 256
+
+// TraceableKind reports whether a request kind may carry a trace trailer:
+// the query kinds that flow through the dispatcher or router. Stats, ping,
+// and section streaming are never traced.
+func TraceableKind(kind uint8) bool {
+	switch kind {
+	case KindKNN, KindRadius, KindRemoteKNN, KindRemoteRadius,
+		KindShardKNN, KindShardRemoteKNN, KindShardRadius:
+		return true
+	}
+	return false
+}
+
+// AppendTraceRequest appends the request trace trailer to an encoded
+// request of a traceable kind. Call it after the Append*Request call, inside
+// the same frame.
+func AppendTraceRequest(b []byte, traceID uint64) []byte {
+	b = append(b, traceMarker, traceFlagSampled)
+	return wire.AppendUint64(b, traceID)
+}
+
+// AppendTraceSpans appends the response trace trailer — marker, trace id,
+// span count, spans — to an encoded KindNeighbors response. Spans beyond
+// MaxTraceSpans are dropped (the earliest-recorded spans win).
+func AppendTraceSpans(b []byte, traceID uint64, spans []TraceSpan) []byte {
+	if len(spans) > MaxTraceSpans {
+		spans = spans[:MaxTraceSpans]
+	}
+	b = append(b, traceMarker)
+	b = wire.AppendUint64(b, traceID)
+	b = wire.AppendUint32(b, uint32(len(spans)))
+	for _, sp := range spans {
+		b = append(b, sp.Stage)
+		b = wire.AppendUint32(b, uint32(sp.Rank))
+		b = wire.AppendUint64(b, uint64(sp.Start))
+		b = wire.AppendUint64(b, uint64(sp.Dur))
+	}
+	return b
+}
 
 // DefaultDataset is the tenant name a server registers its first (or only)
 // tree under; a hello with an empty dataset name binds to it.
@@ -438,6 +543,9 @@ type Request struct {
 	Shard    int    // shard kinds, KindFetchSection: which shard's tree/file
 	FetchOff uint64 // KindFetchSection: byte offset into the shard's snapshot file
 	FetchLen int    // KindFetchSection: max chunk bytes to return (≤ MaxSectionChunk)
+	// Trace trailer (TraceableKind requests only).
+	TraceID uint64 // trace id carried by the trailer (0 when untraced)
+	Traced  bool   // request carried a trace trailer
 }
 
 // MaxK caps the requested neighbor count per query.
@@ -629,6 +737,8 @@ func ConsumeRequest(payload []byte, dims int, req *Request) error {
 	req.ID = d.Uint64()
 	req.Coords = req.Coords[:0]
 	req.Shard, req.FetchOff, req.FetchLen = 0, 0, 0
+	req.K = 0 // kinds that carry no k (radius) must not inherit one
+	req.TraceID, req.Traced = 0, false
 	switch req.Kind {
 	case KindKNN, KindShardKNN:
 		if req.Kind == KindShardKNN {
@@ -705,6 +815,16 @@ func ConsumeRequest(payload []byte, dims int, req *Request) error {
 		}
 		return fmt.Errorf("%w: unknown request kind %d", ErrMalformed, req.Kind)
 	}
+	// A traceable request may carry exactly one trace trailer after its
+	// body; anything else trailing is malformed as before.
+	if TraceableKind(req.Kind) && d.Remaining() == TraceTrailerLen {
+		marker, flags := d.Uint8(), d.Uint8()
+		req.TraceID = d.Uint64()
+		if marker != traceMarker || flags != traceFlagSampled {
+			return fmt.Errorf("%w: bad trace trailer marker 0x%02x flags 0x%02x", ErrMalformed, marker, flags)
+		}
+		req.Traced = true
+	}
 	if d.Remaining() != 0 {
 		return fmt.Errorf("%w: %d trailing bytes after request", ErrMalformed, d.Remaining())
 	}
@@ -760,6 +880,9 @@ type Response struct {
 	FileSize uint64 // total snapshot file size, repeated on every chunk
 	ChunkCRC uint32 // crc32c of Data
 	Data     []byte // chunk bytes — a view into the payload, not a copy
+	// Trace trailer (KindNeighbors answering a traced request only).
+	TraceID uint64
+	Spans   []TraceSpan // reused across decodes
 }
 
 // ConsumeResponse decodes a response payload into resp, reusing its slices.
@@ -772,6 +895,8 @@ func ConsumeResponse(payload []byte, resp *Response) error {
 	resp.Flat = resp.Flat[:0]
 	resp.Stats = StatsBody{}
 	resp.Shard, resp.FetchOff, resp.FileSize, resp.ChunkCRC, resp.Data = 0, 0, 0, 0, nil
+	resp.TraceID = 0
+	resp.Spans = resp.Spans[:0]
 	switch resp.Kind {
 	case KindNeighbors:
 		nq := d.Len(4, MaxFrame/4)
@@ -799,6 +924,38 @@ func ConsumeResponse(payload []byte, resp *Response) error {
 			id := int64(leUint64(raw[12*i:]))
 			d2 := f32frombits(leUint32(raw[12*i+8:]))
 			resp.Flat = append(resp.Flat, kdtree.Neighbor{ID: id, Dist2: d2})
+		}
+		// A neighbors response for a traced request carries a span trailer;
+		// untraced responses end exactly at the last pair.
+		if d.Remaining() > 0 {
+			marker := d.Uint8()
+			resp.TraceID = d.Uint64()
+			n := int(d.Uint32())
+			if err := d.Err(); err != nil {
+				return fmt.Errorf("proto: truncated trace trailer: %w", err)
+			}
+			if marker != traceMarker {
+				return fmt.Errorf("proto: bad trace trailer marker 0x%02x", marker)
+			}
+			if n < 0 || n > MaxTraceSpans {
+				return fmt.Errorf("proto: trace trailer claims %d spans, cap is %d", n, MaxTraceSpans)
+			}
+			raw := d.Bytes(traceSpanLen * n)
+			if err := d.Err(); err != nil {
+				return fmt.Errorf("proto: truncated trace spans: %w", err)
+			}
+			for i := 0; i < n; i++ {
+				sp := TraceSpan{
+					Stage: raw[traceSpanLen*i],
+					Rank:  int32(leUint32(raw[traceSpanLen*i+1:])),
+					Start: int64(leUint64(raw[traceSpanLen*i+5:])),
+					Dur:   int64(leUint64(raw[traceSpanLen*i+13:])),
+				}
+				if sp.Stage >= NumStages {
+					return fmt.Errorf("proto: trace span with unknown stage %d", sp.Stage)
+				}
+				resp.Spans = append(resp.Spans, sp)
+			}
 		}
 	case KindError:
 		n := d.Len(1, maxErrorLen)

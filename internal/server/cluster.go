@@ -194,6 +194,7 @@ func NewCluster(shard Shard, cfg ClusterConfig) (*Server, error) {
 		s.def.id.Fingerprint = 0
 	}
 	rank := shard.Rank()
+	s.rank = int32(rank) // label this rank's trace spans
 	rt := &router{
 		s:           s,
 		shard:       shard,
@@ -299,14 +300,11 @@ func (rt *router) liveHolders(s int, out []int) []int {
 }
 
 // route answers one external request. It owns p and returns it to the pool.
+// Observation happens inside the handlers (writeNeighbors/writeError →
+// finish), while p is still alive, so the stage decomposition and trace
+// capture see the request's stamps and trail accumulators.
 func (rt *router) route(p *pending) {
-	if !p.arrived.IsZero() {
-		// Observe after the handler has written its response (p itself is
-		// back in the pool by then, so capture what the histogram needs).
-		defer func(eng *engine, kind uint8, arrived time.Time) {
-			rt.s.observeLatency(eng, kind, time.Since(arrived))
-		}(p.eng, p.req.Kind, p.arrived)
-	}
+	p.dequeued = time.Now() // queue-wait ends: the router picked it up
 	switch p.req.Kind {
 	case proto.KindKNN:
 		rt.routeKNN(p)
@@ -322,9 +320,11 @@ func (rt *router) route(p *pending) {
 }
 
 // localStage runs one request through this rank's micro-batching dispatcher
-// and returns copies of the results (the dispatcher's arenas are reused).
-// Returned offsets are 0-based.
-func (rt *router) localStage(kind uint8, k, nq int, r2 float32, coords []float32) ([]panda.Neighbor, []int32, error) {
+// and returns copies of the results (the dispatcher's arenas are reused)
+// plus the dispatcher-side stage breakdown (intake wait, linger, engine) so
+// the routed request can attribute its owner-local time to the right
+// stages. Returned offsets are 0-based.
+func (rt *router) localStage(kind uint8, k, nq int, r2 float32, coords []float32) ([]panda.Neighbor, []int32, stageBreakdown, error) {
 	s := rt.s
 	lp := s.getPending()
 	lp.eng = s.def // cluster ranks serve one dataset: the default tenant
@@ -337,9 +337,11 @@ func (rt *router) localStage(kind uint8, k, nq int, r2 float32, coords []float32
 	type localOut struct {
 		flat []panda.Neighbor
 		offs []int32
+		bd   stageBreakdown
 		err  error
 	}
 	ch := make(chan localOut, 1)
+	var enq time.Time
 	lp.done = func(flat []panda.Neighbor, offsets []int32, err error) {
 		out := localOut{err: err}
 		if err == nil {
@@ -349,11 +351,23 @@ func (rt *router) localStage(kind uint8, k, nq int, r2 float32, coords []float32
 				out.offs[i] = o - offsets[0] // normalize arena-absolute offsets
 			}
 		}
+		// The dispatcher stamped lp on its way through; it still owns lp
+		// here (done runs before the pending is recycled).
+		if !lp.dequeued.IsZero() {
+			out.bd.queue = lp.dequeued.Sub(enq)
+			if !lp.batched.IsZero() {
+				out.bd.linger = lp.batched.Sub(lp.dequeued)
+				if !lp.engined.IsZero() {
+					out.bd.engine = lp.engined.Sub(lp.batched)
+				}
+			}
+		}
 		ch <- out
 	}
+	enq = time.Now()
 	s.intake <- lp
 	out := <-ch
-	return out.flat, out.offs, out.err
+	return out.flat, out.offs, out.bd, out.err
 }
 
 // routeKNN answers one KNN request (possibly a batch whose queries have
@@ -363,8 +377,6 @@ func (rt *router) localStage(kind uint8, k, nq int, r2 float32, coords []float32
 func (rt *router) routeKNN(p *pending) {
 	s := rt.s
 	defer s.putPending(p)
-	c := p.c
-	id := p.req.ID
 	k := p.req.K
 	nq := p.req.NQ
 	dims := rt.shard.Dims()
@@ -396,22 +408,25 @@ func (rt *router) routeKNN(p *pending) {
 		wg.Add(1)
 		go func(o int, idx []int) {
 			defer wg.Done()
-			rt.serveShardGroup(o, coords, idx, k, dims, res, fail)
+			rt.serveShardGroup(p, o, coords, idx, k, dims, res, fail)
 		}(o, idx)
 	}
 	wg.Wait()
 	if firstErr != nil {
-		rt.writeError(c, id, firstErr)
+		rt.writeError(p, firstErr)
 		return
 	}
-	rt.writeNeighbors(c, id, res)
+	rt.writeNeighbors(p, res)
 }
 
 // serveShardGroup answers one owner shard's queries at the shard's first
 // live holder, walking the replica chain on failures. A non-primary answer
 // counts as a failover; answers are bit-identical either way (replicas open
-// the same snapshot bytes).
-func (rt *router) serveShardGroup(o int, coords []float32, idx []int, k, dims int, res [][]panda.Neighbor, fail func(error)) {
+// the same snapshot bytes). Forwarding is charged to the remote-exchange
+// stage of p — from this rank's vantage the whole owner pipeline ran on the
+// other side of a peer round-trip (the forwarded rank's own decomposition
+// comes back as trace spans when p is traced).
+func (rt *router) serveShardGroup(p *pending, o int, coords []float32, idx []int, k, dims int, res [][]panda.Neighbor, fail func(error)) {
 	holders := rt.liveHolders(o, nil)
 	if len(holders) == 0 {
 		fail(fmt.Errorf("shard %d: no live holder", o))
@@ -423,7 +438,7 @@ func (rt *router) serveShardGroup(o int, coords []float32, idx []int, k, dims in
 	for _, h := range holders {
 		if h == rt.rank {
 			// Serve here, from the owner tree or this rank's replica copy.
-			if rt.ownedShardKNN(o, coords, idx, k, dims, res, fail) && rt.rank != primary {
+			if rt.ownedShardKNN(p, o, coords, idx, k, dims, res, fail) && rt.rank != primary {
 				rt.s.statFailovers.Add(1)
 			}
 			return
@@ -434,11 +449,13 @@ func (rt *router) serveShardGroup(o int, coords []float32, idx []int, k, dims in
 		var flat []panda.Neighbor
 		var offs []int32
 		var err error
+		legStart := time.Now()
 		if h == o {
-			flat, offs, err = rt.peers[h].forwardKNN(fwd, k, dims)
+			flat, offs, err = rt.peers[h].forwardKNN(fwd, k, dims, p.trace)
 		} else {
-			flat, offs, err = rt.peers[h].forwardShardKNN(o, fwd, k, dims)
+			flat, offs, err = rt.peers[h].forwardShardKNN(o, fwd, k, dims, p.trace)
 		}
+		p.trailExchange.Add(int64(time.Since(legStart)))
 		if err != nil {
 			lastErr = fmt.Errorf("forward shard %d to rank %d: %w", o, h, err)
 			if isTransportErr(err) {
@@ -479,20 +496,24 @@ const maxExchangeWorkers = 16
 // (steps 3–5) per query whose r'-ball crosses shard boundaries — exchanges
 // for different queries are independent round-trips and run concurrently.
 // Reports whether every query was answered (false after a fail call).
-func (rt *router) ownedShardKNN(o int, coords []float32, idx []int, k, dims int, res [][]panda.Neighbor, fail func(error)) bool {
+func (rt *router) ownedShardKNN(p *pending, o int, coords []float32, idx []int, k, dims int, res [][]panda.Neighbor, fail func(error)) bool {
 	packed := gatherCoords(coords, idx, dims)
 	var lflat []panda.Neighbor
 	var loffs []int32
 	var err error
 	if o == rt.rank {
-		lflat, loffs, err = rt.localStage(proto.KindKNN, k, len(idx), 0, packed)
+		var bd stageBreakdown
+		lflat, loffs, bd, err = rt.localStage(proto.KindKNN, k, len(idx), 0, packed)
+		p.addBreakdown(bd)
 	} else {
 		tree := rt.replicas.get(o)
 		if tree == nil {
 			fail(fmt.Errorf("shard %d not held on rank %d", o, rt.rank))
 			return false
 		}
+		engStart := time.Now()
 		lflat, loffs, err = tree.KNNBatchFlatInto(packed, k, nil, nil)
+		p.trailEngine.Add(int64(time.Since(engStart)))
 		if err == nil && len(loffs) > 0 && loffs[0] != 0 {
 			base := loffs[0]
 			for i := range loffs {
@@ -544,7 +565,9 @@ func (rt *router) ownedShardKNN(o int, coords []float32, idx []int, k, dims int,
 					res[qi] = nbrs
 					continue
 				}
-				merged, err := rt.exchange(q, k, r2, nbrs, targets)
+				exStart := time.Now()
+				merged, err := rt.exchange(q, k, r2, nbrs, targets, p.trace)
+				p.trailExchange.Add(int64(time.Since(exStart)))
 				if err != nil {
 					fail(err)
 					answered.Store(false)
@@ -561,7 +584,7 @@ func (rt *router) ownedShardKNN(o int, coords []float32, idx []int, k, dims int,
 // exchange performs §III-B steps 4–5 for one owned query: bounded remote
 // candidate searches on every target shard (each at its first live holder),
 // then the same top-k merge the SPMD engine performs.
-func (rt *router) exchange(q []float32, k int, r2 float32, local []panda.Neighbor, targets []int) ([]panda.Neighbor, error) {
+func (rt *router) exchange(q []float32, k int, r2 float32, local []panda.Neighbor, targets []int, tc *traceCtx) ([]panda.Neighbor, error) {
 	type remoteOut struct {
 		nbrs []panda.Neighbor
 		err  error
@@ -572,7 +595,7 @@ func (rt *router) exchange(q []float32, k int, r2 float32, local []panda.Neighbo
 		wg.Add(1)
 		go func(ti, t int) {
 			defer wg.Done()
-			nbrs, err := rt.shardCandidates(t, q, k, r2)
+			nbrs, err := rt.shardCandidates(t, q, k, r2, tc)
 			outs[ti] = remoteOut{nbrs: nbrs, err: err}
 		}(ti, t)
 	}
@@ -601,7 +624,7 @@ func (rt *router) exchange(q []float32, k int, r2 float32, local []panda.Neighbo
 // of q) from its first live holder: a local copy when this rank holds one,
 // the shard's own rank via KindRemoteKNN, a replica holder via
 // KindShardRemoteKNN.
-func (rt *router) shardCandidates(t int, q []float32, k int, r2 float32) ([]panda.Neighbor, error) {
+func (rt *router) shardCandidates(t int, q []float32, k int, r2 float32, tc *traceCtx) ([]panda.Neighbor, error) {
 	holders := rt.liveHolders(t, nil)
 	if len(holders) == 0 {
 		return nil, fmt.Errorf("no live holder")
@@ -615,9 +638,9 @@ func (rt *router) shardCandidates(t int, q []float32, k int, r2 float32) ([]pand
 		case h == rt.rank:
 			nbrs = rt.shardTree(t).KNNBoundedInto(q, k, r2, nil)
 		case h == t:
-			nbrs, err = rt.peers[h].remoteKNN(q, k, r2)
+			nbrs, err = rt.peers[h].remoteKNN(q, k, r2, tc)
 		default:
-			nbrs, err = rt.peers[h].shardRemoteKNN(t, q, k, r2)
+			nbrs, err = rt.peers[h].shardRemoteKNN(t, q, k, r2, tc)
 		}
 		if err != nil {
 			lastErr = err
@@ -639,8 +662,10 @@ func (rt *router) shardCandidates(t int, q []float32, k int, r2 float32) ([]pand
 }
 
 // shardRadiusAt fetches shard t's points within r2 of q from its first live
-// holder, mirroring shardCandidates.
-func (rt *router) shardRadiusAt(t int, q []float32, r2 float32) ([]panda.Neighbor, error) {
+// holder, mirroring shardCandidates. Each leg charges p's stage trail:
+// dispatcher legs split into queue/linger/engine, local replica scans count
+// as engine, peer round-trips as remote exchange.
+func (rt *router) shardRadiusAt(p *pending, t int, q []float32, r2 float32) ([]panda.Neighbor, error) {
 	holders := rt.liveHolders(t, nil)
 	if len(holders) == 0 {
 		return nil, fmt.Errorf("no live holder")
@@ -653,13 +678,21 @@ func (rt *router) shardRadiusAt(t int, q []float32, r2 float32) ([]panda.Neighbo
 		switch {
 		case h == rt.rank && t == rt.rank:
 			// Own shard: through the dispatcher like any local radius work.
-			nbrs, _, err = rt.localStage(proto.KindRemoteRadius, 0, 1, r2, q)
+			var bd stageBreakdown
+			nbrs, _, bd, err = rt.localStage(proto.KindRemoteRadius, 0, 1, r2, q)
+			p.addBreakdown(bd)
 		case h == rt.rank:
+			engStart := time.Now()
 			nbrs = rt.shardTree(t).RadiusSearchInto(q, r2, nil)
+			p.trailEngine.Add(int64(time.Since(engStart)))
 		case h == t:
-			nbrs, err = rt.peers[h].remoteRadius(q, r2)
+			legStart := time.Now()
+			nbrs, err = rt.peers[h].remoteRadius(q, r2, p.trace)
+			p.trailExchange.Add(int64(time.Since(legStart)))
 		default:
-			nbrs, err = rt.peers[h].shardRadius(t, q, r2)
+			legStart := time.Now()
+			nbrs, err = rt.peers[h].shardRadius(t, q, r2, p.trace)
+			p.trailExchange.Add(int64(time.Since(legStart)))
 		}
 		if err != nil {
 			lastErr = err
@@ -687,8 +720,6 @@ func (rt *router) shardRadiusAt(t int, q []float32, r2 float32) ([]panda.Neighbo
 func (rt *router) routeRadius(p *pending) {
 	s := rt.s
 	defer s.putPending(p)
-	c := p.c
-	id := p.req.ID
 	q := p.req.Coords
 	r2 := p.req.R2
 
@@ -700,20 +731,20 @@ func (rt *router) routeRadius(p *pending) {
 		wg.Add(1)
 		go func(ti, t int) {
 			defer wg.Done()
-			outs[ti], errs[ti] = rt.shardRadiusAt(t, q, r2)
+			outs[ti], errs[ti] = rt.shardRadiusAt(p, t, q, r2)
 		}(ti, t)
 	}
 	wg.Wait()
 	total := 0
 	for ti := range targets {
 		if errs[ti] != nil {
-			rt.writeError(c, id, fmt.Errorf("radius on shard %d: %w", targets[ti], errs[ti]))
+			rt.writeError(p, fmt.Errorf("radius on shard %d: %w", targets[ti], errs[ti]))
 			return
 		}
 		total += len(outs[ti])
 	}
 	if total > proto.MaxResultNeighbors {
-		rt.writeError(c, id, fmt.Errorf("radius search matched %d points, exceeding the %d-neighbor response cap; shrink r2",
+		rt.writeError(p, fmt.Errorf("radius search matched %d points, exceeding the %d-neighbor response cap; shrink r2",
 			total, proto.MaxResultNeighbors))
 		return
 	}
@@ -727,7 +758,7 @@ func (rt *router) routeRadius(p *pending) {
 		}
 		return flat[a].ID < flat[b].ID
 	})
-	rt.writeNeighbors(c, id, [][]panda.Neighbor{flat})
+	rt.writeNeighbors(p, [][]panda.Neighbor{flat})
 }
 
 // routeShardKNN answers a forwarded KindShardKNN batch: the owner pipeline
@@ -736,15 +767,13 @@ func (rt *router) routeRadius(p *pending) {
 func (rt *router) routeShardKNN(p *pending) {
 	s := rt.s
 	defer s.putPending(p)
-	c := p.c
-	id := p.req.ID
 	o := p.req.Shard
 	if o >= rt.shard.Ranks() {
-		rt.writeError(c, id, fmt.Errorf("shard %d out of range for %d ranks", o, rt.shard.Ranks()))
+		rt.writeError(p, fmt.Errorf("shard %d out of range for %d ranks", o, rt.shard.Ranks()))
 		return
 	}
 	if rt.shardTree(o) == nil {
-		rt.writeError(c, id, fmt.Errorf("shard %d not held on rank %d", o, rt.rank))
+		rt.writeError(p, fmt.Errorf("shard %d not held on rank %d", o, rt.rank))
 		return
 	}
 	nq := p.req.NQ
@@ -762,12 +791,12 @@ func (rt *router) routeShardKNN(p *pending) {
 		}
 		errMu.Unlock()
 	}
-	rt.ownedShardKNN(o, p.req.Coords, idx, p.req.K, rt.shard.Dims(), res, fail)
+	rt.ownedShardKNN(p, o, p.req.Coords, idx, p.req.K, rt.shard.Dims(), res, fail)
 	if firstErr != nil {
-		rt.writeError(c, id, firstErr)
+		rt.writeError(p, firstErr)
 		return
 	}
-	rt.writeNeighbors(c, id, res)
+	rt.writeNeighbors(p, res)
 }
 
 // routeShardLocal answers the shard-addressed single-shard kinds
@@ -777,30 +806,31 @@ func (rt *router) routeShardKNN(p *pending) {
 func (rt *router) routeShardLocal(p *pending) {
 	s := rt.s
 	defer s.putPending(p)
-	c := p.c
-	id := p.req.ID
 	t := p.req.Shard
 	if t >= rt.shard.Ranks() {
-		rt.writeError(c, id, fmt.Errorf("shard %d out of range for %d ranks", t, rt.shard.Ranks()))
+		rt.writeError(p, fmt.Errorf("shard %d out of range for %d ranks", t, rt.shard.Ranks()))
 		return
 	}
 	tree := rt.shardTree(t)
 	if tree == nil {
-		rt.writeError(c, id, fmt.Errorf("shard %d not held on rank %d", t, rt.rank))
+		rt.writeError(p, fmt.Errorf("shard %d not held on rank %d", t, rt.rank))
 		return
 	}
 	var nbrs []panda.Neighbor
+	engStart := time.Now()
 	if p.req.Kind == proto.KindShardRemoteKNN {
 		nbrs = tree.KNNBoundedInto(p.req.Coords, p.req.K, p.req.R2, nil)
 	} else {
 		nbrs = tree.RadiusSearchInto(p.req.Coords, p.req.R2, nil)
 		if len(nbrs) > proto.MaxResultNeighbors {
-			rt.writeError(c, id, fmt.Errorf("radius search matched %d points, exceeding the %d-neighbor response cap; shrink r2",
+			p.trailEngine.Add(int64(time.Since(engStart)))
+			rt.writeError(p, fmt.Errorf("radius search matched %d points, exceeding the %d-neighbor response cap; shrink r2",
 				len(nbrs), proto.MaxResultNeighbors))
 			return
 		}
 	}
-	rt.writeNeighbors(c, id, [][]panda.Neighbor{nbrs})
+	p.trailEngine.Add(int64(time.Since(engStart)))
+	rt.writeNeighbors(p, [][]panda.Neighbor{nbrs})
 }
 
 // routeFetchSection serves one chunk of a held shard's snapshot file (or
@@ -809,25 +839,27 @@ func (rt *router) routeShardLocal(p *pending) {
 func (rt *router) routeFetchSection(p *pending) {
 	s := rt.s
 	defer s.putPending(p)
-	c := p.c
-	id := p.req.ID
 	if rt.sections == nil {
-		rt.writeError(c, id, fmt.Errorf("section streaming disabled: server has no snapshot directory"))
+		rt.writeError(p, fmt.Errorf("section streaming disabled: server has no snapshot directory"))
 		return
 	}
+	engStart := time.Now()
 	data, fileSize, crc, err := rt.sections.read(p.req.Shard, p.req.FetchOff, p.req.FetchLen, nil)
+	p.trailEngine.Add(int64(time.Since(engStart))) // disk read: the local work of this kind
 	if err != nil {
-		rt.writeError(c, id, err)
+		rt.writeError(p, err)
 		return
 	}
 	s.statReplBytes.Add(int64(len(data)))
+	writeStart := time.Now()
 	buf := proto.BeginFrame(nil)
-	buf = proto.AppendSectionDataResponse(buf, id, p.req.Shard, p.req.FetchOff, fileSize, crc, data)
+	buf = proto.AppendSectionDataResponse(buf, p.req.ID, p.req.Shard, p.req.FetchOff, fileSize, crc, data)
 	if err := proto.FinishFrame(buf, 0); err != nil {
-		rt.writeError(c, id, err)
+		rt.writeError(p, err)
 		return
 	}
-	rt.write(c, buf)
+	rt.write(p.c, buf)
+	rt.finish(p, writeStart, nil)
 }
 
 // gatherCoords packs the selected queries' coordinates row-major.
@@ -840,8 +872,11 @@ func gatherCoords(coords []float32, idx []int, dims int) []float32 {
 }
 
 // writeNeighbors assembles and writes one KindNeighbors response covering
-// the per-query lists in order.
-func (rt *router) writeNeighbors(c *conn, id uint64, res [][]panda.Neighbor) {
+// the per-query lists in order, then observes the request. A traced client
+// gets the stage waterfall — this rank's decomposition plus every remote
+// span collected on the way — as a response trailer.
+func (rt *router) writeNeighbors(p *pending, res [][]panda.Neighbor) {
+	writeStart := time.Now()
 	total := 0
 	for _, r := range res {
 		total += len(r)
@@ -853,21 +888,43 @@ func (rt *router) writeNeighbors(c *conn, id uint64, res [][]panda.Neighbor) {
 		offsets[i+1] = int32(len(flat))
 	}
 	buf := proto.BeginFrame(nil)
-	buf = proto.AppendNeighborsResponse(buf, id, offsets, flat)
+	buf = proto.AppendNeighborsResponse(buf, p.req.ID, offsets, flat)
+	if p.trace != nil && p.req.Traced {
+		// The wire write span closes before the write itself finishes (it
+		// is inside the frame being written); the server-side ring keeps
+		// the true post-write value.
+		spans := stageSpans(nil, rt.s.rank, p.routeStages(writeStart, time.Now()))
+		spans = append(spans, p.trace.remoteSpans()...)
+		buf = proto.AppendTraceSpans(buf, p.trace.id, spans)
+	}
 	if err := proto.FinishFrame(buf, 0); err != nil {
-		rt.writeError(c, id, err)
+		rt.writeError(p, err)
 		return
 	}
-	rt.write(c, buf)
+	rt.write(p.c, buf)
+	rt.finish(p, writeStart, nil)
 }
 
-// writeError writes one KindError response.
-func (rt *router) writeError(c *conn, id uint64, err error) {
+// writeError writes one KindError response and observes the request.
+func (rt *router) writeError(p *pending, err error) {
+	writeStart := time.Now()
 	buf := proto.BeginFrame(nil)
-	buf = proto.AppendErrorResponse(buf, id, err.Error())
+	buf = proto.AppendErrorResponse(buf, p.req.ID, err.Error())
 	if proto.FinishFrame(buf, 0) == nil {
-		rt.write(c, buf)
+		rt.write(p.c, buf)
 	}
+	rt.finish(p, writeStart, err)
+}
+
+// finish is the router's observation site, after the response write and
+// before the handler returns p to the pool: end-to-end and stage
+// histograms, slow accounting, trace capture.
+func (rt *router) finish(p *pending, writeStart time.Time, err error) {
+	if p.arrived.IsZero() {
+		return
+	}
+	end := time.Now()
+	rt.s.observeRequest(p, end, p.routeStages(writeStart, end), err)
 }
 
 // write delivers one framed response; failures close the connection, like

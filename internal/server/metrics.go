@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -55,9 +56,16 @@ func (h *histogram) observe(d time.Duration) {
 }
 
 // metrics aggregates the serving observability state beyond the plain Stats
-// counters: per-kind request counts and the request latency histogram.
+// counters: per-kind request counts, the request latency histogram, and its
+// per-stage decomposition.
 type metrics struct {
 	latency histogram
+
+	// stages decomposes the end-to-end latency into the six wire stages.
+	// Every observed request observes every stage (unused stages observe
+	// zero), so each stage's count equals the end-to-end count exactly and
+	// the post-arrival stage sums reconcile with the end-to-end sum.
+	stages [proto.NumStages]histogram
 
 	// Per-kind request counters (requests, not queries: a 64-query batch
 	// counts once here and 64 times in statQueries).
@@ -79,13 +87,31 @@ func (m *metrics) observe(kind uint8, d time.Duration) {
 	}
 }
 
-// observeLatency records one answered request both globally and against its
-// tenant's histogram — the same observation at the same site, so per-tenant
-// histogram counts sum exactly to the global histogram count.
-func (s *Server) observeLatency(e *engine, kind uint8, d time.Duration) {
-	s.metrics.observe(kind, d)
-	if e != nil {
-		e.latency.observe(d)
+// observeRequest is the single observation site for one answered external
+// request: the end-to-end histogram and its per-tenant twin, the six
+// per-stage histograms, slow-query accounting, and trace capture. All at the
+// same site, so per-tenant counts sum to the global count and every stage
+// count equals the end-to-end count. end is the post-write stamp; stage
+// durations come from the caller because dispatcher and router decompose
+// differently (see pending.dispatchStages / pending.routeStages).
+func (s *Server) observeRequest(p *pending, end time.Time, st [proto.NumStages]time.Duration, reqErr error) {
+	e2e := end.Sub(p.arrived)
+	s.metrics.observe(p.req.Kind, e2e)
+	if p.eng != nil {
+		p.eng.latency.observe(e2e)
+	}
+	for i := range st {
+		s.metrics.stages[i].observe(st[i])
+	}
+	slow := s.cfg.SlowQuery > 0 && e2e >= s.cfg.SlowQuery
+	if slow {
+		s.statSlow.Add(1)
+		if p.eng != nil {
+			p.eng.slow.Add(1)
+		}
+	}
+	if p.trace != nil || slow {
+		s.traces.put(s.buildTrace(p, st, e2e, end, slow, reqErr))
 	}
 }
 
@@ -101,9 +127,20 @@ func (s *Server) WriteMetrics(out io.Writer) {
 	w.counter("panda_failovers_total", "Shard queries answered by a replica because the primary was unreachable.", float64(st.Failovers))
 	w.counter("panda_redials_total", "Peer reconnect attempts after a broken link.", float64(st.Redials))
 	w.counter("panda_replication_bytes_total", "Snapshot bytes served to re-replicating or joining peers.", float64(st.ReplicationBytes))
+	w.counter("panda_slow_total", "Requests slower than the -slow-query threshold (0 when disabled).", float64(s.statSlow.Load()))
 	w.gauge("panda_active_conns", "Currently open client connections.", float64(st.ActiveConns))
 	w.gauge("panda_inflight_queries", "Admitted queries not yet answered.", float64(s.inflight.Load()))
 	w.gauge("panda_mean_batch_size", "Achieved micro-batching factor (queries per dispatch round).", st.MeanBatchSize)
+
+	// Runtime-side signal for overload investigations: scheduler and heap
+	// state at scrape time. ReadMemStats is a stop-the-world of microseconds
+	// at scrape frequency — negligible next to query service times.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	w.gauge("panda_goroutines", "Goroutines at scrape time.", float64(runtime.NumGoroutine()))
+	w.gauge("panda_heap_inuse_bytes", "Bytes in in-use heap spans at scrape time.", float64(ms.HeapInuse))
+	w.counter("panda_gc_pause_seconds_total", "Cumulative stop-the-world GC pause.", float64(ms.PauseTotalNs)/1e9)
+	w.counter("panda_gc_cycles_total", "Completed GC cycles.", float64(ms.NumGC))
 
 	m := &s.metrics
 	w.head("panda_requests_total", "Answered requests by wire kind.", "counter")
@@ -122,6 +159,25 @@ func (s *Server) WriteMetrics(out io.Writer) {
 	w.line("panda_request_latency_seconds_sum", float64(m.latency.sumNanos.Load())/1e9)
 	w.line("panda_request_latency_seconds_count", float64(m.latency.count.Load()))
 
+	// Stage decomposition of the histogram above. Every request observes
+	// every stage (zero for stages it did not use), so each stage's _count
+	// equals the end-to-end _count, and the _sum over the post-arrival
+	// stages (all but "decode") reconciles with the end-to-end _sum.
+	w.head("panda_stage_latency_seconds", "Per-stage decomposition of request latency (every request observes every stage; unused stages observe zero).", "histogram")
+	for si := range m.stages {
+		h := &m.stages[si]
+		stage := `stage="` + proto.StageName(uint8(si)) + `"`
+		cum := int64(0)
+		for i, bound := range latencyBuckets {
+			cum += h.buckets[i].Load()
+			w.labeled("panda_stage_latency_seconds_bucket", stage+`,le="`+formatBound(bound)+`"`, float64(cum))
+		}
+		cum += h.buckets[len(latencyBuckets)].Load()
+		w.labeled("panda_stage_latency_seconds_bucket", stage+`,le="+Inf"`, float64(cum))
+		w.labeled("panda_stage_latency_seconds_sum", stage, float64(h.sumNanos.Load())/1e9)
+		w.labeled("panda_stage_latency_seconds_count", stage, float64(h.count.Load()))
+	}
+
 	// Per-tenant series alongside the globals. Every tenant counter is
 	// incremented at the same site as its global twin, so for each metric
 	// the sum over dataset labels equals the unlabeled global above.
@@ -135,6 +191,10 @@ func (s *Server) WriteMetrics(out io.Writer) {
 	w.head("panda_tenant_shed_total", "Requests refused at the admission limit per dataset (sums to panda_shed_total).", "counter")
 	for _, name := range s.reg.order {
 		w.labeled("panda_tenant_shed_total", `dataset="`+name+`"`, float64(s.reg.tenants[name].shed.Load()))
+	}
+	w.head("panda_tenant_slow_total", "Requests slower than the -slow-query threshold per dataset (sums to panda_slow_total).", "counter")
+	for _, name := range s.reg.order {
+		w.labeled("panda_tenant_slow_total", `dataset="`+name+`"`, float64(s.reg.tenants[name].slow.Load()))
 	}
 	w.head("panda_tenant_request_latency_seconds", "Request latency per dataset (counts sum to the global histogram).", "histogram")
 	for _, name := range s.reg.order {

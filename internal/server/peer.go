@@ -150,15 +150,17 @@ func (p *peer) close() {
 
 // forwardKNN forwards whole queries to their owner rank as one KindKNN
 // batch; the owner's router runs the full pipeline (local KNN + remote
-// exchange) and answers final per-query neighbor lists.
-func (p *peer) forwardKNN(coords []float32, k, dims int) ([]panda.Neighbor, []int32, error) {
+// exchange) and answers final per-query neighbor lists. A non-nil tc rides
+// the trace id on the request and collects the spans the peer answers with.
+func (p *peer) forwardKNN(coords []float32, k, dims int, tc *traceCtx) ([]panda.Neighbor, []int32, error) {
 	pc, err := p.conn()
 	if err != nil {
 		return nil, nil, err
 	}
 	res := pc.call(p.callTimeout, func(b []byte, id uint64) []byte {
-		return proto.AppendKNNRequest(b, id, k, coords, dims)
+		return tc.appendTrailer(proto.AppendKNNRequest(b, id, k, coords, dims))
 	})
+	tc.addRemote(res.spans)
 	return res.flat, res.offsets, res.err
 }
 
@@ -166,65 +168,70 @@ func (p *peer) forwardKNN(coords []float32, k, dims int) ([]panda.Neighbor, []in
 // runs the owner pipeline on its copy of that shard (the failover analogue
 // of forwardKNN — a plain KindKNN would make the holder recompute ownership
 // and re-forward to the dead primary).
-func (p *peer) forwardShardKNN(shard int, coords []float32, k, dims int) ([]panda.Neighbor, []int32, error) {
+func (p *peer) forwardShardKNN(shard int, coords []float32, k, dims int, tc *traceCtx) ([]panda.Neighbor, []int32, error) {
 	pc, err := p.conn()
 	if err != nil {
 		return nil, nil, err
 	}
 	res := pc.call(p.callTimeout, func(b []byte, id uint64) []byte {
-		return proto.AppendShardKNNRequest(b, id, shard, k, coords, dims)
+		return tc.appendTrailer(proto.AppendShardKNNRequest(b, id, shard, k, coords, dims))
 	})
+	tc.addRemote(res.spans)
 	return res.flat, res.offsets, res.err
 }
 
 // remoteKNN asks the peer for its local-shard candidates strictly within r2
 // of q (§III-B step 4).
-func (p *peer) remoteKNN(q []float32, k int, r2 float32) ([]panda.Neighbor, error) {
+func (p *peer) remoteKNN(q []float32, k int, r2 float32, tc *traceCtx) ([]panda.Neighbor, error) {
 	pc, err := p.conn()
 	if err != nil {
 		return nil, err
 	}
 	res := pc.call(p.callTimeout, func(b []byte, id uint64) []byte {
-		return proto.AppendRemoteKNNRequest(b, id, k, r2, q)
+		return tc.appendTrailer(proto.AppendRemoteKNNRequest(b, id, k, r2, q))
 	})
+	tc.addRemote(res.spans)
 	return res.flat, res.err
 }
 
 // shardRemoteKNN asks the peer for shard's candidates strictly within r2 of
 // q, answered from the peer's replica copy of that shard.
-func (p *peer) shardRemoteKNN(shard int, q []float32, k int, r2 float32) ([]panda.Neighbor, error) {
+func (p *peer) shardRemoteKNN(shard int, q []float32, k int, r2 float32, tc *traceCtx) ([]panda.Neighbor, error) {
 	pc, err := p.conn()
 	if err != nil {
 		return nil, err
 	}
 	res := pc.call(p.callTimeout, func(b []byte, id uint64) []byte {
-		return proto.AppendShardRemoteKNNRequest(b, id, shard, k, r2, q)
+		return tc.appendTrailer(proto.AppendShardRemoteKNNRequest(b, id, shard, k, r2, q))
 	})
+	tc.addRemote(res.spans)
 	return res.flat, res.err
 }
 
 // remoteRadius asks the peer for its local-shard points within r2 of q.
-func (p *peer) remoteRadius(q []float32, r2 float32) ([]panda.Neighbor, error) {
+func (p *peer) remoteRadius(q []float32, r2 float32, tc *traceCtx) ([]panda.Neighbor, error) {
 	pc, err := p.conn()
 	if err != nil {
 		return nil, err
 	}
 	res := pc.call(p.callTimeout, func(b []byte, id uint64) []byte {
-		return proto.AppendRemoteRadiusRequest(b, id, r2, q)
+		return tc.appendTrailer(proto.AppendRemoteRadiusRequest(b, id, r2, q))
 	})
+	tc.addRemote(res.spans)
 	return res.flat, res.err
 }
 
 // shardRadius asks the peer for shard's points within r2 of q, answered
 // from the peer's replica copy of that shard.
-func (p *peer) shardRadius(shard int, q []float32, r2 float32) ([]panda.Neighbor, error) {
+func (p *peer) shardRadius(shard int, q []float32, r2 float32, tc *traceCtx) ([]panda.Neighbor, error) {
 	pc, err := p.conn()
 	if err != nil {
 		return nil, err
 	}
 	res := pc.call(p.callTimeout, func(b []byte, id uint64) []byte {
-		return proto.AppendShardRadiusRequest(b, id, shard, r2, q)
+		return tc.appendTrailer(proto.AppendShardRadiusRequest(b, id, shard, r2, q))
 	})
+	tc.addRemote(res.spans)
 	return res.flat, res.err
 }
 
@@ -269,6 +276,9 @@ func (p *peer) fetchSection(shard int, off uint64, maxLen int) (data []byte, fil
 type peerResult struct {
 	flat    []panda.Neighbor
 	offsets []int32
+
+	// spans are the peer's trace spans for this call (traced requests only).
+	spans []proto.TraceSpan
 
 	shard    int
 	fileSize uint64
@@ -383,6 +393,9 @@ func (pc *peerConn) readLoop() {
 		default:
 			res.flat = append([]panda.Neighbor(nil), resp.Flat...)
 			res.offsets = append([]int32(nil), resp.Offsets...)
+			if len(resp.Spans) > 0 {
+				res.spans = append([]proto.TraceSpan(nil), resp.Spans...)
+			}
 		}
 		ch <- res
 	}

@@ -25,11 +25,13 @@ type engine struct {
 	id   proto.DatasetID
 
 	// queries counts answered queries (a batch of nq counts nq), shed
-	// counts admission refusals — the tenant slices of Stats.Queries and
-	// Stats.Shed. latency is the tenant slice of the global request
+	// counts admission refusals, slow counts requests over the -slow-query
+	// threshold — the tenant slices of Stats.Queries, Stats.Shed, and the
+	// slow counter. latency is the tenant slice of the global request
 	// histogram.
 	queries atomic.Int64
 	shed    atomic.Int64
+	slow    atomic.Int64
 	latency histogram
 }
 

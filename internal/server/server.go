@@ -113,6 +113,15 @@ type Config struct {
 	// shedding: the bounded intake applies TCP backpressure as before.
 	// Stats/ping requests and snapshot section streaming are never shed.
 	MaxInFlight int
+	// TraceSample is the probability in [0,1] that the server samples an
+	// external query request for trace capture (default 0: only client-
+	// requested traces and slow queries reach the trace ring). Sampling
+	// decides capture, not measurement — the stage histograms observe every
+	// request either way.
+	TraceSample float64
+	// SlowQuery, when > 0, always captures requests slower than this to the
+	// trace ring (even unsampled ones) and counts them in panda_slow_total.
+	SlowQuery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -194,9 +203,16 @@ type Server struct {
 	inflight atomic.Int64
 	statShed atomic.Int64
 
-	// metrics holds the latency histogram and per-kind request counters
-	// exported by WriteMetrics/MetricsHandler.
+	// metrics holds the latency histogram, its stage decomposition, and
+	// per-kind request counters exported by WriteMetrics/MetricsHandler.
 	metrics metrics
+
+	// Tracing: rank labels this server's spans (-1 single-node, the cluster
+	// rank otherwise), traces retains recent sampled/slow captures for
+	// /debug/traces, statSlow counts requests over Config.SlowQuery.
+	rank     int32
+	traces   *traceRing
+	statSlow atomic.Int64
 }
 
 // Stats is a point-in-time snapshot of the serving counters.
@@ -281,6 +297,8 @@ func NewMulti(reg *Registry, cfg Config) (*Server, error) {
 		intake:         make(chan *pending, cfg.IntakeDepth),
 		conns:          map[*conn]struct{}{},
 		dispatcherDone: make(chan struct{}),
+		rank:           -1,
+		traces:         newTraceRing(traceRingSize),
 	}, nil
 }
 
@@ -469,6 +487,39 @@ type conn struct {
 	// local clients — that independence is what keeps saturated
 	// bidirectional forwarding deadlock-free.
 	routeSem chan struct{}
+	// rng is the reader's private xorshift64 state for trace sampling and id
+	// generation — per-connection so the hot path never touches a shared
+	// lock or allocates. Only the reader goroutine uses it.
+	rng uint64
+}
+
+// nextRand advances the reader's xorshift64 generator (seeded lazily from
+// the clock; statistical quality only matters for sampling fairness).
+func (c *conn) nextRand() uint64 {
+	x := c.rng
+	if x == 0 {
+		x = uint64(time.Now().UnixNano()) | 1
+	}
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	c.rng = x
+	return x
+}
+
+// sample reports true with probability rate (caller guarantees rate > 0;
+// rate ≥ 1 always samples).
+func (c *conn) sample(rate float64) bool {
+	return float64(c.nextRand()>>11)*(1.0/(1<<53)) < rate
+}
+
+// newTraceID returns a nonzero id for a server-sampled trace.
+func (c *conn) newTraceID() uint64 {
+	for {
+		if id := c.nextRand(); id != 0 {
+			return id
+		}
+	}
 }
 
 func (c *conn) close() {
@@ -510,13 +561,100 @@ type pending struct {
 	// group from eng's tree.
 	eng *engine
 	// arrived is when the reader decoded the request off the wire (zero for
-	// internal router stages); the latency histogram observes it when the
+	// internal router stages); the latency histograms observe it when the
 	// response is written.
 	arrived time.Time
 	// admitted is the query weight this request holds against the server's
 	// in-flight admission limit (0 when admission control is off or the
 	// request is exempt); released by putPending.
 	admitted int64
+
+	// Stage boundary stamps (see proto.StageNames), one time.Now() each:
+	// decodeStart is when the reader had the frame in hand (decode ends at
+	// arrived), dequeued when the dispatcher pulled the request off the
+	// intake (or the router picked it up), batched when its micro-batch
+	// closed, engined when its engine call returned. Unused stamps stay zero
+	// and clamp to the previous boundary at observation.
+	decodeStart time.Time
+	dequeued    time.Time
+	batched     time.Time
+	engined     time.Time
+
+	// Router stage accumulators, nanoseconds (cluster path only): the route
+	// legs charge owner-local dispatcher time (queue/linger/engine) and peer
+	// round-trips (exchange) here, concurrently for parallel legs of a
+	// batch. Zero on the dispatcher path.
+	trailQueue    atomic.Int64
+	trailLinger   atomic.Int64
+	trailEngine   atomic.Int64
+	trailExchange atomic.Int64
+
+	// trace is non-nil when this request is traced (client-requested or
+	// server-sampled): it carries the trace id onto peer calls and collects
+	// the spans remote ranks return.
+	trace *traceCtx
+}
+
+// dispatchStages decomposes a dispatcher-path request into the six stage
+// durations from its boundary stamps. Zero clamps cover error paths that
+// skipped a stamp (the stage reads as zero rather than garbage); on the
+// normal path the stamps are monotone and the post-arrival stages sum
+// exactly to end−arrived, which is what reconciles the stage histograms
+// with the end-to-end one.
+func (p *pending) dispatchStages(end time.Time) [proto.NumStages]time.Duration {
+	var st [proto.NumStages]time.Duration
+	dec, deq, bat, eng := p.decodeStart, p.dequeued, p.batched, p.engined
+	if dec.IsZero() {
+		dec = p.arrived
+	}
+	if deq.IsZero() {
+		deq = p.arrived
+	}
+	if bat.IsZero() {
+		bat = deq
+	}
+	if eng.IsZero() {
+		eng = bat
+	}
+	st[proto.StageDecode] = p.arrived.Sub(dec)
+	st[proto.StageQueueWait] = deq.Sub(p.arrived)
+	st[proto.StageLinger] = bat.Sub(deq)
+	st[proto.StageEngine] = eng.Sub(bat)
+	st[proto.StageResponseWrite] = end.Sub(eng)
+	return st
+}
+
+// routeStages decomposes a router-path request: queue-wait spans arrival to
+// route pickup plus any owner-local intake wait the legs charged;
+// linger/engine/exchange come from the trail accumulators (per-leg
+// attribution — parallel legs of a multi-query batch overlap in wall time).
+func (p *pending) routeStages(writeStart, end time.Time) [proto.NumStages]time.Duration {
+	var st [proto.NumStages]time.Duration
+	dec, deq := p.decodeStart, p.dequeued
+	if dec.IsZero() {
+		dec = p.arrived
+	}
+	if deq.IsZero() {
+		deq = p.arrived
+	}
+	st[proto.StageDecode] = p.arrived.Sub(dec)
+	st[proto.StageQueueWait] = deq.Sub(p.arrived) + time.Duration(p.trailQueue.Load())
+	st[proto.StageLinger] = time.Duration(p.trailLinger.Load())
+	st[proto.StageEngine] = time.Duration(p.trailEngine.Load())
+	st[proto.StageRemoteExchange] = time.Duration(p.trailExchange.Load())
+	st[proto.StageResponseWrite] = end.Sub(writeStart)
+	return st
+}
+
+// stageBreakdown is the owner-local dispatcher time of one routed leg,
+// reported by localStage's done hook and charged onto the originating
+// request's trail accumulators.
+type stageBreakdown struct{ queue, linger, engine time.Duration }
+
+func (p *pending) addBreakdown(bd stageBreakdown) {
+	p.trailQueue.Add(int64(bd.queue))
+	p.trailLinger.Add(int64(bd.linger))
+	p.trailEngine.Add(int64(bd.engine))
 }
 
 func (s *Server) getPending() *pending {
@@ -535,6 +673,15 @@ func (s *Server) putPending(p *pending) {
 	p.done = nil
 	p.eng = nil
 	p.arrived = time.Time{}
+	p.decodeStart = time.Time{}
+	p.dequeued = time.Time{}
+	p.batched = time.Time{}
+	p.engined = time.Time{}
+	p.trailQueue.Store(0)
+	p.trailLinger.Store(0)
+	p.trailEngine.Store(0)
+	p.trailExchange.Store(0)
+	p.trace = nil
 	s.pendingPool.Put(p)
 }
 
@@ -597,6 +744,7 @@ func (s *Server) serveConn(c *conn) {
 		if rerr != nil {
 			break
 		}
+		decoded := time.Now() // frame in hand: the decode stage starts here
 		buf = payload
 		p := s.getPending()
 		if derr := proto.ConsumeRequest(payload, dims, &p.req); derr != nil {
@@ -693,7 +841,16 @@ func (s *Server) serveConn(c *conn) {
 			}
 			p.admitted = weight
 		}
+		p.decodeStart = decoded
 		p.arrived = time.Now()
+		// Trace attach: always honor a client-requested trace; otherwise
+		// roll the per-conn sampler. Untraced requests keep a nil ctx and
+		// the response stays byte-identical to an untraced server's.
+		if p.req.Traced {
+			p.trace = newTraceCtx(p.req.TraceID)
+		} else if s.cfg.TraceSample > 0 && proto.TraceableKind(p.req.Kind) && c.sample(s.cfg.TraceSample) {
+			p.trace = newTraceCtx(c.newTraceID())
+		}
 		// Cluster mode: externally-routable kinds go through the shard
 		// router (owner lookup, forwarding, remote-candidate exchange,
 		// failover) in their own goroutine so the reader keeps pipelining
@@ -758,6 +915,8 @@ type dispatcher struct {
 	offs2  []int32
 	// response frame encode buffer
 	wbuf []byte
+	// span staging for traced responses
+	spans []proto.TraceSpan
 }
 
 func newDispatcher(s *Server) *dispatcher {
@@ -779,6 +938,7 @@ func (s *Server) dispatch() {
 		if !ok {
 			return
 		}
+		p.dequeued = time.Now()
 		d.batch = append(d.batch[:0], p)
 		total := p.req.NQ
 		// Grab everything already queued without blocking.
@@ -789,6 +949,7 @@ func (s *Server) dispatch() {
 				if !ok2 {
 					break drain
 				}
+				p2.dequeued = time.Now()
 				d.batch = append(d.batch, p2)
 				total += p2.req.NQ
 			default:
@@ -805,6 +966,7 @@ func (s *Server) dispatch() {
 					if !ok2 {
 						break linger
 					}
+					p2.dequeued = time.Now()
 					d.batch = append(d.batch, p2)
 					total += p2.req.NQ
 				case <-timer.C:
@@ -830,7 +992,9 @@ func (d *dispatcher) process() {
 	s := d.s
 	n := len(d.batch)
 	nq := 0
+	closed := time.Now() // the micro-batch is closed: linger ends here
 	for _, p := range d.batch {
+		p.batched = closed
 		nq += p.req.NQ
 		// The tenant slice of statQueries, incremented here so the sum over
 		// tenants always equals the global counter below.
@@ -857,6 +1021,7 @@ func (d *dispatcher) process() {
 			// KindRemoteRadius to the shards, which land here).
 			d.done[i] = true
 			d.radius = p.eng.tree.RadiusSearchInto(p.req.Coords, p.req.R2, d.radius[:0])
+			p.engined = time.Now()
 			if len(d.radius) > proto.MaxResultNeighbors {
 				// Refuse before encoding: a dense-enough ball would
 				// otherwise build a response buffer beyond the frame cap.
@@ -877,6 +1042,7 @@ func (d *dispatcher) process() {
 			// with unbounded KNN requests.
 			d.done[i] = true
 			d.radius = p.eng.tree.KNNBoundedInto(p.req.Coords, p.req.K, p.req.R2, d.radius[:0])
+			p.engined = time.Now()
 			d.offs2[0] = 0
 			d.offs2[1] = int32(len(d.radius))
 			d.respondNeighbors(p, d.offs2, d.radius)
@@ -898,6 +1064,10 @@ func (d *dispatcher) process() {
 			d.coords = append(d.coords, q.req.Coords...)
 		}
 		flat, offsets, err := p.eng.tree.KNNBatchFlatInto(d.coords, k, d.flat, d.offsets)
+		groupDone := time.Now()
+		for _, q := range d.group {
+			q.engined = groupDone
+		}
 		if err != nil {
 			for _, q := range d.group {
 				d.respondError(q, err)
@@ -928,16 +1098,29 @@ func (d *dispatcher) respondNeighbors(p *pending, offsets []int32, flat []panda.
 		p.done(flat, offsets, nil)
 		return
 	}
-	if !p.arrived.IsZero() {
-		d.s.observeLatency(p.eng, p.req.Kind, time.Since(p.arrived))
-	}
 	d.wbuf = proto.BeginFrame(d.wbuf[:0])
 	d.wbuf = proto.AppendNeighborsResponse(d.wbuf, p.req.ID, offsets, flat)
+	if p.trace != nil && p.req.Traced {
+		// The client asked for the waterfall: attach this rank's stage
+		// spans inside the response. The write span necessarily closes
+		// before the write itself finishes, so on the wire it covers the
+		// encode only; the server-side ring keeps the true post-write
+		// value.
+		d.spans = stageSpans(d.spans[:0], d.s.rank, p.dispatchStages(time.Now()))
+		d.wbuf = proto.AppendTraceSpans(d.wbuf, p.trace.id, d.spans)
+	}
 	if err := proto.FinishFrame(d.wbuf, 0); err != nil {
 		d.respondError(p, err)
 		return
 	}
 	d.write(p, d.wbuf)
+	// Observation sits after the write so the response-write stage is
+	// measured by the same stamp that ends the end-to-end latency — the
+	// stage sums reconcile with the histogram exactly.
+	if !p.arrived.IsZero() {
+		end := time.Now()
+		d.s.observeRequest(p, end, p.dispatchStages(end), nil)
+	}
 }
 
 // respondError encodes and writes one KindError response (or fails the
@@ -947,13 +1130,14 @@ func (d *dispatcher) respondError(p *pending, err error) {
 		p.done(nil, nil, err)
 		return
 	}
-	if !p.arrived.IsZero() {
-		d.s.observeLatency(p.eng, p.req.Kind, time.Since(p.arrived))
-	}
 	d.wbuf = proto.BeginFrame(d.wbuf[:0])
 	d.wbuf = proto.AppendErrorResponse(d.wbuf, p.req.ID, err.Error())
 	if proto.FinishFrame(d.wbuf, 0) == nil {
 		d.write(p, d.wbuf)
+	}
+	if !p.arrived.IsZero() {
+		end := time.Now()
+		d.s.observeRequest(p, end, p.dispatchStages(end), err)
 	}
 }
 
